@@ -1,0 +1,469 @@
+(* Command-line driver for the reproduction: run any figure or table of the
+   paper's evaluation (§5), single experiments, and sweeps, with optional
+   CSV output. *)
+
+open Cmdliner
+open Repro_core
+open Repro_workload
+
+(* ---- Shared options ---- *)
+
+let kind_conv =
+  let parse = function
+    | "modular" -> Ok Replica.Modular
+    | "monolithic" | "mono" -> Ok Replica.Monolithic
+    | "indirect" -> Ok Replica.Indirect
+    | s -> Error (`Msg (Printf.sprintf "unknown stack %S (modular|monolithic|indirect)" s))
+  in
+  let print ppf = function
+    | Replica.Modular -> Fmt.string ppf "modular"
+    | Replica.Monolithic -> Fmt.string ppf "monolithic"
+    | Replica.Indirect -> Fmt.string ppf "indirect"
+  in
+  Arg.conv (parse, print)
+
+let kind_name = function
+  | Replica.Modular -> "modular"
+  | Replica.Monolithic -> "monolithic"
+  | Replica.Indirect -> "indirect"
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed for the run.")
+
+let warmup_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "warmup" ] ~docv:"S" ~doc:"Virtual seconds before measurement starts.")
+
+let measure_arg =
+  Arg.(
+    value & opt float 8.0
+    & info [ "measure" ] ~docv:"S" ~doc:"Virtual seconds of measurement window.")
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated rows instead of a table.")
+
+let run_one ~kind ~n ~load ~size ~warmup ~measure ~seed =
+  Experiment.run
+    (Experiment.config ~kind ~n ~offered_load:load ~size ~warmup_s:warmup
+       ~measure_s:measure ~seed ())
+
+let csv_header =
+  "stack,n,offered_load,size,latency_ms,latency_ci95,throughput,mean_batch,msgs_per_instance,bytes_per_instance,cpu"
+
+let csv_row (r : Experiment.result) =
+  Printf.sprintf "%s,%d,%.0f,%d,%.4f,%.4f,%.2f,%.2f,%.2f,%.1f,%.3f"
+    (kind_name r.config.Experiment.kind)
+    r.config.Experiment.n r.config.Experiment.offered_load r.config.Experiment.size
+    r.early_latency_ms.Stats.mean r.early_latency_ms.Stats.ci95 r.throughput r.mean_batch
+    r.msgs_per_instance r.bytes_per_instance r.cpu_utilization
+
+let emit ~csv results =
+  if csv then begin
+    print_endline csv_header;
+    List.iter (fun r -> print_endline (csv_row r)) results
+  end
+  else List.iter (fun r -> Fmt.pr "%a@." Experiment.pp_result r) results
+
+let sweep ~kinds ~ns ~loads ~sizes ~warmup ~measure ~seed =
+  List.concat_map
+    (fun n ->
+      List.concat_map
+        (fun kind ->
+          List.concat_map
+            (fun load ->
+              List.map
+                (fun size -> run_one ~kind ~n ~load ~size ~warmup ~measure ~seed)
+                sizes)
+            loads)
+        kinds)
+    ns
+
+(* ---- run: one experiment ---- *)
+
+let run_cmd =
+  let n_arg =
+    Arg.(value & opt int 3 & info [ "n"; "group-size" ] ~docv:"N" ~doc:"Group size (3 or 7 in the paper).")
+  in
+  let kind_arg =
+    Arg.(
+      value
+      & opt kind_conv Replica.Monolithic
+      & info [ "stack" ] ~docv:"STACK" ~doc:"Which implementation: modular or monolithic.")
+  in
+  let load_arg =
+    Arg.(
+      value & opt float 2000.0
+      & info [ "load" ] ~docv:"MSGS/S" ~doc:"Offered load, messages per second globally.")
+  in
+  let size_arg =
+    Arg.(value & opt int 16384 & info [ "size" ] ~docv:"BYTES" ~doc:"Message payload size.")
+  in
+  let classic_arg =
+    Arg.(
+      value & flag
+      & info [ "classic-consensus" ]
+          ~doc:
+            "Mount the classical (non-optimized) Chandra-Toueg consensus in the modular \
+             stack instead of the §3.2-optimized variant.")
+  in
+  let repeats_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeats" ] ~docv:"K"
+          ~doc:"Average over K executions with consecutive seeds (pooled latency CI).")
+  in
+  let loss_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "loss" ] ~docv:"P"
+          ~doc:
+            "Per-copy message loss probability; > 0 mounts the reliable-channel              transport over fair-lossy links.")
+  in
+  let run kind n load size warmup measure seed csv classic repeats loss =
+    let params =
+      let p = Params.default ~n in
+      let p =
+        if loss > 0.0 then { p with Params.transport = Params.Lossy loss } else p
+      in
+      if classic then
+        {
+          p with
+          Params.modular =
+            { p.Params.modular with Params.consensus_variant = Params.Ct_classic };
+        }
+      else p
+    in
+    let config =
+      Experiment.config ~kind ~n ~offered_load:load ~size ~warmup_s:warmup
+        ~measure_s:measure ~seed ~params ()
+    in
+    emit ~csv [ Experiment.run_repeated ~repeats config ]
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a single benchmark configuration.")
+    Term.(
+      const run $ kind_arg $ n_arg $ load_arg $ size_arg $ warmup_arg $ measure_arg
+      $ seed_arg $ csv_arg $ classic_arg $ repeats_arg $ loss_arg)
+
+(* ---- figures ---- *)
+
+let paper_loads = [ 250.0; 500.0; 1000.0; 2000.0; 3000.0; 4000.0; 5000.0; 7000.0 ]
+let paper_sizes = [ 64; 128; 256; 512; 1024; 2048; 4096; 8192; 16384; 32768 ]
+let both_kinds = [ Replica.Modular; Replica.Monolithic ]
+let both_ns = [ 3; 7 ]
+
+let figure_cmd =
+  let fig_arg =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"FIGURE" ~doc:"Paper figure number: 8, 9, 10 or 11.")
+  in
+  let run fig warmup measure seed csv =
+    let results =
+      match fig with
+      | 8 | 10 ->
+        sweep ~kinds:both_kinds ~ns:both_ns ~loads:paper_loads ~sizes:[ 16384 ] ~warmup
+          ~measure ~seed
+      | 9 | 11 ->
+        sweep ~kinds:both_kinds ~ns:both_ns ~loads:[ 2000.0 ] ~sizes:paper_sizes ~warmup
+          ~measure ~seed
+      | other -> Fmt.failwith "unknown figure %d (the paper has figures 8-11)" other
+    in
+    emit ~csv results;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "figure"
+       ~doc:
+         "Regenerate the data of one of the paper's figures (8: latency vs load, 9: \
+          latency vs size, 10: throughput vs load, 11: throughput vs size).")
+    Term.(ret (const run $ fig_arg $ warmup_arg $ measure_arg $ seed_arg $ csv_arg))
+
+(* ---- tables (analytical §5.2 + measured) ---- *)
+
+let tables_cmd =
+  let run warmup measure seed =
+    Fmt.pr "== §5.2.1 Messages per consensus (M = measured mean batch) ==@.";
+    Fmt.pr "%-6s %-11s %-6s %-10s %-10s@." "n" "stack" "M" "analytical" "measured";
+    List.iter
+      (fun n ->
+        List.iter
+          (fun kind ->
+            let r = run_one ~kind ~n ~load:3000.0 ~size:1024 ~warmup ~measure ~seed in
+            let m = int_of_float (Float.round r.Experiment.mean_batch) in
+            let analytical =
+              match kind with
+              | Replica.Modular | Replica.Indirect ->
+                Repro_analysis.Model.modular_messages ~n ~m
+              | Replica.Monolithic -> Repro_analysis.Model.monolithic_messages ~n
+            in
+            Fmt.pr "%-6d %-11s %-6.1f %-10d %-10.1f@." n (kind_name kind)
+              r.Experiment.mean_batch analytical r.Experiment.msgs_per_instance)
+          both_kinds)
+      both_ns;
+    Fmt.pr "@.== §5.2.2 Data overhead: (Data_mod - Data_mono) / Data_mono ==@.";
+    (* Measured just below saturation, where the delivered origin mix is
+       symmetric — the assumption behind the closed form. At saturation the
+       coordinator's zero-diffusion-cost messages are over-represented and
+       the measured overhead drifts up (n=3) or down (n=7); see
+       EXPERIMENTS.md. *)
+    Fmt.pr "%-6s %-22s %-10s@." "n" "analytical (n-1)/(n+1)" "measured";
+    List.iter
+      (fun n ->
+        let bytes kind =
+          let r = run_one ~kind ~n ~load:1200.0 ~size:4096 ~warmup ~measure ~seed in
+          r.Experiment.bytes_per_instance /. r.Experiment.mean_batch
+        in
+        let dmod = bytes Replica.Modular and dmono = bytes Replica.Monolithic in
+        Fmt.pr "%-6d %-22.2f %-10.2f@." n
+          (Repro_analysis.Model.data_overhead ~n)
+          ((dmod -. dmono) /. dmono))
+      both_ns
+  in
+  Cmd.v
+    (Cmd.info "tables"
+       ~doc:"Reproduce the analytical evaluation of §5.2, analytical vs measured.")
+    Term.(const run $ warmup_arg $ measure_arg $ seed_arg)
+
+(* ---- ablations ---- *)
+
+let ablation_cmd =
+  let run warmup measure seed csv =
+    let base = Params.default ~n:3 in
+    let variants =
+      [
+        ("all-on (paper)", base.Params.mono);
+        ( "no §4.1 combine",
+          { base.Params.mono with Params.combine_proposal_decision = false } );
+        ("no §4.2 piggyback", { base.Params.mono with Params.piggyback_on_ack = false });
+        ("no §4.3 cheap-decision", { base.Params.mono with Params.cheap_decision = false });
+        ( "all-off",
+          {
+            Params.combine_proposal_decision = false;
+            piggyback_on_ack = false;
+            cheap_decision = false;
+          } );
+      ]
+    in
+    if csv then
+      print_endline
+        "variant,latency_ms,throughput,msgs_per_instance,bytes_per_instance";
+    List.iter
+      (fun (name, mono) ->
+        let params = { base with Params.mono } in
+        let r =
+          Experiment.run
+            (Experiment.config ~kind:Replica.Monolithic ~n:3 ~offered_load:3000.0
+               ~size:8192 ~warmup_s:warmup ~measure_s:measure ~seed ~params ())
+        in
+        if csv then
+          Printf.printf "%s,%.3f,%.1f,%.2f,%.0f\n" name
+            r.Experiment.early_latency_ms.Stats.mean r.Experiment.throughput
+            r.Experiment.msgs_per_instance r.Experiment.bytes_per_instance
+        else
+          Fmt.pr "%-24s | lat %7.3f ms | tput %7.1f/s | msgs/inst %5.2f | bytes/inst %8.0f@."
+            name r.Experiment.early_latency_ms.Stats.mean r.Experiment.throughput
+            r.Experiment.msgs_per_instance r.Experiment.bytes_per_instance)
+      variants
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:
+         "Measure the contribution of each monolithic optimization (§4.1, §4.2, §4.3) \
+          by disabling them one at a time (n=3, 8 KiB, saturating load).")
+    Term.(const run $ warmup_arg $ measure_arg $ seed_arg $ csv_arg)
+
+(* ---- dispatch-cost ablation ---- *)
+
+let dispatch_cmd =
+  let run warmup measure seed csv =
+    let costs_us = [ 0; 2; 5; 10; 20; 50 ] in
+    if csv then print_endline "dispatch_us,stack,latency_ms,throughput";
+    List.iter
+      (fun us ->
+        List.iter
+          (fun kind ->
+            let base = Params.default ~n:3 in
+            let params =
+              { base with Params.dispatch_cost = Repro_sim.Time.span_us us }
+            in
+            let r =
+              Experiment.run
+                (Experiment.config ~kind ~n:3 ~offered_load:3000.0 ~size:1024
+                   ~warmup_s:warmup ~measure_s:measure ~seed ~params ())
+            in
+            if csv then
+              Printf.printf "%d,%s,%.3f,%.1f\n" us (kind_name kind)
+                r.Experiment.early_latency_ms.Stats.mean r.Experiment.throughput
+            else
+              Fmt.pr "dispatch %3d us | %-10s | lat %7.3f ms | tput %7.1f/s@." us
+                (kind_name kind) r.Experiment.early_latency_ms.Stats.mean
+                r.Experiment.throughput)
+          both_kinds)
+      costs_us
+  in
+  Cmd.v
+    (Cmd.info "dispatch"
+       ~doc:
+         "Sweep the framework's per-boundary dispatch cost to separate framework \
+          overhead from algorithmic overhead (n=3, 1 KiB, saturating load).")
+    Term.(const run $ warmup_arg $ measure_arg $ seed_arg $ csv_arg)
+
+(* ---- window sweep (flow control → M) ---- *)
+
+let window_cmd =
+  let run warmup measure seed csv =
+    if csv then print_endline "window,stack,mean_batch,latency_ms,throughput";
+    List.iter
+      (fun window ->
+        List.iter
+          (fun kind ->
+            let params = { (Params.default ~n:3) with Params.window } in
+            let r =
+              Experiment.run
+                (Experiment.config ~kind ~n:3 ~offered_load:3000.0 ~size:8192
+                   ~warmup_s:warmup ~measure_s:measure ~seed ~params ())
+            in
+            if csv then
+              Printf.printf "%d,%s,%.2f,%.3f,%.1f\n" window (kind_name kind)
+                r.Experiment.mean_batch r.Experiment.early_latency_ms.Stats.mean
+                r.Experiment.throughput
+            else
+              Fmt.pr "window %2d | %-10s | M %5.2f | lat %7.3f ms | tput %7.1f/s@." window
+                (kind_name kind) r.Experiment.mean_batch
+                r.Experiment.early_latency_ms.Stats.mean r.Experiment.throughput)
+          both_kinds)
+      [ 1; 2; 4; 8; 16 ]
+  in
+  Cmd.v
+    (Cmd.info "window"
+       ~doc:
+         "Sweep the flow-control window to show how it sets the mean consensus batch \
+          size M (the paper fixes M ≈ 4) and the latency/throughput trade-off.")
+    Term.(const run $ warmup_arg $ measure_arg $ seed_arg $ csv_arg)
+
+(* ---- plot: figure data + gnuplot script ---- *)
+
+let plot_cmd =
+  let fig_arg =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"FIGURE" ~doc:"Paper figure number: 8, 9, 10 or 11.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "plots"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Directory for the .dat and .gp files.")
+  in
+  let run fig out warmup measure seed =
+    let results =
+      match fig with
+      | 8 | 10 ->
+        sweep ~kinds:both_kinds ~ns:both_ns ~loads:paper_loads ~sizes:[ 16384 ] ~warmup
+          ~measure ~seed
+      | 9 | 11 ->
+        sweep ~kinds:both_kinds ~ns:both_ns ~loads:[ 2000.0 ] ~sizes:paper_sizes ~warmup
+          ~measure ~seed
+      | other -> Fmt.failwith "unknown figure %d (the paper has figures 8-11)" other
+    in
+    let x_of (r : Experiment.result) =
+      match fig with
+      | 8 | 10 -> r.config.Experiment.offered_load
+      | _ -> float_of_int r.config.Experiment.size
+    in
+    let y_of (r : Experiment.result) =
+      match fig with
+      | 8 | 9 -> r.Experiment.early_latency_ms.Stats.mean
+      | _ -> r.Experiment.throughput
+    in
+    let yerr_of (r : Experiment.result) =
+      match fig with 8 | 9 -> r.Experiment.early_latency_ms.Stats.ci95 | _ -> 0.0
+    in
+    (try Unix.mkdir out 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let series =
+      List.concat_map
+        (fun n ->
+          List.map
+            (fun kind ->
+              let name = Printf.sprintf "fig%d_n%d_%s" fig n (kind_name kind) in
+              let path = Filename.concat out (name ^ ".dat") in
+              let oc = open_out path in
+              List.iter
+                (fun (r : Experiment.result) ->
+                  if r.config.Experiment.n = n && r.config.Experiment.kind = kind then
+                    Printf.fprintf oc "%g %g %g\n" (x_of r) (y_of r) (yerr_of r))
+                results;
+              close_out oc;
+              (name, n, kind))
+            both_kinds)
+        both_ns
+    in
+    let gp = Filename.concat out (Printf.sprintf "fig%d.gp" fig) in
+    let oc = open_out gp in
+    let x_label, y_label, logx =
+      match fig with
+      | 8 -> ("offered load (msgs/sec)", "early latency (msecs)", false)
+      | 9 -> ("message size (bytes)", "early latency (msecs)", true)
+      | 10 -> ("offered load (msgs/sec)", "throughput (msgs/sec)", false)
+      | _ -> ("message size (bytes)", "throughput (msgs/sec)", true)
+    in
+    Printf.fprintf oc "set terminal pngcairo size 900,600\nset output 'fig%d.png'\n" fig;
+    Printf.fprintf oc "set xlabel '%s'\nset ylabel '%s'\nset key top left\n" x_label
+      y_label;
+    if logx then output_string oc "set logscale x 2\n";
+    (* Lines with points; error bars for the latency figures. *)
+    let style = match fig with 8 | 9 -> "yerrorlines" | _ -> "linespoints" in
+    let cols = match fig with 8 | 9 -> "1:2:3" | _ -> "1:2" in
+    let plots =
+      List.map
+        (fun (name, n, kind) ->
+          Printf.sprintf "'%s.dat' using %s title 'group size=%d; %s' with %s" name cols
+            n (kind_name kind) style)
+        series
+    in
+    Printf.fprintf oc "plot %s\n" (String.concat ", \\\n     " plots);
+    close_out oc;
+    Fmt.pr "wrote %d data files and %s (run: gnuplot %s)@." (List.length series) gp gp;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "plot"
+       ~doc:"Regenerate a figure's data as gnuplot-ready .dat files plus a .gp script.")
+    Term.(ret (const run $ fig_arg $ out_arg $ warmup_arg $ measure_arg $ seed_arg))
+
+(* ---- all ---- *)
+
+let all_cmd =
+  let run warmup measure seed csv =
+    List.iter
+      (fun fig ->
+        Fmt.pr "@.== Figure %d ==@." fig;
+        let results =
+          match fig with
+          | 8 | 10 ->
+            sweep ~kinds:both_kinds ~ns:both_ns ~loads:paper_loads ~sizes:[ 16384 ]
+              ~warmup ~measure ~seed
+          | _ ->
+            sweep ~kinds:both_kinds ~ns:both_ns ~loads:[ 2000.0 ] ~sizes:paper_sizes
+              ~warmup ~measure ~seed
+        in
+        emit ~csv results)
+      [ 8; 9; 10; 11 ]
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every figure of the paper in one go.")
+    Term.(const run $ warmup_arg $ measure_arg $ seed_arg $ csv_arg)
+
+let main_cmd =
+  let doc =
+    "Reproduction of 'On the Cost of Modularity in Atomic Broadcast' (DSN 2007): \
+     modular vs monolithic atomic broadcast over a simulated cluster."
+  in
+  Cmd.group
+    (Cmd.info "repro" ~version:"1.0.0" ~doc)
+    [ run_cmd; figure_cmd; plot_cmd; tables_cmd; ablation_cmd; dispatch_cmd; window_cmd; all_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/bank.ml: App_msg Array Fmt Group Hashtbl List Params Pid Replica Repro_core Repro_net Repro_sim Rng Time

@@ -1,0 +1,1 @@
+examples/crash_demo.ml: App_msg Array Engine Fmt Group Heartbeat_fd List Log Params Pid Replica Repro_core Repro_fd Repro_net Repro_sim Sys Time

@@ -1,0 +1,1 @@
+examples/modularity_cost.ml: Experiment Fmt Replica Repro_analysis Repro_core Repro_workload Stats

@@ -1,0 +1,1 @@
+examples/modularity_cost.mli:

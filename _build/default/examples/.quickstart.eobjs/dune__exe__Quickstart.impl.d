@@ -1,0 +1,1 @@
+examples/quickstart.ml: App_msg Engine Fmt Group List Net_stats Params Pid Replica Repro_core Repro_net Repro_sim String Time

@@ -1,0 +1,1 @@
+examples/replicated_kv.ml: App_msg Array Fmt Group Hashtbl List Params Pid Printf Replica Repro_core Repro_net Repro_sim Rng Stdlib String Time

@@ -1,0 +1,1 @@
+examples/replicated_queue.ml: Fmt Group Hashtbl List Params Pid Printf Replica Repro_core Repro_net Repro_sim Rng Smr String Time

@@ -1,0 +1,1 @@
+examples/timeline.ml: App_msg Engine Fmt Group Logs Net_stats Params Pid Replica Repro_core Repro_net Repro_sim Time

@@ -1,0 +1,47 @@
+(* Quickstart: build a 3-process group, atomically broadcast a few
+   messages from different processes, and observe that every process
+   adelivers them in the same total order.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Repro_sim
+open Repro_net
+open Repro_core
+
+let () =
+  (* A group of n = 3 simulated processes running the modular stack
+     (ABcast / Consensus / RBcast composed over the framework). *)
+  let params = Params.default ~n:3 in
+  let group = Group.create ~kind:Replica.Modular ~params () in
+
+  (* Watch every adelivery as it happens, with its virtual timestamp. *)
+  Group.on_delivery group (fun pid m ->
+      Fmt.pr "  %a adeliver %a at %a@." Pid.pp pid App_msg.pp m Time.pp
+        (Engine.now (Group.engine group)));
+
+  (* Each process abcasts two messages. Flow control admits them and the
+     stack diffuses + orders them through consensus. *)
+  Fmt.pr "abcasting 2 messages from each of p1, p2, p3...@.";
+  List.iter
+    (fun p ->
+      Group.abcast group p ~size:512;
+      Group.abcast group p ~size:1024)
+    (Pid.all ~n:3);
+
+  (* Run the simulation until all protocol activity finishes. *)
+  ignore (Group.run_until_quiescent group ~limit:(Time.span_s 10) ());
+
+  (* The point of atomic broadcast: identical delivery order everywhere. *)
+  let order p =
+    Group.deliveries group p |> List.map (Fmt.str "%a" App_msg.pp_id) |> String.concat " "
+  in
+  Fmt.pr "@.delivery order at p1: %s@." (order 0);
+  Fmt.pr "delivery order at p2: %s@." (order 1);
+  Fmt.pr "delivery order at p3: %s@." (order 2);
+  assert (Group.deliveries group 0 = Group.deliveries group 1);
+  assert (Group.deliveries group 1 = Group.deliveries group 2);
+  Fmt.pr "@.total order verified: all three processes delivered identically.@.";
+
+  (* A peek at the cost: wire traffic of the whole run. *)
+  Fmt.pr "network traffic: %a@." Net_stats.pp_snapshot
+    (Net_stats.snapshot (Group.stats group))

@@ -1,0 +1,90 @@
+(* Replicated key-value store: state-machine replication over atomic
+   broadcast — the paper's motivating use case (§1: "atomic broadcast ...
+   allows to maintain replicas consistency by ensuring a total order of
+   message delivery").
+
+   Each process hosts a KV replica. Writes are abcast; every replica
+   applies the identical delivery sequence, so the replicas stay
+   byte-for-byte consistent without any further coordination.
+
+   Run with: dune exec examples/replicated_kv.exe *)
+
+open Repro_sim
+open Repro_net
+open Repro_core
+
+(* The replicated state machine: a string -> int map plus an operation
+   counter. Commands are encoded in message identities: we keep a local
+   table from message id to the command it carries, as a real system would
+   carry the command in the payload. *)
+module Store = struct
+  module Map = Stdlib.Map.Make (String)
+
+  type t = { mutable data : int Map.t; mutable version : int }
+
+  let create () = { data = Map.empty; version = 0 }
+
+  let apply t ~key ~value =
+    t.data <- Map.add key value t.data;
+    t.version <- t.version + 1
+
+  let get t key = Map.find_opt key t.data
+
+  let fingerprint t =
+    Map.fold (fun k v acc -> Hashtbl.hash (acc, k, v)) t.data t.version
+end
+
+type command = { key : string; value : int }
+
+let () =
+  let n = 5 in
+  let params = Params.default ~n in
+  let group = Group.create ~kind:Replica.Monolithic ~params () in
+
+  (* The command log: message identity -> command. In a deployment the
+     command would be the message payload; the simulation models payloads
+     by size only, so we look commands up on delivery. *)
+  let commands : (App_msg.id, command) Hashtbl.t = Hashtbl.create 64 in
+  let stores = Array.init n (fun _ -> Store.create ()) in
+
+  Group.on_delivery group (fun pid m ->
+      match Hashtbl.find_opt commands m.App_msg.id with
+      | Some { key; value } -> Store.apply stores.(pid) ~key ~value
+      | None -> assert false);
+
+  (* Issue writes from every replica: each process writes its own counters
+     and some shared keys, creating write-write conflicts that only a
+     total order resolves consistently. *)
+  let rng = Rng.create ~seed:2024 in
+  let next_seq = Array.make n 0 in
+  let submit origin ~key ~value =
+    let seq = next_seq.(origin) in
+    next_seq.(origin) <- seq + 1;
+    (* The replica assigns ids (origin, seq) in admission order, matching
+       our local numbering because offers from one process are FIFO. *)
+    Hashtbl.replace commands { App_msg.origin; seq } { key; value };
+    Group.abcast group origin ~size:(32 + String.length key)
+  in
+  for round = 0 to 39 do
+    List.iter
+      (fun p ->
+        submit p ~key:(Printf.sprintf "own-%d" p) ~value:round;
+        if Rng.bool rng then submit p ~key:"shared" ~value:((100 * p) + round))
+      (Pid.all ~n)
+  done;
+
+  ignore (Group.run_until_quiescent group ~limit:(Time.span_s 30) ());
+
+  (* Every replica applied every write, in the same order. *)
+  let ops = stores.(0).Store.version in
+  Fmt.pr "applied %d writes on %d replicas@." ops n;
+  Array.iteri
+    (fun i s ->
+      Fmt.pr "  replica %a: version=%d shared=%a fingerprint=%08x@." Pid.pp i
+        s.Store.version
+        Fmt.(option ~none:(any "-") int)
+        (Store.get s "shared") (Store.fingerprint s land 0xffffffff))
+    stores;
+  let f0 = Store.fingerprint stores.(0) in
+  Array.iter (fun s -> assert (Store.fingerprint s = f0)) stores;
+  Fmt.pr "replicas converged: identical state everywhere.@."

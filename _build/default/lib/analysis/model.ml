@@ -1,0 +1,29 @@
+let check_n n = if n < 1 then invalid_arg "Model: n must be >= 1"
+
+let rbcast_messages ~n =
+  check_n n;
+  (n - 1) * ((n + 1) / 2)
+
+let rbcast_classic_messages ~n =
+  check_n n;
+  n * (n - 1)
+
+let modular_messages ~n ~m =
+  check_n n;
+  (n - 1) * (m + 2 + ((n + 1) / 2))
+
+let monolithic_messages ~n =
+  check_n n;
+  2 * (n - 1)
+
+let modular_bytes ~n ~m ~l =
+  check_n n;
+  2 * (n - 1) * m * l
+
+let monolithic_bytes ~n ~m ~l =
+  check_n n;
+  float_of_int ((n - 1) * m * l) *. (1.0 +. (1.0 /. float_of_int n))
+
+let data_overhead ~n =
+  check_n n;
+  float_of_int (n - 1) /. float_of_int (n + 1)

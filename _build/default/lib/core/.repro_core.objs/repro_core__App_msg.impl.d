@@ -1,0 +1,1 @@
+lib/core/app_msg.ml: Fmt Int Pid Repro_net Repro_sim Set Time

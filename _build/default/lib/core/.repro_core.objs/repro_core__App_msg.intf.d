@@ -1,0 +1,1 @@
+lib/core/app_msg.mli: Fmt Pid Repro_net Repro_sim Set Time

@@ -1,0 +1,1 @@
+lib/core/batch.ml: App_msg Fmt List Map

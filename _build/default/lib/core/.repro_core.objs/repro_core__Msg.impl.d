@@ -1,0 +1,1 @@
+lib/core/msg.ml: App_msg Batch Fmt List Pid Repro_net

@@ -1,0 +1,1 @@
+lib/core/msg.mli: App_msg Batch Fmt Pid Repro_net

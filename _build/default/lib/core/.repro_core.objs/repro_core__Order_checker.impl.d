@@ -1,0 +1,1 @@
+lib/core/order_checker.ml: App_msg Array Fmt Group Hashtbl List Pid Repro_net

@@ -1,0 +1,1 @@
+lib/core/order_checker.mli: App_msg Fmt Group Pid Repro_net

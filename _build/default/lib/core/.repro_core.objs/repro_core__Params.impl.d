@@ -1,0 +1,1 @@
+lib/core/params.ml: Repro_net Repro_sim Time Topology Wire

@@ -1,0 +1,1 @@
+lib/core/params.mli: Pid Repro_net Repro_sim Time Topology Wire

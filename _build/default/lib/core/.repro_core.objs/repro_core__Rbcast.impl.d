@@ -1,0 +1,1 @@
+lib/core/rbcast.ml: List Msg Params Pid Repro_net Set

@@ -1,0 +1,1 @@
+lib/core/rbcast.mli: Msg Params Pid Repro_net

@@ -1,0 +1,1 @@
+lib/core/smr.ml: App_msg Array Group Hashtbl Params

@@ -1,0 +1,1 @@
+lib/core/wire_msg.ml: Msg Rchannel Repro_net

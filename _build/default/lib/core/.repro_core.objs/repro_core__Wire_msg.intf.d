@@ -1,0 +1,1 @@
+lib/core/wire_msg.mli: Msg Rchannel Repro_net

@@ -1,0 +1,198 @@
+open Repro_sim
+open Repro_net
+
+module L = (val Logs.src_log Log.abcast)
+
+type consensus_service = { propose : inst:int -> Batch.t -> unit }
+
+module Id_tbl = Hashtbl.Make (struct
+  type t = App_msg.id
+
+  let equal = App_msg.equal_id
+  let hash (id : App_msg.id) = Hashtbl.hash (id.App_msg.origin, id.App_msg.seq)
+end)
+
+type t = {
+  engine : Engine.t;
+  params : Params.t;
+  me : Pid.t;
+  diffuse : App_msg.t -> unit;
+  send : dst:Pid.t -> Msg.t -> unit;
+  broadcast : Msg.t -> unit;
+  consensus : consensus_service;
+  on_adeliver : App_msg.t -> unit;
+  payloads : App_msg.t Id_tbl.t; (* everything diffused to us, incl. own *)
+  mutable delivered : App_msg.Id_set.t;
+  mutable pending : App_msg.Id_set.t; (* ids known but not yet ordered *)
+  mutable ordered : App_msg.Id_set.t; (* ids in buffered decisions, undelivered *)
+  mutable next_decide : int;
+  mutable proposed_up_to : int;
+  decisions : (int, Batch.t) Hashtbl.t;
+  mutable delivered_count : int;
+  mutable fetch_timer : Engine.timer option;
+}
+
+(* An identifier travels as a zero-size message: the wire model then
+   prices it at exactly the 12 identifier bytes. *)
+let id_only (id : App_msg.id) =
+  App_msg.make ~origin:id.App_msg.origin ~seq:id.App_msg.seq ~size:0
+    ~abcast_at:Time.zero
+
+let create ~engine ~params ~me ~diffuse ~send ~broadcast ~consensus ~on_adeliver () =
+  {
+    engine;
+    params;
+    me;
+    diffuse;
+    send;
+    broadcast;
+    consensus;
+    on_adeliver;
+    payloads = Id_tbl.create 1024;
+    delivered = App_msg.Id_set.empty;
+    pending = App_msg.Id_set.empty;
+    ordered = App_msg.Id_set.empty;
+    next_decide = 0;
+    proposed_up_to = -1;
+    decisions = Hashtbl.create 16;
+    delivered_count = 0;
+    fetch_timer = None;
+  }
+
+let maybe_propose t =
+  if t.proposed_up_to < t.next_decide && not (App_msg.Id_set.is_empty t.pending) then begin
+    let ids =
+      App_msg.Id_set.elements t.pending
+      |> List.filteri (fun i _ -> i < t.params.Params.batch_cap)
+    in
+    t.proposed_up_to <- t.next_decide;
+    L.debug (fun m ->
+        m "%a propose instance %d (%d ids, indirect)" Pid.pp t.me t.next_decide
+          (List.length ids));
+    t.consensus.propose ~inst:t.next_decide (Batch.of_list (List.map id_only ids))
+  end
+
+let missing_payloads t batch =
+  List.filter_map
+    (fun (m : App_msg.t) ->
+      if Id_tbl.mem t.payloads m.id || App_msg.Id_set.mem m.id t.delivered then None
+      else Some m.id)
+    (Batch.to_list batch)
+
+let cancel_fetch t =
+  match t.fetch_timer with
+  | Some timer ->
+    Engine.cancel t.engine timer;
+    t.fetch_timer <- None
+  | None -> ()
+
+let rec arm_fetch t ids =
+  cancel_fetch t;
+  (* Grace period: the diffusion is usually just in flight. Ask everyone if
+     it does not show up, and keep asking — the request or the answer may
+     race a crash. If every process holding a decided payload is faulty,
+     delivery blocks (consistently, at every correct process): the same
+     hazard class as the §3.3 plain-channel optimization; [12] avoids it by
+     diffusing reliably before proposing. *)
+  t.fetch_timer <-
+    Some
+      (Engine.schedule_after t.engine (Time.span_ms 20) (fun () ->
+           t.fetch_timer <- None;
+           let still_missing =
+             List.filter (fun id -> not (Id_tbl.mem t.payloads id)) ids
+           in
+           if still_missing <> [] then begin
+             L.debug (fun m ->
+                 m "%a fetch %d missing payloads" Pid.pp t.me (List.length still_missing));
+             t.broadcast (Msg.Payload_request { ids = still_missing });
+             arm_fetch t still_missing
+           end))
+
+let adeliver_batch t batch =
+  List.iter
+    (fun (m : App_msg.t) ->
+      if not (App_msg.Id_set.mem m.id t.delivered) then begin
+        match Id_tbl.find_opt t.payloads m.id with
+        | Some payload ->
+          t.delivered <- App_msg.Id_set.add m.id t.delivered;
+          t.ordered <- App_msg.Id_set.remove m.id t.ordered;
+          t.delivered_count <- t.delivered_count + 1;
+          t.on_adeliver payload
+        | None ->
+          (* Unreachable: the caller checked [missing_payloads] first. *)
+          assert false
+      end)
+    (Batch.to_list batch);
+  t.pending <-
+    App_msg.Id_set.filter
+      (fun id -> not (App_msg.Id_set.mem id t.delivered))
+      t.pending
+
+let rec drain t =
+  match Hashtbl.find_opt t.decisions t.next_decide with
+  | None -> ()
+  | Some batch -> (
+    match missing_payloads t batch with
+    | [] ->
+      Hashtbl.remove t.decisions t.next_decide;
+      cancel_fetch t;
+      L.debug (fun m ->
+          m "%a adeliver instance %d (%d msgs, indirect)" Pid.pp t.me t.next_decide
+            (Batch.size batch));
+      adeliver_batch t batch;
+      t.next_decide <- t.next_decide + 1;
+      drain t
+    | missing -> if t.fetch_timer = None then arm_fetch t missing)
+
+let note_payload t (m : App_msg.t) =
+  if not (Id_tbl.mem t.payloads m.id) then begin
+    Id_tbl.replace t.payloads m.id m;
+    if
+      (not (App_msg.Id_set.mem m.id t.delivered))
+      && not (App_msg.Id_set.mem m.id t.ordered)
+    then t.pending <- App_msg.Id_set.add m.id t.pending;
+    (* A blocked decision may now be complete. *)
+    drain t;
+    maybe_propose t
+  end
+
+let abcast t m =
+  if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
+    note_payload t m;
+    t.diffuse m;
+    maybe_propose t
+  end
+
+let on_diffuse t m = note_payload t m
+
+let on_payload_request t ~src ids =
+  List.iter
+    (fun id ->
+      match Id_tbl.find_opt t.payloads id with
+      | Some m -> t.send ~dst:src (Msg.Payload_push m)
+      | None -> ())
+    ids
+
+let on_payload_push t m = note_payload t m
+
+let on_decide t ~inst batch =
+  if inst >= t.next_decide && not (Hashtbl.mem t.decisions inst) then begin
+    Hashtbl.replace t.decisions inst batch;
+    (* The decided identifiers are ordered now; never re-propose them. *)
+    List.iter
+      (fun (m : App_msg.t) ->
+        t.pending <- App_msg.Id_set.remove m.id t.pending;
+        if not (App_msg.Id_set.mem m.id t.delivered) then
+          t.ordered <- App_msg.Id_set.add m.id t.ordered)
+      (Batch.to_list batch);
+    drain t;
+    maybe_propose t
+  end
+
+let next_instance t = t.next_decide
+let delivered_count t = t.delivered_count
+
+let blocked_on_payloads t =
+  match Hashtbl.find_opt t.decisions t.next_decide with
+  | Some batch -> List.length (missing_payloads t batch)
+  | None -> 0

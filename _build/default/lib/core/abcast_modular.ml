@@ -1,0 +1,100 @@
+module L = (val Logs.src_log Log.abcast)
+
+type consensus_service = { propose : inst:int -> Batch.t -> unit }
+
+type t = {
+  params : Params.t;
+  me : Repro_net.Pid.t;
+  diffuse : App_msg.t -> unit;
+  consensus : consensus_service;
+  on_adeliver : App_msg.t -> unit;
+  mutable delivered : App_msg.Id_set.t;
+  mutable pending : Batch.t;
+  mutable next_decide : int; (* next instance to adeliver *)
+  mutable proposed_up_to : int; (* highest instance proposed locally *)
+  decisions : (int, Batch.t) Hashtbl.t; (* buffered out-of-order decisions *)
+  mutable delivered_count : int;
+}
+
+let create ~params ~me ~diffuse ~consensus ~on_adeliver () =
+  {
+    params;
+    me;
+    diffuse;
+    consensus;
+    on_adeliver;
+    delivered = App_msg.Id_set.empty;
+    pending = Batch.empty;
+    next_decide = 0;
+    proposed_up_to = -1;
+    decisions = Hashtbl.create 16;
+    delivered_count = 0;
+  }
+
+(* Propose the pending batch for the next undecided instance — at most one
+   outstanding proposal, renewed as soon as the previous instance decides
+   (the Fig. 5 pipeline). *)
+let maybe_propose t =
+  if t.proposed_up_to < t.next_decide && not (Batch.is_empty t.pending) then begin
+    let batch =
+      let msgs = Batch.to_list t.pending in
+      let rec take acc k = function
+        | m :: rest when k > 0 -> take (m :: acc) (k - 1) rest
+        | _ -> acc
+      in
+      Batch.of_list (take [] t.params.Params.batch_cap msgs)
+    in
+    t.proposed_up_to <- t.next_decide;
+    L.debug (fun m ->
+        m "%a propose instance %d (%d msgs, %d pending)" Repro_net.Pid.pp t.me
+          t.next_decide (Batch.size batch) (Batch.size t.pending));
+    t.consensus.propose ~inst:t.next_decide batch
+  end
+
+let adeliver_batch t batch =
+  List.iter
+    (fun m ->
+      (* Integrity guard: a message appears in the total order once. *)
+      if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
+        t.delivered <- App_msg.Id_set.add m.App_msg.id t.delivered;
+        t.delivered_count <- t.delivered_count + 1;
+        t.on_adeliver m
+      end)
+    (Batch.to_list batch);
+  t.pending <- Batch.remove_ids t.pending (Batch.ids batch)
+
+let rec drain t =
+  match Hashtbl.find_opt t.decisions t.next_decide with
+  | Some batch ->
+    Hashtbl.remove t.decisions t.next_decide;
+    L.debug (fun m ->
+        m "%a adeliver instance %d (%d msgs)" Repro_net.Pid.pp t.me t.next_decide
+          (Batch.size batch));
+    adeliver_batch t batch;
+    t.next_decide <- t.next_decide + 1;
+    drain t
+  | None -> ()
+
+let abcast t m =
+  if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
+    t.pending <- Batch.add t.pending m;
+    t.diffuse m;
+    maybe_propose t
+  end
+
+let on_diffuse t m =
+  if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
+    t.pending <- Batch.add t.pending m;
+    maybe_propose t
+  end
+
+let on_decide t ~inst batch =
+  if inst >= t.next_decide && not (Hashtbl.mem t.decisions inst) then begin
+    Hashtbl.replace t.decisions inst batch;
+    drain t;
+    maybe_propose t
+  end
+
+let next_instance t = t.next_decide
+let delivered_count t = t.delivered_count
+let pending_count t = Batch.size t.pending

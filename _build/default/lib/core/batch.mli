@@ -1,0 +1,40 @@
+(** Batches of application messages — the values decided by consensus.
+
+    The atomic broadcast reduction (§3.3) runs consensus on {e sets} of
+    unordered messages; a decided batch is then adelivered "in some
+    deterministic order". We keep batches sorted by message identity, which
+    makes them canonical: two batches with the same messages are equal, and
+    delivery order is determined by the batch alone. *)
+
+type t
+(** A canonical (sorted, duplicate-free) batch. *)
+
+val empty : t
+val is_empty : t -> bool
+
+val of_list : App_msg.t list -> t
+(** Sorts and deduplicates (by identity). *)
+
+val to_list : t -> App_msg.t list
+(** Ascending identity order — the adelivery order. *)
+
+val size : t -> int
+(** Number of messages (the paper's per-consensus [M]). *)
+
+val payload_bytes : t -> int
+(** Sum of the payload sizes of all messages. *)
+
+val mem : t -> App_msg.id -> bool
+val add : t -> App_msg.t -> t
+val union : t -> t -> t
+
+val remove_ids : t -> App_msg.Id_set.t -> t
+(** Drop all messages whose identity is in the set. *)
+
+val ids : t -> App_msg.Id_set.t
+
+val equal : t -> t -> bool
+(** Same message identities. *)
+
+val pp : t Fmt.t
+(** Prints [{p1#0, p2#3}]. *)

@@ -1,0 +1,302 @@
+open Repro_sim
+open Repro_net
+open Repro_fd
+
+type inst_state = {
+  inst : int;
+  mutable round : int;
+  mutable estimate : Batch.t option;
+  mutable ts : int;
+  mutable started : bool;
+  proposals : (int * Pid.t, Batch.t) Hashtbl.t;
+  mutable acked_rounds : int list; (* rounds answered with ack OR nack *)
+  acks : (int, Pid.t list ref) Hashtbl.t;
+  estimates : (int, (Pid.t * (int * Batch.t)) list ref) Hashtbl.t;
+  mutable proposed_rounds : int list;
+  mutable decided : Batch.t option;
+  mutable pending_requesters : Pid.t list;
+  mutable progress_timer : Engine.timer option;
+}
+
+type t = {
+  engine : Engine.t;
+  params : Params.t;
+  me : Pid.t;
+  fd : Fd.t;
+  send : dst:Pid.t -> Msg.t -> unit;
+  broadcast : Msg.t -> unit;
+  rbcast_decision : inst:int -> round:int -> value:Batch.t option -> unit;
+  on_decide : inst:int -> Batch.t -> unit;
+  instances : (int, inst_state) Hashtbl.t;
+}
+
+let coord t ~round = Params.coordinator t.params ~round
+
+let next_unsuspected_round t ~from =
+  let rec scan r tries =
+    if tries = 0 then from
+    else if Fd.is_suspected t.fd (coord t ~round:r) then scan (r + 1) (tries - 1)
+    else r
+  in
+  scan from t.params.Params.n
+
+let state t inst =
+  match Hashtbl.find_opt t.instances inst with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        inst;
+        round = 0; (* becomes 1 on the first [enter_round] *)
+        estimate = None;
+        ts = 0;
+        started = false;
+        proposals = Hashtbl.create 4;
+        acked_rounds = [];
+        acks = Hashtbl.create 4;
+        estimates = Hashtbl.create 4;
+        proposed_rounds = [];
+        decided = None;
+        pending_requesters = [];
+        progress_timer = None;
+      }
+    in
+    Hashtbl.add t.instances inst s;
+    s
+
+let cancel_timer t slot =
+  match slot with Some timer -> Engine.cancel t.engine timer | None -> ()
+
+let decide t s value =
+  match s.decided with
+  | Some _ -> ()
+  | None ->
+    s.decided <- Some value;
+    cancel_timer t s.progress_timer;
+    s.progress_timer <- None;
+    List.iter
+      (fun q -> t.send ~dst:q (Msg.Decision_full { inst = s.inst; value }))
+      s.pending_requesters;
+    s.pending_requesters <- [];
+    t.on_decide ~inst:s.inst value
+
+let reply_decision t s ~dst =
+  match s.decided with
+  | Some value -> t.send ~dst (Msg.Decision_full { inst = s.inst; value })
+  | None -> ()
+
+let record_estimate s ~round ~src ~ts ~value =
+  match Hashtbl.find_opt s.estimates round with
+  | Some slot -> if not (List.mem_assoc src !slot) then slot := (src, (ts, value)) :: !slot
+  | None -> Hashtbl.add s.estimates round (ref [ (src, (ts, value)) ])
+
+let choose_estimate ests =
+  let better (p1, (ts1, v1)) (p2, (ts2, v2)) =
+    if ts1 <> ts2 then ts1 > ts2
+    else if Batch.size v1 <> Batch.size v2 then Batch.size v1 > Batch.size v2
+    else p1 < p2
+  in
+  match ests with
+  | [] -> None
+  | first :: rest ->
+    let _, (_, v) =
+      List.fold_left (fun best e -> if better e best then e else best) first rest
+    in
+    Some v
+
+(* Phase 2: the round's coordinator proposes once it holds a majority of
+   estimates (its own included). *)
+let rec try_propose t s ~round =
+  if
+    s.decided = None
+    && coord t ~round = t.me
+    && not (List.mem round s.proposed_rounds)
+  then begin
+    let ests =
+      match Hashtbl.find_opt s.estimates round with Some slot -> !slot | None -> []
+    in
+    if List.length ests >= Params.majority t.params then
+      match choose_estimate ests with
+      | None -> ()
+      | Some value ->
+        s.proposed_rounds <- round :: s.proposed_rounds;
+        Hashtbl.replace s.proposals (round, t.me) value;
+        s.estimate <- Some value;
+        s.ts <- round;
+        Hashtbl.replace s.acks round (ref [ t.me ]);
+        t.broadcast (Msg.Propose { inst = s.inst; round; value });
+        check_majority t s ~round
+  end
+
+and check_majority t s ~round =
+  if s.decided = None && List.mem round s.proposed_rounds then
+    match Hashtbl.find_opt s.acks round with
+    | Some slot when List.length !slot >= Params.majority t.params -> begin
+      match Hashtbl.find_opt s.proposals (round, t.me) with
+      | Some value ->
+        (* Classical: the full decided value is reliably broadcast; the
+           local decision arrives through the rbcast local delivery. *)
+        t.rbcast_decision ~inst:s.inst ~round ~value:(Some value)
+      | None -> ()
+    end
+    | Some _ | None -> ()
+
+(* Phase 1: enter a round and send the estimate to its coordinator. *)
+and enter_round t s ~round =
+  if s.decided = None && round > s.round then begin
+    let round = next_unsuspected_round t ~from:round in
+    s.round <- round;
+    if s.estimate = None then s.estimate <- Some Batch.empty;
+    (match s.estimate with
+    | Some value ->
+      let c = coord t ~round in
+      record_estimate s ~round ~src:t.me ~ts:s.ts ~value;
+      if c <> t.me then
+        t.send ~dst:c (Msg.Estimate { inst = s.inst; round; value; ts = s.ts })
+      else try_propose t s ~round
+    | None -> ());
+    arm_progress_timer t s
+  end
+
+(* Phase 3 refusal: suspect the coordinator, nack, move on. *)
+and nack_and_advance t s =
+  if s.decided = None && s.round >= 1 && not (List.mem s.round s.acked_rounds) then begin
+    s.acked_rounds <- s.round :: s.acked_rounds;
+    t.send ~dst:(coord t ~round:s.round) (Msg.Nack { inst = s.inst; round = s.round });
+    enter_round t s ~round:(s.round + 1)
+  end
+
+and arm_progress_timer t s =
+  cancel_timer t s.progress_timer;
+  s.progress_timer <-
+    Some
+      (Engine.schedule_after t.engine t.params.Params.round1_kick (fun () ->
+           if s.decided = None && (s.started || s.estimate <> None) then
+             if List.mem s.round s.acked_rounds then enter_round t s ~round:(s.round + 1)
+             else nack_and_advance t s))
+
+(* ---- Entry points ---- *)
+
+let propose t ~inst value =
+  let s = state t inst in
+  if s.decided = None && not s.started then begin
+    s.started <- true;
+    if s.estimate = None then s.estimate <- Some value;
+    if s.round = 0 then enter_round t s ~round:1
+  end
+
+let handle_estimate t s ~src ~round ~ts ~value =
+  if s.decided <> None then reply_decision t s ~dst:src
+  else begin
+    record_estimate s ~round ~src ~ts ~value;
+    (* Participation: an estimate reveals a running instance. *)
+    if s.estimate = None then s.estimate <- Some value;
+    if s.round = 0 then enter_round t s ~round:1;
+    if coord t ~round = t.me then try_propose t s ~round
+  end
+
+let handle_propose t s ~src ~round ~value =
+  if s.decided <> None then reply_decision t s ~dst:src
+  else if src = coord t ~round && not (List.mem round s.acked_rounds) && round >= s.round
+  then begin
+    if s.round = 0 then s.round <- round;
+    if round > s.round then s.round <- round;
+    Hashtbl.replace s.proposals (round, src) value;
+    s.acked_rounds <- round :: s.acked_rounds;
+    if Fd.is_suspected t.fd src then begin
+      t.send ~dst:src (Msg.Nack { inst = s.inst; round });
+      enter_round t s ~round:(round + 1)
+    end
+    else begin
+      s.estimate <- Some value;
+      s.ts <- round;
+      t.send ~dst:src (Msg.Ack { inst = s.inst; round });
+      (* Classical cycling: the next round starts immediately. *)
+      enter_round t s ~round:(round + 1)
+    end
+  end
+
+let handle_ack t s ~src ~round =
+  if s.decided = None && coord t ~round = t.me then begin
+    (match Hashtbl.find_opt s.acks round with
+    | Some slot -> if not (List.mem src !slot) then slot := src :: !slot
+    | None -> Hashtbl.add s.acks round (ref [ src ]));
+    check_majority t s ~round
+  end
+
+let handle_decision_request t s ~src =
+  match s.decided with
+  | Some value -> t.send ~dst:src (Msg.Decision_full { inst = s.inst; value })
+  | None ->
+    if not (List.mem src s.pending_requesters) then
+      s.pending_requesters <- src :: s.pending_requesters
+
+let on_suspicion t suspect =
+  Hashtbl.iter
+    (fun _ s ->
+      if
+        s.decided = None && s.round >= 1
+        && coord t ~round:s.round = suspect
+        && not (List.mem s.round s.acked_rounds)
+      then nack_and_advance t s)
+    t.instances
+
+let receive t ~src msg =
+  match msg with
+  | Msg.Estimate { inst; round; value; ts } ->
+    handle_estimate t (state t inst) ~src ~round ~ts ~value
+  | Msg.Propose { inst; round; value } ->
+    handle_propose t (state t inst) ~src ~round ~value
+  | Msg.Ack { inst; round } -> handle_ack t (state t inst) ~src ~round
+  | Msg.Nack _ ->
+    (* In the event-driven rendering the coordinator never blocks on a
+       majority of replies, so a nack needs no action; it exists to match
+       the classical protocol's message pattern. *)
+    ()
+  | Msg.Decision_request { inst } -> handle_decision_request t (state t inst) ~src
+  | Msg.Decision_full { inst; value } ->
+    let s = state t inst in
+    if s.decided = None then decide t s value
+  | Msg.New_round { inst; round } ->
+    (* Solicitations are an optimized-variant mechanism; treat as a hint to
+       catch up. *)
+    let s = state t inst in
+    if s.decided = None && round > s.round then enter_round t s ~round
+  | Msg.Heartbeat | Msg.Diffuse _ | Msg.Decision_tag _ | Msg.Prop_dec _ | Msg.Ack_diff _
+  | Msg.Mono_estimate _ | Msg.Mono_decision_tag _ | Msg.To_coord _
+  | Msg.Payload_request _ | Msg.Payload_push _ ->
+    ()
+
+let rb_deliver t ~proposer ~inst ~round ~value =
+  let s = state t inst in
+  if s.decided = None then
+    match value with
+    | Some v -> decide t s v
+    | None -> begin
+      match Hashtbl.find_opt s.proposals (round, proposer) with
+      | Some v -> decide t s v
+      | None -> t.broadcast (Msg.Decision_request { inst })
+    end
+
+let create ~engine ~params ~me ~fd ~send ~broadcast ~rbcast_decision ~on_decide () =
+  let t =
+    {
+      engine;
+      params;
+      me;
+      fd;
+      send;
+      broadcast;
+      rbcast_decision;
+      on_decide;
+      instances = Hashtbl.create 64;
+    }
+  in
+  Fd.on_suspect fd (fun suspect -> on_suspicion t suspect);
+  t
+
+let decision t ~inst =
+  match Hashtbl.find_opt t.instances inst with Some s -> s.decided | None -> None
+
+let rounds_used t ~inst =
+  match Hashtbl.find_opt t.instances inst with Some s -> s.round | None -> 0

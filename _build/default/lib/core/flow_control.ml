@@ -1,0 +1,24 @@
+type t = {
+  window : int;
+  mutable in_flight : int;
+  mutable on_space : unit -> unit;
+}
+
+let create ~window =
+  if window < 1 then invalid_arg "Flow_control.create: window must be >= 1";
+  { window; in_flight = 0; on_space = ignore }
+
+let has_room t = t.in_flight < t.window
+
+let acquire t =
+  if not (has_room t) then invalid_arg "Flow_control.acquire: window full";
+  t.in_flight <- t.in_flight + 1
+
+let release t =
+  if t.in_flight > 0 then begin
+    t.in_flight <- t.in_flight - 1;
+    t.on_space ()
+  end
+
+let in_flight t = t.in_flight
+let set_on_space t f = t.on_space <- f

@@ -1,0 +1,112 @@
+open Repro_sim
+open Repro_net
+
+type latency_record = {
+  id : App_msg.id;
+  size : int;
+  abcast_at : Time.t;
+  first_delivery : Time.t;
+}
+
+module Id_tbl = Hashtbl.Make (struct
+  type t = App_msg.id
+
+  let equal = App_msg.equal_id
+  let hash (id : App_msg.id) = Hashtbl.hash (id.App_msg.origin, id.App_msg.seq)
+end)
+
+type t = {
+  engine : Engine.t;
+  network : Wire_msg.t Network.t;
+  params : Params.t;
+  mutable replicas : Replica.t array;
+  seen : unit Id_tbl.t; (* ids already seen delivered somewhere *)
+  mutable rev_latencies : latency_record list;
+  mutable observers : (Pid.t -> App_msg.t -> unit) list;
+}
+
+let handle_delivery t pid m =
+  if not (Id_tbl.mem t.seen m.App_msg.id) then begin
+    Id_tbl.add t.seen m.App_msg.id ();
+    t.rev_latencies <-
+      {
+        id = m.App_msg.id;
+        size = m.App_msg.size;
+        abcast_at = m.App_msg.abcast_at;
+        first_delivery = Engine.now t.engine;
+      }
+      :: t.rev_latencies
+  end;
+  List.iter (fun f -> f pid m) t.observers
+
+let create ~kind ~params ?(fd_mode = `Good_run) ?(record_deliveries = true) () =
+  let engine = Engine.create ~seed:params.Params.seed () in
+  let network =
+    Network.create engine ~wire:params.Params.wire ?topology:params.Params.topology
+      ~kind_of:Wire_msg.kind ~n:params.Params.n ~payload_bytes:Wire_msg.payload_bytes ()
+  in
+  (match params.Params.transport with
+  | Params.Lossy p -> Network.set_loss_rate network p
+  | Params.Tcp_like -> ());
+  let t =
+    {
+      engine;
+      network;
+      params;
+      replicas = [||];
+      seen = Id_tbl.create 4096;
+      rev_latencies = [];
+      observers = [];
+    }
+  in
+  t.replicas <-
+    Array.init params.Params.n (fun pid ->
+        Replica.create ~kind ~params ~net:network ~me:pid ~fd_mode ~record_deliveries
+          ~on_adeliver:(fun m -> handle_delivery t pid m)
+          ());
+  t
+
+let engine t = t.engine
+let network t = t.network
+let params t = t.params
+let replica t pid = t.replicas.(pid)
+let abcast t pid ~size = Replica.abcast t.replicas.(pid) ~size
+let run_for t span = Engine.run_until t.engine (Time.add (Engine.now t.engine) span)
+
+let run_until_quiescent t ?limit () =
+  match limit with
+  | None ->
+    Engine.run t.engine;
+    true
+  | Some span ->
+    let deadline = Time.add (Engine.now t.engine) span in
+    let rec loop () =
+      if Engine.pending t.engine = 0 then true
+      else if Time.(Engine.now t.engine >= deadline) then false
+      else begin
+        ignore (Engine.step t.engine);
+        loop ()
+      end
+    in
+    loop ()
+
+let crash t pid = Replica.crash t.replicas.(pid)
+let deliveries t pid = Replica.deliveries t.replicas.(pid)
+let delivered_counts t = Array.map Replica.delivered_count t.replicas
+
+let total_admitted t =
+  Array.fold_left (fun acc r -> acc + Replica.admitted r) 0 t.replicas
+
+let latencies t =
+  List.sort
+    (fun a b -> Time.compare a.first_delivery b.first_delivery)
+    (List.rev t.rev_latencies)
+
+let on_delivery t f = t.observers <- t.observers @ [ f ]
+let stats t = Network.stats t.network
+
+let mean_batch_size t =
+  let r = t.replicas.(0) in
+  let instances = Replica.instances_decided r in
+  if instances = 0 then 0.0
+  else float_of_int (Replica.delivered_count r) /. float_of_int instances

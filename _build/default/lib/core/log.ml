@@ -1,0 +1,8 @@
+let consensus = Logs.Src.create "repro.consensus" ~doc:"Chandra-Toueg consensus rounds"
+let abcast = Logs.Src.create "repro.abcast" ~doc:"modular atomic broadcast"
+let mono = Logs.Src.create "repro.mono" ~doc:"monolithic atomic broadcast"
+let rbcast = Logs.Src.create "repro.rbcast" ~doc:"reliable broadcast"
+
+let setup ?(level = Logs.Debug) () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some level)

@@ -1,0 +1,24 @@
+(** Log sources of the protocol stack.
+
+    One {!Logs} source per module, so verbosity can be tuned per layer
+    (e.g. debug the consensus rounds while keeping abcast quiet). All
+    protocol logging is at [debug] level — silent by default and free of
+    cost beyond a level check. [setup] installs a simple stderr reporter
+    for executables and examples. *)
+
+val consensus : Logs.src
+(** Rounds, proposals, decisions, suspicions ("repro.consensus"). *)
+
+val abcast : Logs.src
+(** Instance lifecycle and deliveries of the modular stack
+    ("repro.abcast"). *)
+
+val mono : Logs.src
+(** The monolithic stack ("repro.mono"). *)
+
+val rbcast : Logs.src
+(** Reliable broadcast relays ("repro.rbcast"). *)
+
+val setup : ?level:Logs.level -> unit -> unit
+(** Install a stderr reporter and set the global level (default [Debug]).
+    Call once from an executable; libraries never call this. *)

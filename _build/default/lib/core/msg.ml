@@ -1,0 +1,121 @@
+open Repro_net
+
+type rb_meta = { rb_origin : Pid.t; rb_seq : int }
+
+type t =
+  | Heartbeat
+  | Diffuse of App_msg.t
+  | Estimate of { inst : int; round : int; value : Batch.t; ts : int }
+  | Propose of { inst : int; round : int; value : Batch.t }
+  | Ack of { inst : int; round : int }
+  | Nack of { inst : int; round : int }
+  | Decision_tag of { meta : rb_meta; inst : int; round : int; value : Batch.t option }
+  | New_round of { inst : int; round : int }
+  | Prop_dec of {
+      inst : int;
+      round : int;
+      proposal : Batch.t;
+      decided : (int * int) option;
+    }
+  | Ack_diff of { inst : int; round : int; piggyback : App_msg.t list }
+  | Mono_estimate of {
+      inst : int;
+      round : int;
+      value : Batch.t;
+      ts : int;
+      piggyback : App_msg.t list;
+    }
+  | Mono_decision_tag of { inst : int; round : int }
+  | To_coord of App_msg.t
+  | Payload_request of { ids : App_msg.id list }
+  | Payload_push of App_msg.t
+  | Decision_request of { inst : int }
+  | Decision_full of { inst : int; value : Batch.t }
+
+(* Serialization model: a small per-constructor header (message type,
+   instance, round, counts) plus the bytes of every application message
+   carried. An application message costs its payload size plus a 12-byte
+   identity (origin + sequence). These constants match the paper's
+   assumption that fixed-size messages (acks, tags) are negligible next to
+   payload-bearing ones. *)
+
+let header = 12
+let app_id_bytes = 12
+let app_msg_bytes (m : App_msg.t) = app_id_bytes + m.size
+let list_bytes l = List.fold_left (fun acc m -> acc + app_msg_bytes m) 0 l
+let batch_bytes b = list_bytes (Batch.to_list b)
+
+let payload_bytes = function
+  | Heartbeat -> 8
+  | Diffuse m -> header + app_msg_bytes m
+  | Estimate { value; _ } -> header + 8 + batch_bytes value
+  | Propose { value; _ } -> header + batch_bytes value
+  | Ack _ | Nack _ -> header
+  | Decision_tag { value; _ } ->
+    header + 8 + (match value with Some b -> batch_bytes b | None -> 0)
+  | New_round _ -> header
+  | Prop_dec { proposal; decided; _ } ->
+    header + (match decided with Some _ -> 8 | None -> 0) + batch_bytes proposal
+  | Ack_diff { piggyback; _ } -> header + list_bytes piggyback
+  | Mono_estimate { value; piggyback; _ } ->
+    header + 8 + batch_bytes value + list_bytes piggyback
+  | Mono_decision_tag _ -> header
+  | To_coord m -> header + app_msg_bytes m
+  | Payload_request { ids } -> header + (app_id_bytes * List.length ids)
+  | Payload_push m -> header + app_msg_bytes m
+  | Decision_request _ -> header
+  | Decision_full { value; _ } -> header + batch_bytes value
+
+let kind = function
+  | Heartbeat -> "heartbeat"
+  | Diffuse _ -> "diffuse"
+  | Estimate _ -> "estimate"
+  | Propose _ -> "propose"
+  | Ack _ -> "ack"
+  | Nack _ -> "nack"
+  | Decision_tag _ -> "decision-tag"
+  | New_round _ -> "new-round"
+  | Prop_dec _ -> "prop-dec"
+  | Ack_diff _ -> "ack-diff"
+  | Mono_estimate _ -> "mono-estimate"
+  | Mono_decision_tag _ -> "mono-decision-tag"
+  | To_coord _ -> "to-coord"
+  | Payload_request _ -> "payload-request"
+  | Payload_push _ -> "payload-push"
+  | Decision_request _ -> "decision-request"
+  | Decision_full _ -> "decision-full"
+
+let pp ppf = function
+  | Heartbeat -> Fmt.string ppf "heartbeat"
+  | Diffuse m -> Fmt.pf ppf "diffuse %a" App_msg.pp m
+  | Estimate { inst; round; value; ts } ->
+    Fmt.pf ppf "estimate i%d r%d ts%d %a" inst round ts Batch.pp value
+  | Propose { inst; round; value } ->
+    Fmt.pf ppf "propose i%d r%d %a" inst round Batch.pp value
+  | Ack { inst; round } -> Fmt.pf ppf "ack i%d r%d" inst round
+  | Nack { inst; round } -> Fmt.pf ppf "nack i%d r%d" inst round
+  | Decision_tag { meta; inst; round; value } ->
+    Fmt.pf ppf "decision-tag i%d r%d (rb %a/%d)%a" inst round Pid.pp meta.rb_origin
+      meta.rb_seq
+      (Fmt.option (fun ppf b -> Fmt.pf ppf " %a" Batch.pp b))
+      value
+  | New_round { inst; round } -> Fmt.pf ppf "new-round i%d r%d" inst round
+  | Prop_dec { inst; round; proposal; decided } ->
+    Fmt.pf ppf "prop-dec i%d r%d %a%a" inst round Batch.pp proposal
+      (Fmt.option (fun ppf (d, r) -> Fmt.pf ppf " +decision(i%d r%d)" d r))
+      decided
+  | Ack_diff { inst; round; piggyback } ->
+    Fmt.pf ppf "ack-diff i%d r%d [%a]" inst round
+      (Fmt.list ~sep:(Fmt.any ", ") App_msg.pp)
+      piggyback
+  | Mono_estimate { inst; round; ts; value; piggyback } ->
+    Fmt.pf ppf "mono-estimate i%d r%d ts%d %a [%a]" inst round ts Batch.pp value
+      (Fmt.list ~sep:(Fmt.any ", ") App_msg.pp)
+      piggyback
+  | Mono_decision_tag { inst; round } -> Fmt.pf ppf "mono-decision-tag i%d r%d" inst round
+  | To_coord m -> Fmt.pf ppf "to-coord %a" App_msg.pp m
+  | Payload_request { ids } ->
+    Fmt.pf ppf "payload-request [%a]" (Fmt.list ~sep:(Fmt.any ", ") App_msg.pp_id) ids
+  | Payload_push m -> Fmt.pf ppf "payload-push %a" App_msg.pp m
+  | Decision_request { inst } -> Fmt.pf ppf "decision-request i%d" inst
+  | Decision_full { inst; value } -> Fmt.pf ppf "decision-full i%d %a" inst Batch.pp value

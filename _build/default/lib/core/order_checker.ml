@@ -1,0 +1,69 @@
+open Repro_net
+
+type violation = { at_process : Pid.t; position : int; description : string }
+
+type t = {
+  n : int;
+  (* The reference sequence: the longest delivery order seen so far, as a
+     growable array. Every process's sequence must be a prefix of it. *)
+  mutable reference : App_msg.id array;
+  mutable reference_len : int;
+  counts : int array; (* position of each process in the reference *)
+  seen : (Pid.t * App_msg.id, unit) Hashtbl.t; (* per-process integrity *)
+  mutable rev_violations : violation list;
+}
+
+let create ~n =
+  {
+    n;
+    reference = Array.make 64 { App_msg.origin = 0; seq = 0 };
+    reference_len = 0;
+    counts = Array.make n 0;
+    seen = Hashtbl.create 1024;
+    rev_violations = [];
+  }
+
+let record t at_process position description =
+  t.rev_violations <- { at_process; position; description } :: t.rev_violations
+
+let push_reference t id =
+  if t.reference_len = Array.length t.reference then begin
+    let bigger = Array.make (2 * t.reference_len) id in
+    Array.blit t.reference 0 bigger 0 t.reference_len;
+    t.reference <- bigger
+  end;
+  t.reference.(t.reference_len) <- id;
+  t.reference_len <- t.reference_len + 1
+
+let observe t pid id =
+  if Hashtbl.mem t.seen (pid, id) then
+    record t pid t.counts.(pid)
+      (Fmt.str "duplicate delivery of %a" App_msg.pp_id id)
+  else begin
+    Hashtbl.add t.seen (pid, id) ();
+    let pos = t.counts.(pid) in
+    if pos < t.reference_len then begin
+      (* Must match the reference order established by a faster process. *)
+      if not (App_msg.equal_id t.reference.(pos) id) then
+        record t pid pos
+          (Fmt.str "order divergence: delivered %a where the reference order has %a"
+             App_msg.pp_id id App_msg.pp_id t.reference.(pos))
+    end
+    else
+      (* This process extends the reference. *)
+      push_reference t id;
+    t.counts.(pid) <- pos + 1
+  end
+
+let attach t group = Group.on_delivery group (fun pid m -> observe t pid m.App_msg.id)
+let violations t = List.rev t.rev_violations
+let delivered_counts t = Array.copy t.counts
+
+let lagging t =
+  let longest = Array.fold_left max 0 t.counts in
+  List.filter (fun p -> t.counts.(p) < longest) (Pid.all ~n:t.n)
+
+let common_prefix_length t = Array.fold_left min max_int t.counts
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%a@%d: %s" Pid.pp v.at_process v.position v.description

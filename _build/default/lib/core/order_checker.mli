@@ -1,0 +1,47 @@
+open Repro_net
+
+(** Online verifier of the atomic broadcast contract.
+
+    Attach one checker to a group and feed it every adelivery; it
+    continuously verifies, in O(1) per delivery:
+
+    - {b uniform integrity}: no process delivers the same message twice;
+    - {b total order}: the delivery sequences of any two processes are
+      prefix-compatible (one is a prefix of the other at all times);
+    - {b uniform agreement (eventually)}: {!lagging} reports processes
+      whose sequence is behind, so a test can assert it becomes empty.
+
+    Violations are recorded (not raised), so a test can drive the run to
+    completion and then assert {!violations} is empty with full context.
+    Deliveries from crashed processes may simply stop; that is not a
+    violation. *)
+
+type t
+
+type violation = {
+  at_process : Pid.t;
+  position : int;  (** Index in the process's delivery sequence. *)
+  description : string;
+}
+
+val create : n:int -> t
+
+val observe : t -> Pid.t -> App_msg.id -> unit
+(** Record one adelivery. *)
+
+val attach : t -> Group.t -> unit
+(** Convenience: register {!observe} as a delivery observer of the group. *)
+
+val violations : t -> violation list
+(** All contract violations seen so far, oldest first. *)
+
+val delivered_counts : t -> int array
+(** Per-process number of observed deliveries. *)
+
+val lagging : t -> Pid.t list
+(** Processes strictly behind the longest delivery sequence. *)
+
+val common_prefix_length : t -> int
+(** Length of the delivery prefix shared by all processes. *)
+
+val pp_violation : violation Fmt.t

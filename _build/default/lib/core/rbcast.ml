@@ -1,0 +1,51 @@
+open Repro_net
+
+module Seen = Set.Make (struct
+  type t = Pid.t * int
+
+  let compare = compare
+end)
+
+type 'p t = {
+  me : Pid.t;
+  n : int;
+  variant : Params.rbcast_variant;
+  broadcast : meta:Msg.rb_meta -> 'p -> unit;
+  deliver : meta:Msg.rb_meta -> 'p -> unit;
+  mutable seen : Seen.t;
+  mutable next_seq : int;
+}
+
+let create ~me ~n ~variant ~broadcast ~deliver () =
+  { me; n; variant; broadcast; deliver; seen = Seen.empty; next_seq = 0 }
+
+let relayers ~n ~origin =
+  let count = (n - 1) / 2 in
+  let rec take acc k pid =
+    if k = 0 || pid >= n then List.rev acc
+    else if pid = origin then take acc k (pid + 1)
+    else take (pid :: acc) (k - 1) (pid + 1)
+  in
+  take [] count 0
+
+let send_to_others t ~meta payload = t.broadcast ~meta payload
+
+let rbcast t payload =
+  let meta = { Msg.rb_origin = t.me; rb_seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
+  t.seen <- Seen.add (meta.rb_origin, meta.rb_seq) t.seen;
+  t.deliver ~meta payload;
+  send_to_others t ~meta payload
+
+let should_relay t ~origin =
+  match t.variant with
+  | Params.Classic -> true
+  | Params.Majority -> List.mem t.me (relayers ~n:t.n ~origin)
+
+let receive t ~src:_ ~meta payload =
+  let key = (meta.Msg.rb_origin, meta.Msg.rb_seq) in
+  if not (Seen.mem key t.seen) then begin
+    t.seen <- Seen.add key t.seen;
+    t.deliver ~meta payload;
+    if should_relay t ~origin:meta.Msg.rb_origin then send_to_others t ~meta payload
+  end

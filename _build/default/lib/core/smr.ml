@@ -1,0 +1,65 @@
+
+module Id_tbl = Hashtbl.Make (struct
+  type t = App_msg.id
+
+  let equal = App_msg.equal_id
+  let hash (id : App_msg.id) = Hashtbl.hash (id.App_msg.origin, id.App_msg.seq)
+end)
+
+type ('state, 'cmd) t = {
+  group : Group.t;
+  states : 'state array;
+  applied : int array;
+  commands : 'cmd Id_tbl.t;
+  next_seq : int array; (* per-process submission counter, mirrors the
+                           replica's admission numbering (offers are FIFO) *)
+  command_bytes : 'cmd -> int;
+  mutable submitted : int;
+}
+
+let create group ~init ~apply ?(command_bytes = fun _ -> 64) () =
+  let n = (Group.params group).Params.n in
+  let t =
+    {
+      group;
+      states = Array.init n init;
+      applied = Array.make n 0;
+      commands = Id_tbl.create 1024;
+      next_seq = Array.make n 0;
+      command_bytes;
+      submitted = 0;
+    }
+  in
+  Group.on_delivery group (fun pid m ->
+      match Id_tbl.find_opt t.commands m.App_msg.id with
+      | Some cmd ->
+        apply t.states.(pid) cmd;
+        t.applied.(pid) <- t.applied.(pid) + 1
+      | None ->
+        (* A message not submitted through this service (mixed usage);
+           ignore it rather than corrupting the state machines. *)
+        ());
+  t
+
+let submit t pid cmd =
+  let seq = t.next_seq.(pid) in
+  t.next_seq.(pid) <- seq + 1;
+  Id_tbl.replace t.commands { App_msg.origin = pid; seq } cmd;
+  t.submitted <- t.submitted + 1;
+  Group.abcast t.group pid ~size:(t.command_bytes cmd)
+
+let state t pid = t.states.(pid)
+let applied t pid = t.applied.(pid)
+let submitted t = t.submitted
+
+let consistent t ~fingerprint =
+  let n = Array.length t.states in
+  let groups = Hashtbl.create 4 in
+  for pid = 0 to n - 1 do
+    let count = t.applied.(pid) in
+    let fp = fingerprint t.states.(pid) in
+    match Hashtbl.find_opt groups count with
+    | Some fp' -> if fp <> fp' then Hashtbl.replace groups (-1) 0
+    | None -> Hashtbl.add groups count fp
+  done;
+  not (Hashtbl.mem groups (-1))

@@ -1,0 +1,13 @@
+open Repro_net
+
+type t = Plain of Msg.t | Frame of Msg.t Rchannel.wire
+
+let payload_bytes = function
+  | Plain m -> Msg.payload_bytes m
+  | Frame (Rchannel.Data { payload; _ }) -> 8 + Msg.payload_bytes payload
+  | Frame (Rchannel.Ack _) -> 16
+
+let kind = function
+  | Plain m -> Msg.kind m
+  | Frame (Rchannel.Data { payload; _ }) -> Msg.kind payload
+  | Frame (Rchannel.Ack _) -> "channel-ack"

@@ -1,0 +1,20 @@
+open Repro_net
+
+(** What actually travels on the simulated wire.
+
+    Under the default {!Params.Tcp_like} transport, protocol messages go
+    directly ([Plain]); under {!Params.Lossy}, they are framed by the
+    per-process reliable channel ([Frame] wraps data frames carrying a
+    sequence number, and the channel's cumulative acks). Kind labels and
+    sizes pass through to the inner message so traffic statistics stay
+    comparable across transports (channel acks are labelled
+    ["channel-ack"]). *)
+
+type t = Plain of Msg.t | Frame of Msg.t Rchannel.wire
+
+val payload_bytes : t -> int
+(** Inner message size, plus 8 bytes of sequencing for data frames;
+    channel acks are 16 bytes. *)
+
+val kind : t -> string
+(** The inner {!Msg.kind}, or ["channel-ack"]. *)

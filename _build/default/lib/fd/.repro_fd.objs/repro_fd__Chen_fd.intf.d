@@ -1,0 +1,1 @@
+lib/fd/chen_fd.mli: Engine Fd Pid Repro_net Repro_sim Time

@@ -1,0 +1,1 @@
+lib/fd/fd.ml: Pid Repro_net

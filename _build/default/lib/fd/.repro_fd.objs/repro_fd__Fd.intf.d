@@ -1,0 +1,1 @@
+lib/fd/fd.mli: Pid Repro_net

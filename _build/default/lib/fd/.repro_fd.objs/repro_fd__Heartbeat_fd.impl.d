@@ -1,0 +1,1 @@
+lib/fd/heartbeat_fd.ml: Array Engine Fd List Pid Repro_net Repro_sim Time

@@ -1,0 +1,1 @@
+lib/fd/heartbeat_fd.mli: Engine Fd Pid Repro_net Repro_sim Time

@@ -1,0 +1,1 @@
+lib/fd/oracle_fd.ml: Fd List Pid Repro_net

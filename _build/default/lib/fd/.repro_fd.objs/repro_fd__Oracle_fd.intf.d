@@ -1,0 +1,1 @@
+lib/fd/oracle_fd.mli: Fd Pid Repro_net

@@ -1,0 +1,158 @@
+open Repro_sim
+open Repro_net
+
+type config = { period : Time.span; margin : Time.span; window : int }
+
+let default_config =
+  { period = Time.span_ms 10; margin = Time.span_ms 10; window = 16 }
+
+type peer = {
+  pid : Pid.t;
+  arrivals : int array; (* ring buffer of arrival instants, ns *)
+  mutable count : int; (* arrivals recorded (caps at window) *)
+  mutable next_slot : int;
+  mutable suspected : bool;
+  mutable deadline : Time.t option;
+  mutable watchdog : Engine.timer option;
+}
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  me : Pid.t;
+  peers : peer array;
+  send_heartbeat : dst:Pid.t -> unit;
+  mutable listeners : (Pid.t -> unit) list;
+  mutable stopped : bool;
+}
+
+let notify t p = List.iter (fun f -> f p) (List.rev t.listeners)
+
+(* Chen's estimator: EA = mean of the last k arrival instants
+   + (k+1)/2 * period … simplified to "mean arrival + period relative to
+   the window centre". With a full window of perfectly periodic arrivals
+   this predicts exactly the next beat. *)
+let predict t peer =
+  if peer.count = 0 then None
+  else begin
+    let k = min peer.count t.config.window in
+    let sum = ref 0 in
+    for i = 0 to k - 1 do
+      sum := !sum + peer.arrivals.(i)
+    done;
+    let mean = !sum / k in
+    (* arrivals in the window span (k-1) periods around their mean; the
+       next arrival is (k+1)/2 periods after the mean. *)
+    let period_ns = Time.span_to_ns t.config.period in
+    let next = mean + ((k + 1) * period_ns / 2) in
+    Some (Time.of_ns (next + Time.span_to_ns t.config.margin))
+  end
+
+let cancel_watchdog t peer =
+  match peer.watchdog with
+  | Some timer ->
+    Engine.cancel t.engine timer;
+    peer.watchdog <- None
+  | None -> ()
+
+let rec arm_watchdog t peer =
+  cancel_watchdog t peer;
+  match peer.deadline with
+  | None -> ()
+  | Some deadline ->
+    let now = Engine.now t.engine in
+    let fire_at = Time.max deadline now in
+    peer.watchdog <-
+      Some
+        (Engine.schedule_at t.engine fire_at (fun () ->
+             if not t.stopped then check_deadline t peer))
+
+and check_deadline t peer =
+  match peer.deadline with
+  | Some deadline when Time.(Engine.now t.engine >= deadline) ->
+    if not peer.suspected then begin
+      peer.suspected <- true;
+      notify t peer.pid
+    end
+  | Some _ -> arm_watchdog t peer
+  | None -> ()
+
+let heartbeat_received t peer =
+  let now = Time.to_ns (Engine.now t.engine) in
+  if peer.suspected then begin
+    (* Retraction after a silence gap: the window contents predate the gap
+       and would predict a deadline already in the past, re-suspecting the
+       peer instantly. Restart the estimate from this arrival. *)
+    peer.suspected <- false;
+    peer.count <- 0;
+    peer.next_slot <- 0
+  end;
+  peer.arrivals.(peer.next_slot) <- now;
+  peer.next_slot <- (peer.next_slot + 1) mod t.config.window;
+  if peer.count < t.config.window then peer.count <- peer.count + 1;
+  peer.deadline <- predict t peer;
+  arm_watchdog t peer
+
+let rec heartbeat_round t =
+  if not t.stopped then begin
+    Array.iter
+      (fun peer -> if peer.pid <> t.me then t.send_heartbeat ~dst:peer.pid)
+      t.peers;
+    ignore (Engine.schedule_after t.engine t.config.period (fun () -> heartbeat_round t))
+  end
+
+let create engine config ~n ~me ~send_heartbeat =
+  if config.window < 1 then invalid_arg "Chen_fd.create: window must be >= 1";
+  let peer pid =
+    {
+      pid;
+      arrivals = Array.make config.window 0;
+      count = 0;
+      next_slot = 0;
+      suspected = false;
+      deadline = None;
+      watchdog = None;
+    }
+  in
+  let t =
+    {
+      engine;
+      config;
+      me;
+      peers = Array.init n peer;
+      send_heartbeat;
+      listeners = [];
+      stopped = false;
+    }
+  in
+  (* Grace period before the first prediction exists: treat "no arrival
+     yet" by seeding a deadline one period + margin from now. *)
+  Array.iter
+    (fun peer ->
+      if peer.pid <> me then begin
+        peer.deadline <-
+          Some
+            (Time.add
+               (Time.add (Engine.now engine) config.period)
+               (Time.span_add config.margin config.margin));
+        arm_watchdog t peer
+      end)
+    t.peers;
+  heartbeat_round t;
+  t
+
+let fd t =
+  Fd.make
+    ~is_suspected:(fun p -> p <> t.me && t.peers.(p).suspected)
+    ~add_listener:(fun f -> t.listeners <- f :: t.listeners)
+
+let on_heartbeat t ~src = if (not t.stopped) && src <> t.me then heartbeat_received t t.peers.(src)
+let stop t = t.stopped <- true
+
+let suspects t =
+  Array.to_list t.peers
+  |> List.filter_map (fun peer ->
+         if peer.pid <> t.me && peer.suspected then Some peer.pid else None)
+  |> List.sort Pid.compare
+
+let predicted_deadline t p = if p = t.me then None else t.peers.(p).deadline

@@ -1,0 +1,50 @@
+open Repro_sim
+open Repro_net
+
+(** Adaptive failure detector after Chen, Toueg & Aguilera (TC 2002).
+
+    Like {!Heartbeat_fd}, every process sends periodic heartbeats; unlike
+    it, the suspicion deadline is not a fixed timeout but a prediction:
+    the detector keeps a sliding window of the last [window] heartbeat
+    arrival times, estimates the next arrival as the window average plus
+    one period, and adds a safety margin α. A peer is suspected when the
+    clock passes [estimated next arrival + α]; a later heartbeat retracts
+    the suspicion and the estimate adapts.
+
+    Compared to the fixed-timeout detector, the adaptive one reacts faster
+    on stable links (the margin can be much smaller than a conservative
+    fixed timeout) while still converging on jittery ones — the classical
+    QoS trade-off studied in the paper's companion literature [25].
+
+    Transport-agnostic, same contract as {!Heartbeat_fd}. *)
+
+type t
+
+type config = {
+  period : Time.span;  (** Interval between heartbeat rounds. *)
+  margin : Time.span;  (** Safety margin α added to the predicted arrival. *)
+  window : int;  (** Number of past arrivals used for prediction. *)
+}
+
+val default_config : config
+(** 10 ms period, 10 ms margin, window of 16 arrivals. *)
+
+val create :
+  Engine.t -> config -> n:int -> me:Pid.t -> send_heartbeat:(dst:Pid.t -> unit) -> t
+
+val fd : t -> Fd.t
+(** The service view consumed by protocols. *)
+
+val on_heartbeat : t -> src:Pid.t -> unit
+(** Feed one received heartbeat. *)
+
+val stop : t -> unit
+(** Stop heartbeating and monitoring. *)
+
+val suspects : t -> Pid.t list
+(** Current suspect list, ascending. *)
+
+val predicted_deadline : t -> Pid.t -> Time.t option
+(** The instant after which the peer will be suspected if silent — the
+    current prediction plus margin ([None] for self or before any
+    arrival). Exposed for tests and calibration. *)

@@ -1,0 +1,11 @@
+open Repro_net
+
+type t = {
+  is_suspected : Pid.t -> bool;
+  add_listener : (Pid.t -> unit) -> unit;
+}
+
+let make ~is_suspected ~add_listener = { is_suspected; add_listener }
+let is_suspected t p = t.is_suspected p
+let on_suspect t f = t.add_listener f
+let never_suspects = { is_suspected = (fun _ -> false); add_listener = (fun _ -> ()) }

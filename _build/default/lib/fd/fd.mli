@@ -1,0 +1,28 @@
+open Repro_net
+
+(** Failure-detector service interface.
+
+    The system model (§2.1) gives every process a local failure detector
+    that outputs a set of suspected processes; the list may change over time
+    and may be inaccurate. Consensus consumes exactly this interface — a
+    suspicion query plus change notification — and nothing more, so any
+    implementation (heartbeat ◇P, test oracle) plugs in unchanged. *)
+
+type t
+
+val make :
+  is_suspected:(Pid.t -> bool) -> add_listener:((Pid.t -> unit) -> unit) -> t
+(** Wrap an implementation. [add_listener f] must arrange for [f q] to be
+    called every time [q] {e becomes} suspected (edge, not level). *)
+
+val is_suspected : t -> Pid.t -> bool
+(** Whether the local module currently suspects the process. *)
+
+val on_suspect : t -> (Pid.t -> unit) -> unit
+(** Register a callback invoked each time a process becomes suspected.
+    Callbacks accumulate; they are never removed (protocol layers guard
+    staleness themselves, keyed on round numbers). *)
+
+val never_suspects : t
+(** The degenerate detector of a good run: suspects no one, costs nothing.
+    Used by benchmarks, which measure good runs only (§5.1). *)

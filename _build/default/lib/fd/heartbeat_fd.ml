@@ -1,0 +1,93 @@
+open Repro_sim
+open Repro_net
+
+type config = {
+  period : Time.span;
+  initial_timeout : Time.span;
+  timeout_increment : Time.span;
+}
+
+let default_config =
+  {
+    period = Time.span_ms 10;
+    initial_timeout = Time.span_ms 50;
+    timeout_increment = Time.span_ms 50;
+  }
+
+type peer = {
+  pid : Pid.t;
+  mutable timeout : Time.span;
+  mutable suspected : bool;
+  mutable watchdog : Engine.timer option;
+}
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  me : Pid.t;
+  peers : peer array; (* indexed by pid; slot [me] is unused *)
+  send_heartbeat : dst:Pid.t -> unit;
+  mutable listeners : (Pid.t -> unit) list;
+  mutable stopped : bool;
+}
+
+let notify t p = List.iter (fun f -> f p) (List.rev t.listeners)
+
+let rec arm_watchdog t peer =
+  peer.watchdog <-
+    Some
+      (Engine.schedule_after t.engine peer.timeout (fun () ->
+           if not t.stopped && not peer.suspected then begin
+             peer.suspected <- true;
+             notify t peer.pid
+           end))
+
+and heartbeat_received t peer =
+  (match peer.watchdog with
+  | Some timer -> Engine.cancel t.engine timer
+  | None -> ());
+  if peer.suspected then begin
+    (* False suspicion: be more patient with this peer from now on. *)
+    peer.suspected <- false;
+    peer.timeout <- Time.span_add peer.timeout t.config.timeout_increment
+  end;
+  arm_watchdog t peer
+
+let rec heartbeat_round t =
+  if not t.stopped then begin
+    Array.iter
+      (fun peer -> if peer.pid <> t.me then t.send_heartbeat ~dst:peer.pid)
+      t.peers;
+    ignore (Engine.schedule_after t.engine t.config.period (fun () -> heartbeat_round t))
+  end
+
+let create engine config ~n ~me ~send_heartbeat =
+  let peer pid = { pid; timeout = config.initial_timeout; suspected = false; watchdog = None } in
+  let t =
+    {
+      engine;
+      config;
+      me;
+      peers = Array.init n peer;
+      send_heartbeat;
+      listeners = [];
+      stopped = false;
+    }
+  in
+  Array.iter (fun peer -> if peer.pid <> me then arm_watchdog t peer) t.peers;
+  heartbeat_round t;
+  t
+
+let fd t =
+  Fd.make
+    ~is_suspected:(fun p -> p <> t.me && t.peers.(p).suspected)
+    ~add_listener:(fun f -> t.listeners <- f :: t.listeners)
+
+let on_heartbeat t ~src = if not t.stopped && src <> t.me then heartbeat_received t t.peers.(src)
+let stop t = t.stopped <- true
+
+let suspects t =
+  Array.to_list t.peers
+  |> List.filter_map (fun peer ->
+         if peer.pid <> t.me && peer.suspected then Some peer.pid else None)
+  |> List.sort Pid.compare

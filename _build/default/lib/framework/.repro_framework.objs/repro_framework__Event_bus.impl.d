@@ -1,0 +1,1 @@
+lib/framework/event_bus.ml: Cpu List Repro_sim Time

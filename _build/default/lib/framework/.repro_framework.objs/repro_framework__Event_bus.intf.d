@@ -1,0 +1,1 @@
+lib/framework/event_bus.mli: Cpu Repro_sim Time

@@ -1,0 +1,1 @@
+lib/framework/stack.ml: Event_bus Fmt List

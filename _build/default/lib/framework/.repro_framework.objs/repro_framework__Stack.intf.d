@@ -1,0 +1,1 @@
+lib/framework/stack.mli: Cpu Event_bus Fmt Repro_sim Time

@@ -1,0 +1,26 @@
+open Repro_sim
+
+type t = {
+  cpu : Cpu.t;
+  dispatch_cost : Time.span;
+  mutable emissions : int;
+}
+
+type 'a port = {
+  bus : t;
+  name : string;
+  mutable subscribers : ('a -> unit) list; (* reverse subscription order *)
+}
+
+let create ~cpu ~dispatch_cost = { cpu; dispatch_cost; emissions = 0 }
+let port bus name = { bus; name; subscribers = [] }
+let subscribe port f = port.subscribers <- f :: port.subscribers
+
+let emit port event =
+  let bus = port.bus in
+  bus.emissions <- bus.emissions + 1;
+  Cpu.charge bus.cpu bus.dispatch_cost;
+  List.iter (fun f -> f event) (List.rev port.subscribers)
+
+let emissions t = t.emissions
+let port_name port = port.name

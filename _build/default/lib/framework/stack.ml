@@ -1,0 +1,14 @@
+type microprotocol = { name : string; description : string }
+
+type t = { bus : Event_bus.t; mutable rev_modules : microprotocol list }
+
+let create ~cpu ~dispatch_cost =
+  { bus = Event_bus.create ~cpu ~dispatch_cost; rev_modules = [] }
+
+let bus t = t.bus
+let mount t m = t.rev_modules <- m :: t.rev_modules
+let modules t = List.rev t.rev_modules
+let boundary_crossings t = Event_bus.emissions t.bus
+
+let pp ppf t =
+  List.iter (fun m -> Fmt.pf ppf "%-12s %s@." m.name m.description) (modules t)

@@ -1,0 +1,35 @@
+open Repro_sim
+
+(** A composed protocol stack.
+
+    Bookkeeping for one process's composition: which microprotocols are
+    mounted, over one shared event bus charged to the process's CPU. The
+    paper's two stacks differ exactly here — the modular stack mounts
+    [ABcast], [Consensus] and [RBcast] as three modules bound by bus ports,
+    the monolithic stack mounts one module that owns everything. *)
+
+type t
+
+type microprotocol = {
+  name : string;  (** e.g. ["ABcast"]. *)
+  description : string;  (** One-line role summary. *)
+}
+
+val create : cpu:Cpu.t -> dispatch_cost:Time.span -> t
+(** An empty stack whose inter-module events cost [dispatch_cost]. *)
+
+val bus : t -> Event_bus.t
+(** The stack's event bus; modules create their ports here. *)
+
+val mount : t -> microprotocol -> unit
+(** Record a module as part of this composition. *)
+
+val modules : t -> microprotocol list
+(** Mounted modules, in mount order. *)
+
+val boundary_crossings : t -> int
+(** Number of inter-module events dispatched so far — the measured
+    "cost of modularity" at the framework level. *)
+
+val pp : t Fmt.t
+(** Prints the composition, one module per line. *)

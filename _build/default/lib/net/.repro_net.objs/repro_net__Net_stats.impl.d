@@ -1,0 +1,1 @@
+lib/net/net_stats.ml: Array Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Cpu Engine List Net_stats Pid Repro_sim Time Topology Wire

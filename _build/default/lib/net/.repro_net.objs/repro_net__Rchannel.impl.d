@@ -1,0 +1,1 @@
+lib/net/rchannel.ml: Array Engine List Pid Repro_sim Time

@@ -1,0 +1,1 @@
+lib/net/rchannel.mli: Engine Pid Repro_sim Time

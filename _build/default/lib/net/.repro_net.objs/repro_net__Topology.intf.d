@@ -1,0 +1,1 @@
+lib/net/topology.mli: Pid Repro_sim Time

@@ -1,0 +1,39 @@
+type snapshot = { messages : int; payload_bytes : int; wire_bytes : int }
+
+type t = {
+  mutable totals : snapshot;
+  per_sender : int array;
+  kinds : (string, int) Hashtbl.t;
+}
+
+let zero = { messages = 0; payload_bytes = 0; wire_bytes = 0 }
+let create ~n = { totals = zero; per_sender = Array.make n 0; kinds = Hashtbl.create 16 }
+
+let record_send t ~src ~kind ~payload_bytes ~wire_bytes =
+  t.totals <-
+    {
+      messages = t.totals.messages + 1;
+      payload_bytes = t.totals.payload_bytes + payload_bytes;
+      wire_bytes = t.totals.wire_bytes + wire_bytes;
+    };
+  t.per_sender.(src) <- t.per_sender.(src) + 1;
+  let count = match Hashtbl.find_opt t.kinds kind with Some c -> c | None -> 0 in
+  Hashtbl.replace t.kinds kind (count + 1)
+
+let by_kind t =
+  Hashtbl.fold (fun kind count acc -> (kind, count) :: acc) t.kinds []
+  |> List.sort compare
+
+let snapshot t = t.totals
+let sent_by t p = t.per_sender.(p)
+
+let diff later earlier =
+  {
+    messages = later.messages - earlier.messages;
+    payload_bytes = later.payload_bytes - earlier.payload_bytes;
+    wire_bytes = later.wire_bytes - earlier.wire_bytes;
+  }
+
+let pp_snapshot ppf s =
+  Fmt.pf ppf "%d msgs, %d B payload, %d B on wire" s.messages s.payload_bytes
+    s.wire_bytes

@@ -1,0 +1,40 @@
+(** Network traffic counters.
+
+    The analytical evaluation of the paper (§5.2) is entirely in terms of
+    how many messages and how many bytes each stack puts on the wire. These
+    counters are the measured side of that comparison: every message that
+    physically leaves a NIC is recorded here. Local (self) deliveries are
+    not counted, matching the paper's accounting. *)
+
+type t
+
+type snapshot = {
+  messages : int;  (** Messages sent on the wire. *)
+  payload_bytes : int;  (** Protocol payload bytes, headers excluded. *)
+  wire_bytes : int;  (** Bytes including per-message framing. *)
+}
+
+val create : n:int -> t
+(** Fresh zeroed counters for an [n]-process system. *)
+
+val record_send :
+  t -> src:Pid.t -> kind:string -> payload_bytes:int -> wire_bytes:int -> unit
+(** Count one message of the given protocol kind leaving [src]'s NIC. *)
+
+val by_kind : t -> (string * int) list
+(** Message counts per protocol kind since creation, sorted by kind. *)
+
+val snapshot : t -> snapshot
+(** Current totals. *)
+
+val sent_by : t -> Pid.t -> int
+(** Messages sent by one process since creation. *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] is the traffic between two snapshots. *)
+
+val zero : snapshot
+(** The empty snapshot. *)
+
+val pp_snapshot : snapshot Fmt.t
+(** Prints [<msgs> msgs, <payload> B payload, <wire> B on wire]. *)

@@ -1,0 +1,173 @@
+open Repro_sim
+
+type 'msg node = {
+  cpu : Cpu.t;
+  mutable nic_free_at : Time.t;
+  mutable nic_busy_ns : int;
+  mutable handler : (src:Pid.t -> 'msg -> unit) option;
+  mutable crashed : bool;
+  mutable sends_before_crash : int option;
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  wire : Wire.t;
+  topology : Topology.t;
+  rng : Repro_sim.Rng.t;
+  nodes : 'msg node array;
+  (* Per directed link: last scheduled arrival instant, to keep FIFO under
+     jitter. *)
+  last_arrival : Time.t array array;
+  payload_bytes : 'msg -> int;
+  kind_of : 'msg -> string;
+  stats : Net_stats.t;
+  mutable cut_links : (Pid.t * Pid.t) list;
+  mutable loss_rate : float;
+}
+
+let create engine ?(wire = Wire.default) ?topology ?(kind_of = fun _ -> "msg") ~n
+    ~payload_bytes () =
+  if n < 1 then invalid_arg "Network.create: n must be >= 1";
+  let node _ =
+    {
+      cpu = Cpu.create engine;
+      nic_free_at = Time.zero;
+      nic_busy_ns = 0;
+      handler = None;
+      crashed = false;
+      sends_before_crash = None;
+    }
+  in
+  let topology =
+    match topology with Some t -> t | None -> Topology.uniform wire.Wire.propagation
+  in
+  {
+    engine;
+    wire;
+    topology;
+    rng = Repro_sim.Rng.split (Engine.rng engine);
+    nodes = Array.init n node;
+    last_arrival = Array.init n (fun _ -> Array.make n Time.zero);
+    payload_bytes;
+    kind_of;
+    stats = Net_stats.create ~n;
+    cut_links = [];
+    loss_rate = 0.0;
+  }
+
+let n t = Array.length t.nodes
+let engine t = t.engine
+let wire t = t.wire
+let nic_busy_time t p = Time.span_ns t.nodes.(p).nic_busy_ns
+let register t p handler = t.nodes.(p).handler <- Some handler
+let cpu t p = t.nodes.(p).cpu
+let is_crashed t p = t.nodes.(p).crashed
+let crash t p = t.nodes.(p).crashed <- true
+
+let crash_after_sends t p k =
+  if k < 0 then invalid_arg "Network.crash_after_sends: negative count";
+  t.nodes.(p).sends_before_crash <- Some k
+
+let set_loss_rate t p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Network.set_loss_rate: need 0 <= p < 1";
+  t.loss_rate <- p
+
+let cut t ~src ~dst = t.cut_links <- (src, dst) :: t.cut_links
+
+let heal t ~src ~dst =
+  t.cut_links <- List.filter (fun link -> link <> (src, dst)) t.cut_links
+
+let link_cut t ~src ~dst = List.mem (src, dst) t.cut_links
+
+let deliver t ~src ~dst msg =
+  let node = t.nodes.(dst) in
+  if not node.crashed then begin
+    let cost = Wire.recv_cpu_cost t.wire ~payload_bytes:(t.payload_bytes msg) in
+    Cpu.submit node.cpu ~cost (fun () ->
+        if not node.crashed then
+          match node.handler with
+          | Some handler -> handler ~src msg
+          | None -> ())
+  end
+
+(* A sender that is past its crash budget silently loses the message; this
+   is how a crash "in the middle of" a broadcast manifests. *)
+let sender_alive node =
+  if node.crashed then false
+  else
+    match node.sends_before_crash with
+    | None -> true
+    | Some 0 ->
+      node.crashed <- true;
+      false
+    | Some k ->
+      node.sends_before_crash <- Some (k - 1);
+      true
+
+let deliver_local t ~src msg =
+  let sender = t.nodes.(src) in
+  if not sender.crashed then
+    ignore
+      (Engine.schedule_after t.engine Time.span_zero (fun () ->
+           if not sender.crashed then
+             match sender.handler with
+             | Some handler -> handler ~src msg
+             | None -> ()))
+
+(* Push admitted copies through the NIC after one marshalling charge on the
+   sender's CPU. Admission is the crash point: a copy accepted here reaches
+   the wire even if the sender crashes moments later (kernel buffers
+   flush), which is exactly what [crash_after_sends] relies on. *)
+let transmit t ~src ~dsts msg =
+  let sender = t.nodes.(src) in
+  let payload_bytes = t.payload_bytes msg in
+  let copies = List.length dsts in
+  let marshal_cost =
+    Time.span_add
+      (Time.span_ns (payload_bytes * t.wire.Wire.send_cpu_per_byte_ns))
+      (Time.span_scale copies t.wire.Wire.send_cpu_fixed)
+  in
+  Cpu.submit sender.cpu ~cost:marshal_cost (fun () ->
+      List.iter
+        (fun dst ->
+          let now = Engine.now t.engine in
+          let tx_start = Time.max sender.nic_free_at now in
+          let tx_time = Wire.tx_time t.wire ~payload_bytes in
+          let tx_end = Time.add tx_start tx_time in
+          sender.nic_free_at <- tx_end;
+          sender.nic_busy_ns <- sender.nic_busy_ns + Time.span_to_ns tx_time;
+          Net_stats.record_send t.stats ~src ~kind:(t.kind_of msg) ~payload_bytes
+            ~wire_bytes:(Wire.on_wire_bytes t.wire ~payload_bytes);
+          let dropped =
+            t.loss_rate > 0.0 && Repro_sim.Rng.float t.rng 1.0 < t.loss_rate
+          in
+          if (not (link_cut t ~src ~dst)) && not dropped then begin
+            let latency = Topology.latency t.topology ~src ~dst in
+            let jitter =
+              let bound = Time.span_to_ns t.wire.Wire.propagation_jitter in
+              if bound = 0 then Time.span_zero
+              else Time.span_ns (Repro_sim.Rng.int t.rng (bound + 1))
+            in
+            let arrival = Time.add (Time.add tx_end latency) jitter in
+            (* FIFO clamp: never overtake an earlier message on this link. *)
+            let arrival = Time.max arrival t.last_arrival.(src).(dst) in
+            t.last_arrival.(src).(dst) <- arrival;
+            ignore
+              (Engine.schedule_at t.engine arrival (fun () -> deliver t ~src ~dst msg))
+          end)
+        dsts)
+
+let multicast t ~src ~dsts msg =
+  let sender = t.nodes.(src) in
+  let local, remote = List.partition (fun dst -> dst = src) dsts in
+  (* Local delivery: no wire, no CPU charge, no statistics. *)
+  if local <> [] && not sender.crashed then deliver_local t ~src msg;
+  (* The crash budget is consumed copy by copy, in destination order, so a
+     crash can land in the middle of the fan-out. *)
+  let admitted = List.filter (fun _ -> sender_alive sender) remote in
+  if admitted <> [] then transmit t ~src ~dsts:admitted msg
+
+let send t ~src ~dst msg = multicast t ~src ~dsts:[ dst ] msg
+let send_to_others t ~src msg = multicast t ~src ~dsts:(Pid.others ~n:(n t) src) msg
+
+let stats t = t.stats

@@ -1,0 +1,110 @@
+open Repro_sim
+
+(** Simulated cluster network with quasi-reliable channels.
+
+    Models the paper's testbed (§5.3.1): n dedicated machines on a switched
+    Gigabit Ethernet, connected pairwise by TCP. Each process owns
+
+    - a single-core {!Cpu} charged for every send and receive
+      (per-message fixed cost plus per-byte cost), and
+    - a NIC that serializes outgoing messages at wire bandwidth.
+
+    A message from [p] to [q] therefore experiences: [p]'s CPU queue, [p]'s
+    NIC queue, transmission time, propagation delay, [q]'s CPU queue — and
+    only then reaches [q]'s handler. Channels between correct processes are
+    quasi-reliable and FIFO (§2.1), exactly the guarantee TCP gives the
+    paper's stacks.
+
+    Fault injection: processes can crash (silently and permanently, §2.1),
+    optionally part-way through a multi-send so that broadcast atomicity
+    violations can be exercised; directed links can be cut and healed to
+    test failure-detector behaviour. Neither facility is used in good-run
+    benchmarks. *)
+
+type 'msg t
+(** A network carrying messages of type ['msg]. *)
+
+val create :
+  Engine.t ->
+  ?wire:Wire.t ->
+  ?topology:Topology.t ->
+  ?kind_of:('msg -> string) ->
+  n:int ->
+  payload_bytes:('msg -> int) ->
+  unit ->
+  'msg t
+(** [create engine ~n ~payload_bytes ()] builds an [n]-process cluster.
+    [payload_bytes] gives the serialized size of a message, used for both
+    timing and traffic accounting. [kind_of] (default: constant ["msg"])
+    labels messages for the per-kind statistics. [topology] overrides the
+    wire model's uniform propagation latency per link. *)
+
+val n : _ t -> int
+(** Number of processes in the (static) system. *)
+
+val engine : _ t -> Engine.t
+(** The engine driving this network. *)
+
+val wire : _ t -> Wire.t
+(** The wire cost model in force. *)
+
+val register : 'msg t -> Pid.t -> (src:Pid.t -> 'msg -> unit) -> unit
+(** Install the receive handler for a process. Replaces any previous
+    handler. Messages arriving for a process with no handler are dropped. *)
+
+val send : 'msg t -> src:Pid.t -> dst:Pid.t -> 'msg -> unit
+(** Transmit a message. A self-send ([src = dst]) is delivered locally
+    after the engine's next scheduling point, costs no CPU or wire time and
+    is not counted in the traffic statistics. Sends by crashed processes
+    and deliveries to crashed processes vanish silently. *)
+
+val multicast : 'msg t -> src:Pid.t -> dsts:Pid.t list -> 'msg -> unit
+(** Send one copy to each destination (self entries are delivered
+    locally). The sender's CPU marshals the message {e once} (one per-byte
+    charge plus one fixed charge per destination); the NIC then serializes
+    one copy per destination — the cost structure of a process fanning one
+    buffer out over n-1 TCP connections, and the reason a large-group
+    coordinator saturates its NIC before its CPU. *)
+
+val send_to_others : 'msg t -> src:Pid.t -> 'msg -> unit
+(** {!multicast} to every process except [src], in ascending pid order. *)
+
+val cpu : _ t -> Pid.t -> Cpu.t
+(** The CPU of a process, so protocol layers can charge their own
+    processing costs (e.g. framework dispatch) to the same core. *)
+
+val nic_busy_time : _ t -> Pid.t -> Time.span
+(** Cumulative time the process's NIC has spent transmitting — the probe
+    that shows when a coordinator becomes line-rate-bound (see
+    EXPERIMENTS.md on Fig. 10). *)
+
+val crash : _ t -> Pid.t -> unit
+(** Crash a process now: all its subsequent sends and receives vanish. *)
+
+val crash_after_sends : _ t -> Pid.t -> int -> unit
+(** Crash a process after it initiates [k] more point-to-point sends. With
+    [k] smaller than the fan-out, this crashes a process in the middle of a
+    broadcast — the scenario that distinguishes reliable broadcast from
+    plain send-to-all (§3.3). *)
+
+val is_crashed : _ t -> Pid.t -> bool
+(** Whether the process has crashed. *)
+
+val set_loss_rate : _ t -> float -> unit
+(** Drop each transmitted copy independently with the given probability
+    (0.0 by default). While nonzero, channels are only {e fair-lossy} —
+    the §2.1 quasi-reliability assumption is violated, so this is for
+    exercising the {!Rchannel} layer (which rebuilds quasi-reliable FIFO
+    channels on top) and failure-detector stress, never for protocol
+    benchmarks. @raise Invalid_argument outside [0, 1). *)
+
+val cut : _ t -> src:Pid.t -> dst:Pid.t -> unit
+(** Drop all messages subsequently sent on the directed link. In-flight
+    messages still arrive. Violates quasi-reliability while in force; for
+    failure-detector tests only. *)
+
+val heal : _ t -> src:Pid.t -> dst:Pid.t -> unit
+(** Undo {!cut} for the directed link. *)
+
+val stats : _ t -> Net_stats.t
+(** Live traffic counters (see {!Net_stats}). *)

@@ -1,0 +1,7 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let all ~n = List.init n Fun.id
+let others ~n p = List.filter (fun q -> q <> p) (all ~n)
+let pp ppf p = Fmt.pf ppf "p%d" (p + 1)

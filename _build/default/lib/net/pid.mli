@@ -1,0 +1,20 @@
+(** Process identifiers.
+
+    The paper's system model (§2.1) is a static set Π = {p1 … pn}. We number
+    processes 0 … n-1; the pretty-printer shows the paper's 1-based [p1]
+    names. *)
+
+type t = int
+(** A process identifier in [0, n). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val all : n:int -> t list
+(** [all ~n] is [0; 1; …; n-1]. *)
+
+val others : n:int -> t -> t list
+(** [others ~n p] is every process except [p], ascending. *)
+
+val pp : t Fmt.t
+(** Prints [p1], [p2], … (1-based, as in the paper's figures). *)

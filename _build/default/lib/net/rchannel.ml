@@ -1,0 +1,115 @@
+open Repro_sim
+
+type 'msg wire = Data of { seq : int; payload : 'msg } | Ack of { cumulative : int }
+
+type 'msg link_out = {
+  mutable next_seq : int;
+  mutable unacked : (int * 'msg) list; (* ascending seq, awaiting ack *)
+  mutable timer : Engine.timer option;
+}
+
+type 'msg link_in = {
+  mutable expected : int; (* next in-order seq *)
+  mutable buffered : (int * 'msg) list; (* out-of-order, ascending *)
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  me : Pid.t;
+  send_raw : dst:Pid.t -> 'msg wire -> unit;
+  deliver : src:Pid.t -> 'msg -> unit;
+  rto : Time.span;
+  outgoing : 'msg link_out array;
+  incoming : 'msg link_in array;
+  mutable retransmissions : int;
+  mutable halted : bool;
+}
+
+let create engine ~me ~n ~send_raw ~deliver ?(rto = Time.span_ms 20) () =
+  {
+    engine;
+    me;
+    send_raw;
+    deliver;
+    rto;
+    outgoing = Array.init n (fun _ -> { next_seq = 0; unacked = []; timer = None });
+    incoming = Array.init n (fun _ -> { expected = 0; buffered = [] });
+    retransmissions = 0;
+    halted = false;
+  }
+
+let cancel_timer t link =
+  match link.timer with
+  | Some timer ->
+    Engine.cancel t.engine timer;
+    link.timer <- None
+  | None -> ()
+
+(* Go-back-N style: on timeout, re-send everything unacknowledged. *)
+let rec arm_timer t ~dst link =
+  cancel_timer t link;
+  if link.unacked <> [] then
+    link.timer <-
+      Some
+        (Engine.schedule_after t.engine t.rto (fun () ->
+             if (not t.halted) && link.unacked <> [] then begin
+               List.iter
+                 (fun (seq, payload) ->
+                   t.retransmissions <- t.retransmissions + 1;
+                   t.send_raw ~dst (Data { seq; payload }))
+                 link.unacked;
+               arm_timer t ~dst link
+             end))
+
+let send t ~dst payload =
+  if dst = t.me then t.deliver ~src:t.me payload
+  else if not t.halted then begin
+    let link = t.outgoing.(dst) in
+    let seq = link.next_seq in
+    link.next_seq <- seq + 1;
+    link.unacked <- link.unacked @ [ (seq, payload) ];
+    t.send_raw ~dst (Data { seq; payload });
+    if link.timer = None then arm_timer t ~dst link
+  end
+
+let handle_ack t ~src ~cumulative =
+  let link = t.outgoing.(src) in
+  let before = link.unacked in
+  link.unacked <- List.filter (fun (seq, _) -> seq > cumulative) before;
+  if link.unacked = [] then cancel_timer t link
+  else if List.length link.unacked < List.length before then
+    (* Progress: give the remainder a fresh timeout. *)
+    arm_timer t ~dst:src link
+
+let rec drain_in_order t ~src link =
+  match link.buffered with
+  | (seq, payload) :: rest when seq = link.expected ->
+    link.buffered <- rest;
+    link.expected <- seq + 1;
+    t.deliver ~src payload;
+    drain_in_order t ~src link
+  | _ -> ()
+
+let handle_data t ~src ~seq ~payload =
+  let link = t.incoming.(src) in
+  if seq >= link.expected && not (List.mem_assoc seq link.buffered) then begin
+    link.buffered <-
+      List.merge (fun (a, _) (b, _) -> compare a b) link.buffered [ (seq, payload) ];
+    drain_in_order t ~src link
+  end;
+  (* Always (re-)acknowledge what we have — lost acks are recovered by the
+     sender's retransmission provoking a fresh one. *)
+  t.send_raw ~dst:src (Ack { cumulative = link.expected - 1 })
+
+let receive_raw t ~src frame =
+  if not t.halted then
+    match frame with
+    | Data { seq; payload } -> handle_data t ~src ~seq ~payload
+    | Ack { cumulative } -> handle_ack t ~src ~cumulative
+
+let retransmissions t = t.retransmissions
+let unacked t ~dst = List.length t.outgoing.(dst).unacked
+
+let halt t =
+  t.halted <- true;
+  Array.iteri (fun _ link -> cancel_timer t link) t.outgoing

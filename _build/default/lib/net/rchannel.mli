@@ -1,0 +1,59 @@
+open Repro_sim
+
+(** Reliable FIFO channels over fair-lossy links — a simplified TCP.
+
+    The system model of the paper (§2.1) assumes quasi-reliable channels:
+    if correct [p] sends m to correct [q], then [q] eventually receives m.
+    The paper's testbed gets this from TCP; the simulated {!Network}
+    provides it natively. This module closes the loop: it {e implements}
+    quasi-reliable FIFO channels on top of links that drop messages (the
+    network's {!Network.set_loss_rate} mode), with the standard mechanism —
+    per-link sequence numbers, cumulative acknowledgments, out-of-order
+    buffering, and timeout-driven retransmission.
+
+    Properties provided towards each peer, as long as both endpoints are
+    correct and the link is fair-lossy (every retransmission has an
+    independent chance of arriving):
+
+    - every payload sent is eventually delivered (quasi-reliability),
+    - exactly once (duplicates suppressed),
+    - in send order (FIFO).
+
+    Transport-agnostic: wrap the payloads in {!wire} frames, hand them to
+    any unreliable [send_raw], and feed incoming frames to {!receive_raw}. *)
+
+type 'msg wire =
+  | Data of { seq : int; payload : 'msg }
+      (** [seq] is the per-directed-link sequence number, from 0. *)
+  | Ack of { cumulative : int }
+      (** All [Data] frames with [seq <= cumulative] have been received. *)
+
+type 'msg t
+
+val create :
+  Engine.t ->
+  me:Pid.t ->
+  n:int ->
+  send_raw:(dst:Pid.t -> 'msg wire -> unit) ->
+  deliver:(src:Pid.t -> 'msg -> unit) ->
+  ?rto:Time.span ->
+  unit ->
+  'msg t
+(** [rto] is the retransmission timeout (default 20 ms). [deliver] is
+    invoked exactly once per payload, in per-link FIFO order. *)
+
+val send : 'msg t -> dst:Pid.t -> 'msg -> unit
+(** Queue a payload for reliable delivery to [dst]. A self-send is
+    delivered immediately without framing. *)
+
+val receive_raw : 'msg t -> src:Pid.t -> 'msg wire -> unit
+(** Feed one frame received from the unreliable network. *)
+
+val retransmissions : 'msg t -> int
+(** Total [Data] frames re-sent so far (the cost of the loss). *)
+
+val unacked : 'msg t -> dst:Pid.t -> int
+(** Frames awaiting acknowledgment towards one peer. *)
+
+val halt : 'msg t -> unit
+(** Stop all retransmission timers (when the owner crashes). *)

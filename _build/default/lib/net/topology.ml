@@ -1,0 +1,34 @@
+open Repro_sim
+
+type t =
+  | Uniform of Time.span
+  | Racks of { rack_size : int; intra : Time.span; inter : Time.span }
+  | Star of { center : Pid.t; near : Time.span; far : Time.span }
+  | Matrix of Time.span array array
+
+let uniform span = Uniform span
+
+let racks ~rack_size ~intra ~inter =
+  if rack_size < 1 then invalid_arg "Topology.racks: rack_size must be >= 1";
+  Racks { rack_size; intra; inter }
+
+let star ~center ~near ~far = Star { center; near; far }
+
+let of_matrix m =
+  let n = Array.length m in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Topology.of_matrix: matrix not square")
+    m;
+  Matrix m
+
+let latency t ~src ~dst =
+  match t with
+  | Uniform span -> span
+  | Racks { rack_size; intra; inter } ->
+    if src / rack_size = dst / rack_size then intra else inter
+  | Star { center; near; far } -> if src = center || dst = center then near else far
+  | Matrix m ->
+    if src < 0 || dst < 0 || src >= Array.length m || dst >= Array.length m then
+      invalid_arg "Topology.latency: pid out of range";
+    m.(src).(dst)

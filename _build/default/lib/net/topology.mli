@@ -1,0 +1,33 @@
+open Repro_sim
+
+(** Network topologies: per-link propagation latency.
+
+    The paper's testbed is a single switched LAN (uniform latency), but the
+    simulator supports arbitrary pairwise latencies so experiments can
+    explore rack- or WAN-like layouts (e.g. how the modular/monolithic gap
+    behaves when the coordinator is far away). Latencies are symmetric in
+    the built-in constructors; {!of_matrix} accepts asymmetric ones. *)
+
+type t
+
+val uniform : Time.span -> t
+(** Every pair of distinct processes at the same one-way latency — the
+    paper's cluster. *)
+
+val racks : rack_size:int -> intra:Time.span -> inter:Time.span -> t
+(** Processes grouped into racks of [rack_size] consecutive pids:
+    [intra] latency within a rack, [inter] across racks.
+    @raise Invalid_argument if [rack_size < 1]. *)
+
+val star : center:Pid.t -> near:Time.span -> far:Time.span -> t
+(** Links touching [center] have latency [near]; all others [far] — a
+    coordinator-close / replicas-remote layout. *)
+
+val of_matrix : Time.span array array -> t
+(** Explicit latency matrix; [m.(src).(dst)] is the one-way latency.
+    @raise Invalid_argument if the matrix is not square. *)
+
+val latency : t -> src:Pid.t -> dst:Pid.t -> Time.span
+(** One-way propagation latency of the directed link.
+    @raise Invalid_argument on out-of-range pids for {!of_matrix}
+    topologies. *)

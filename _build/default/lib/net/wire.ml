@@ -1,0 +1,46 @@
+open Repro_sim
+
+type t = {
+  header_bytes : int;
+  bandwidth_bytes_per_s : int;
+  propagation : Time.span;
+  propagation_jitter : Time.span;
+  send_cpu_fixed : Time.span;
+  send_cpu_per_byte_ns : int;
+  recv_cpu_fixed : Time.span;
+  recv_cpu_per_byte_ns : int;
+}
+
+(* Calibration targets the *shape* of the paper's figures, not absolute
+   milliseconds (our substrate is a simulator, theirs a 2005 cluster):
+   - per-message fixed CPU cost large enough that message count dominates
+     latency for small payloads (Fig. 9 left half);
+   - per-byte CPU cost corresponding to a JVM-era marshalling path of a few
+     tens of MB/s, so byte volume takes over for large payloads;
+   - Gigabit wire so the network itself saturates only for the largest
+     proposals (Fig. 11 right half). *)
+let default =
+  {
+    header_bytes = 78; (* Ethernet 38 + IP 20 + TCP 20 *)
+    bandwidth_bytes_per_s = 125_000_000;
+    propagation = Time.span_us 50;
+    propagation_jitter = Time.span_zero;
+    send_cpu_fixed = Time.span_us 100;
+    send_cpu_per_byte_ns = 25;
+    recv_cpu_fixed = Time.span_us 100;
+    recv_cpu_per_byte_ns = 25;
+  }
+
+let on_wire_bytes t ~payload_bytes = payload_bytes + t.header_bytes
+
+let tx_time t ~payload_bytes =
+  let bytes = on_wire_bytes t ~payload_bytes in
+  (* ns = bytes * 1e9 / rate; compute in a way that cannot overflow for any
+     realistic size (bytes < 2^40, rate >= 1). *)
+  Time.span_ns (bytes * 1_000_000_000 / t.bandwidth_bytes_per_s)
+
+let send_cpu_cost t ~payload_bytes =
+  Time.span_add t.send_cpu_fixed (Time.span_ns (payload_bytes * t.send_cpu_per_byte_ns))
+
+let recv_cpu_cost t ~payload_bytes =
+  Time.span_add t.recv_cpu_fixed (Time.span_ns (payload_bytes * t.recv_cpu_per_byte_ns))

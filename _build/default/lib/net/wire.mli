@@ -1,0 +1,51 @@
+open Repro_sim
+
+(** Wire cost model.
+
+    Collects the constants that turn a logical message into network and CPU
+    occupancy. Defaults approximate the paper's testbed: Gigabit Ethernet
+    with TCP framing, and the heavyweight per-message processing of a
+    2005-era JVM stack (the paper reports CPU saturation above 500 msgs/s,
+    so per-message CPU cost — not the wire — is the first bottleneck). *)
+
+type t = {
+  header_bytes : int;
+      (** Framing added to every message (Ethernet + IP + TCP + protocol
+          headers). *)
+  bandwidth_bytes_per_s : int;
+      (** NIC serialization rate. 125_000_000 for Gigabit Ethernet. *)
+  propagation : Time.span;
+      (** One-way switch + cable latency between any two cluster nodes
+          (overridden per link when the network is given a topology). *)
+  propagation_jitter : Time.span;
+      (** Upper bound of the uniform random jitter added to each message's
+          propagation delay. Per-link FIFO is preserved by clamping: a
+          message never arrives before one sent earlier on the same link.
+          Zero (the default) keeps runs latency-deterministic. *)
+  send_cpu_fixed : Time.span;
+      (** CPU cost to marshal and hand one message to the kernel,
+          independent of size. *)
+  send_cpu_per_byte_ns : int;
+      (** Additional CPU nanoseconds per payload byte sent. *)
+  recv_cpu_fixed : Time.span;
+      (** CPU cost to take one message from the kernel and unmarshal it,
+          independent of size. *)
+  recv_cpu_per_byte_ns : int;
+      (** Additional CPU nanoseconds per payload byte received. *)
+}
+
+val default : t
+(** Constants calibrated against the paper's testbed; see DESIGN.md §6 and
+    EXPERIMENTS.md for the calibration story. *)
+
+val on_wire_bytes : t -> payload_bytes:int -> int
+(** Total bytes a message occupies on the wire: payload plus headers. *)
+
+val tx_time : t -> payload_bytes:int -> Time.span
+(** Time the sender's NIC is busy serializing the message. *)
+
+val send_cpu_cost : t -> payload_bytes:int -> Time.span
+(** CPU time charged at the sender for one message. *)
+
+val recv_cpu_cost : t -> payload_bytes:int -> Time.span
+(** CPU time charged at the receiver for one message. *)

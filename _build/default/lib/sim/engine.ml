@@ -1,0 +1,54 @@
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : Time.t;
+  root_rng : Rng.t;
+  mutable executed : int;
+}
+
+type timer = Event_queue.handle
+
+let create ?(seed = 0) () =
+  {
+    queue = Event_queue.create ();
+    clock = Time.zero;
+    root_rng = Rng.create ~seed;
+    executed = 0;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t time thunk =
+  if Time.(time < t.clock) then invalid_arg "Engine.schedule_at: instant in the past";
+  Event_queue.push t.queue ~time thunk
+
+let schedule_after t delay thunk = schedule_at t (Time.add t.clock delay) thunk
+let cancel t timer = Event_queue.cancel t.queue timer
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, thunk) ->
+    t.clock <- time;
+    t.executed <- t.executed + 1;
+    thunk ();
+    true
+
+let run t =
+  while step t do
+    ()
+  done
+
+let run_until t limit =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some time when Time.(time <= limit) ->
+      ignore (step t);
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if Time.(t.clock < limit) then t.clock <- limit
+
+let pending t = Event_queue.length t.queue
+let events_executed t = t.executed

@@ -1,0 +1,49 @@
+(** The discrete-event simulation engine.
+
+    An engine owns the virtual clock, the event queue and the root random
+    generator. Components schedule closures at future instants; [run]
+    executes them in timestamp order (insertion order breaking ties),
+    advancing the clock to each event's instant. All state mutation in a
+    simulation happens inside scheduled closures, so a run is a
+    deterministic function of the seed and the initial schedule. *)
+
+type t
+
+type timer
+(** Names a scheduled event so it can be cancelled. *)
+
+val create : ?seed:int -> unit -> t
+(** A fresh engine with clock at {!Time.zero}. Default [seed] is 0. *)
+
+val now : t -> Time.t
+(** The current virtual instant. *)
+
+val rng : t -> Rng.t
+(** The engine's root random generator. Components that need their own
+    stream should {!Rng.split} it once at setup. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> timer
+(** Run the closure when the clock reaches the given instant.
+    @raise Invalid_argument if the instant is in the past. *)
+
+val schedule_after : t -> Time.span -> (unit -> unit) -> timer
+(** Run the closure after the given delay. *)
+
+val cancel : t -> timer -> unit
+(** Forget a scheduled event. No-op if it already fired or was cancelled. *)
+
+val step : t -> bool
+(** Execute the single earliest pending event. [false] if none remained. *)
+
+val run : t -> unit
+(** Execute events until the queue is empty. *)
+
+val run_until : t -> Time.t -> unit
+(** Execute events with instants [<=] the limit, then set the clock to the
+    limit. Events scheduled beyond the limit stay pending. *)
+
+val pending : t -> int
+(** Number of scheduled events not yet executed or cancelled. *)
+
+val events_executed : t -> int
+(** Total closures executed since creation (a cheap progress/cost probe). *)

@@ -1,0 +1,108 @@
+type 'a cell = {
+  time : Time.t;
+  seq : int;
+  value : 'a;
+  mutable cancelled : bool;
+}
+
+type handle = H : 'a cell -> handle
+
+type 'a t = {
+  mutable heap : 'a cell array;
+  (* [heap] slots at index >= size are physically present but dead; they
+     keep the last popped cells alive only until overwritten, which is
+     harmless. *)
+  mutable size : int;
+  mutable next_seq : int;
+  mutable pending : int; (* live (non-cancelled) cells in the heap *)
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0; pending = 0 }
+
+let cell_before a b =
+  match Time.compare a.time b.time with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if cell_before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < t.size && cell_before t.heap.(l) t.heap.(i) then l else i in
+  let smallest =
+    if r < t.size && cell_before t.heap.(r) t.heap.(smallest) then r else smallest
+  in
+  if smallest <> i then begin
+    swap t i smallest;
+    sift_down t smallest
+  end
+
+let grow t cell =
+  let capacity = Array.length t.heap in
+  if t.size = capacity then begin
+    let new_capacity = if capacity = 0 then 16 else 2 * capacity in
+    let heap = Array.make new_capacity cell in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end
+
+let push t ~time value =
+  let cell = { time; seq = t.next_seq; value; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  grow t cell;
+  t.heap.(t.size) <- cell;
+  t.size <- t.size + 1;
+  t.pending <- t.pending + 1;
+  sift_up t (t.size - 1);
+  H cell
+
+let cancel t (H cell) =
+  if not cell.cancelled then begin
+    cell.cancelled <- true;
+    t.pending <- t.pending - 1
+  end
+
+let pop_root t =
+  let root = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0
+  end;
+  root
+
+let rec pop t =
+  if t.size = 0 then None
+  else
+    let root = pop_root t in
+    if root.cancelled then pop t
+    else begin
+      t.pending <- t.pending - 1;
+      (* Mark the cell as gone so a later [cancel] on its handle is a true
+         no-op instead of corrupting the pending count. *)
+      root.cancelled <- true;
+      Some (root.time, root.value)
+    end
+
+let rec peek_time t =
+  if t.size = 0 then None
+  else if t.heap.(0).cancelled then begin
+    ignore (pop_root t);
+    peek_time t
+  end
+  else Some t.heap.(0).time
+
+let is_empty t = t.pending = 0
+let length t = t.pending

@@ -1,0 +1,36 @@
+(** Priority queue of timestamped events.
+
+    A binary min-heap keyed by [(time, sequence)]. The sequence number is
+    assigned at insertion, so events scheduled for the same instant pop in
+    insertion order — the tie-break that makes whole-simulation determinism
+    possible. Elements can be cancelled lazily in O(1); cancelled cells are
+    skipped on pop. *)
+
+type 'a t
+(** A queue of events carrying values of type ['a]. *)
+
+type handle
+(** Names one inserted event, for cancellation. *)
+
+val create : unit -> 'a t
+(** An empty queue. *)
+
+val push : 'a t -> time:Time.t -> 'a -> handle
+(** Insert an event at the given instant. *)
+
+val cancel : 'a t -> handle -> unit
+(** Remove the event named by the handle, if it is still pending. Cancelling
+    an already-popped or already-cancelled event is a no-op. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Remove and return the earliest pending event, insertion order breaking
+    ties. [None] if no pending event remains. *)
+
+val peek_time : 'a t -> Time.t option
+(** The instant of the earliest pending event without removing it. *)
+
+val is_empty : 'a t -> bool
+(** No pending (non-cancelled) events. *)
+
+val length : 'a t -> int
+(** Number of pending (non-cancelled) events. *)

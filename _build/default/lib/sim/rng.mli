@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator.
+
+    A small splittable PRNG (SplitMix64 core) owned by the simulation
+    engine. Every random choice in a simulation flows from a single seed, so
+    any run is exactly reproducible. [split] derives an independent stream,
+    which lets components (network jitter, workload, fault injector) draw
+    numbers without perturbing each other's sequences. *)
+
+type t
+
+val create : seed:int -> t
+(** A fresh generator from a seed. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] is a new generator whose stream is independent of the numbers
+    subsequently drawn from [t]. *)
+
+val bits64 : t -> int64
+(** Next 64 raw pseudo-random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val exponential : t -> mean:float -> float
+(** A draw from the exponential distribution with the given mean. Used for
+    Poisson arrival processes in the workload generator. *)
+
+val pick : t -> 'a array -> 'a
+(** A uniformly random element.
+    @raise Invalid_argument on an empty array. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)

@@ -1,0 +1,23 @@
+type 'a entry = { at : Time.t; event : 'a }
+
+type 'a t = {
+  engine : Engine.t;
+  mutable rev_entries : 'a entry list;
+  mutable length : int;
+}
+
+let create engine = { engine; rev_entries = []; length = 0 }
+
+let record t event =
+  t.rev_entries <- { at = Engine.now t.engine; event } :: t.rev_entries;
+  t.length <- t.length + 1
+
+let entries t = List.rev t.rev_entries
+let events t = List.rev_map (fun e -> e.event) t.rev_entries
+let length t = t.length
+let find_last t ~f = List.find_opt (fun e -> f e.event) t.rev_entries
+
+let pp pp_event ppf t =
+  List.iter
+    (fun { at; event } -> Fmt.pf ppf "%a %a@." Time.pp at pp_event event)
+    (entries t)

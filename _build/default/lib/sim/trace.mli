@@ -1,0 +1,31 @@
+(** Timestamped event recorder.
+
+    A lightweight append-only log of labelled events, used by tests to
+    assert on protocol histories and by examples to narrate runs. Recording
+    is O(1); the log lives entirely in memory. *)
+
+type 'a t
+(** A trace of events of type ['a]. *)
+
+type 'a entry = { at : Time.t; event : 'a }
+
+val create : Engine.t -> 'a t
+(** A fresh empty trace stamping entries with the engine's clock. *)
+
+val record : 'a t -> 'a -> unit
+(** Append an event at the current instant. *)
+
+val entries : 'a t -> 'a entry list
+(** All entries, oldest first. *)
+
+val events : 'a t -> 'a list
+(** All events, oldest first, without timestamps. *)
+
+val length : 'a t -> int
+(** Number of recorded entries. *)
+
+val find_last : 'a t -> f:('a -> bool) -> 'a entry option
+(** The most recent entry satisfying [f], if any. *)
+
+val pp : 'a Fmt.t -> 'a t Fmt.t
+(** Prints one [<time> <event>] line per entry, oldest first. *)

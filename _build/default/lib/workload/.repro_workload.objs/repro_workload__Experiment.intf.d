@@ -1,0 +1,1 @@
+lib/workload/experiment.mli: Fmt Params Replica Repro_core Stats

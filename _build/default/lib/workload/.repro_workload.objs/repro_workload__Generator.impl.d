@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Engine Group List Params Repro_core Repro_net Repro_sim Rng Time

@@ -1,0 +1,164 @@
+open Repro_sim
+open Repro_net
+open Repro_core
+
+type config = {
+  kind : Replica.kind;
+  n : int;
+  offered_load : float;
+  size : int;
+  warmup_s : float;
+  measure_s : float;
+  seed : int;
+  params : Params.t;
+}
+
+let config ~kind ~n ~offered_load ~size ?(warmup_s = 2.0) ?(measure_s = 8.0) ?(seed = 0)
+    ?params () =
+  let params = match params with Some p -> { p with Params.n } | None -> Params.default ~n in
+  { kind; n; offered_load; size; warmup_s; measure_s; seed; params }
+
+type result = {
+  config : config;
+  early_latency_ms : Stats.summary;
+  throughput : float;
+  admitted_rate : float;
+  mean_batch : float;
+  msgs_per_instance : float;
+  bytes_per_instance : float;
+  cpu_utilization : float;
+  max_nic_utilization : float;
+  boundary_crossings_per_msg : float;
+}
+
+let span_of_s s = Time.span_ns (int_of_float (s *. 1e9))
+
+let total_busy_ns group =
+  let params = Group.params group in
+  let net = Group.network group in
+  List.fold_left
+    (fun acc pid -> acc + Time.span_to_ns (Cpu.busy_time (Network.cpu net pid)))
+    0
+    (Pid.all ~n:params.Params.n)
+
+let nic_busy_list group =
+  let params = Group.params group in
+  let net = Group.network group in
+  List.map
+    (fun pid -> Time.span_to_ns (Network.nic_busy_time net pid))
+    (Pid.all ~n:params.Params.n)
+
+let total_crossings group =
+  let params = Group.params group in
+  List.fold_left
+    (fun acc pid ->
+      acc + Repro_framework.Stack.boundary_crossings (Replica.stack (Group.replica group pid)))
+    0
+    (Pid.all ~n:params.Params.n)
+
+let run_raw config =
+  let params = { config.params with Params.n = config.n; seed = config.seed } in
+  let group =
+    Group.create ~kind:config.kind ~params ~record_deliveries:false ()
+  in
+  let generator =
+    Generator.start group ~offered_load:config.offered_load ~size:config.size ()
+  in
+  Group.run_for group (span_of_s config.warmup_s);
+  (* Window-start snapshot. *)
+  let t_start = Engine.now (Group.engine group) in
+  let stats0 = Net_stats.snapshot (Group.stats group) in
+  let delivered0 = Group.delivered_counts group in
+  let admitted0 = Group.total_admitted group in
+  let instances0 = Replica.instances_decided (Group.replica group 0) in
+  let busy0 = total_busy_ns group in
+  let nic0 = nic_busy_list group in
+  let crossings0 = total_crossings group in
+  Group.run_for group (span_of_s config.measure_s);
+  let t_end = Engine.now (Group.engine group) in
+  Generator.stop generator;
+  (* Window-end snapshot. *)
+  let stats1 = Net_stats.snapshot (Group.stats group) in
+  let delivered1 = Group.delivered_counts group in
+  let admitted1 = Group.total_admitted group in
+  let instances1 = Replica.instances_decided (Group.replica group 0) in
+  let busy1 = total_busy_ns group in
+  let nic1 = nic_busy_list group in
+  let crossings1 = total_crossings group in
+  let window_s = Time.span_to_ms_float (Time.diff t_end t_start) /. 1e3 in
+  (* Early latency over messages abcast within the window. Messages abcast
+     near the window end may not be delivered yet; like the paper we only
+     average over completed deliveries. *)
+  let latencies =
+    Group.latencies group
+    |> List.filter_map (fun (r : Group.latency_record) ->
+           if Time.(r.abcast_at >= t_start) && Time.(r.abcast_at <= t_end) then
+             Some (Time.span_to_ms_float (Time.diff r.first_delivery r.abcast_at))
+           else None)
+  in
+  let delivered_window =
+    Array.mapi (fun i d1 -> d1 - delivered0.(i)) delivered1 |> Array.to_list
+  in
+  let throughput =
+    Stats.mean (List.map float_of_int delivered_window) /. window_s
+  in
+  let instances = instances1 - instances0 in
+  let finstances = float_of_int (max 1 instances) in
+  let delta = Net_stats.diff stats1 stats0 in
+  let delivered_p1 = delivered_window |> List.hd in
+  ( latencies,
+    {
+      config;
+      early_latency_ms = Stats.summarize latencies;
+      throughput;
+      admitted_rate = float_of_int (admitted1 - admitted0) /. window_s;
+      mean_batch = float_of_int delivered_p1 /. finstances;
+      msgs_per_instance = float_of_int delta.Net_stats.messages /. finstances;
+      bytes_per_instance = float_of_int delta.Net_stats.payload_bytes /. finstances;
+      cpu_utilization =
+        float_of_int (busy1 - busy0) /. (window_s *. 1e9 *. float_of_int config.n);
+      max_nic_utilization =
+        (let deltas = List.map2 (fun a b -> a - b) nic1 nic0 in
+         float_of_int (List.fold_left max 0 deltas) /. (window_s *. 1e9));
+      boundary_crossings_per_msg =
+        float_of_int (crossings1 - crossings0)
+        /. float_of_int (max 1 (List.fold_left ( + ) 0 delivered_window));
+    } )
+
+let run config = snd (run_raw config)
+
+let run_repeated ?(repeats = 3) config =
+  if repeats < 1 then invalid_arg "Experiment.run_repeated: repeats must be >= 1";
+  let runs =
+    List.init repeats (fun i -> run_raw { config with seed = config.seed + i })
+  in
+  let pooled_latencies = List.concat_map fst runs in
+  let results = List.map snd runs in
+  let mean f = Stats.mean (List.map f results) in
+  {
+    config;
+    early_latency_ms = Stats.summarize pooled_latencies;
+    throughput = mean (fun r -> r.throughput);
+    admitted_rate = mean (fun r -> r.admitted_rate);
+    mean_batch = mean (fun r -> r.mean_batch);
+    msgs_per_instance = mean (fun r -> r.msgs_per_instance);
+    bytes_per_instance = mean (fun r -> r.bytes_per_instance);
+    cpu_utilization = mean (fun r -> r.cpu_utilization);
+    max_nic_utilization = mean (fun r -> r.max_nic_utilization);
+    boundary_crossings_per_msg = mean (fun r -> r.boundary_crossings_per_msg);
+  }
+
+let kind_name = function
+  | Replica.Modular -> "modular"
+  | Replica.Monolithic -> "monolithic"
+  | Replica.Indirect -> "indirect"
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "%-10s n=%d load=%6.0f/s size=%6dB | lat %7.3f ±%5.3f ms | tput %7.1f/s | M=%4.1f | \
+     msgs/inst %5.1f | CPU %3.0f%% | NIC %3.0f%%"
+    (kind_name r.config.kind) r.config.n r.config.offered_load r.config.size
+    r.early_latency_ms.Stats.mean r.early_latency_ms.Stats.ci95 r.throughput r.mean_batch
+    r.msgs_per_instance
+    (100.0 *. r.cpu_utilization)
+    (100.0 *. r.max_nic_utilization)

@@ -1,0 +1,70 @@
+open Repro_core
+
+(** One benchmark run: workload + measurement window.
+
+    Reproduces the paper's methodology (§5.1): start the symmetric
+    workload, let the system reach a stationary state (warm-up), then
+    measure early latency and throughput over a window, reporting means
+    with 95% confidence intervals. Also reports the measured per-consensus
+    message and byte counts (the quantities of §5.2) and CPU utilization
+    (the paper's saturation diagnostic). *)
+
+type config = {
+  kind : Replica.kind;
+  n : int;
+  offered_load : float;  (** msgs/s, global. *)
+  size : int;  (** Message payload bytes. *)
+  warmup_s : float;  (** Virtual seconds before measurement. *)
+  measure_s : float;  (** Virtual seconds measured. *)
+  seed : int;
+  params : Params.t;  (** Base parameters; [n] and [seed] above override. *)
+}
+
+val config :
+  kind:Replica.kind ->
+  n:int ->
+  offered_load:float ->
+  size:int ->
+  ?warmup_s:float ->
+  ?measure_s:float ->
+  ?seed:int ->
+  ?params:Params.t ->
+  unit ->
+  config
+(** Defaults: 2 s warm-up, 8 s measurement, seed 0, {!Params.default}. *)
+
+type result = {
+  config : config;
+  early_latency_ms : Stats.summary;
+      (** Early latency L = (min over processes of adelivery time) - t0, in
+          milliseconds, over messages abcast inside the window. *)
+  throughput : float;
+      (** T = mean over processes of adeliver rate, msgs/s, §5.1. *)
+  admitted_rate : float;  (** abcast completions per second. *)
+  mean_batch : float;  (** Measured M: messages per consensus instance. *)
+  msgs_per_instance : float;
+      (** Wire messages per consensus instance (compare §5.2.1). *)
+  bytes_per_instance : float;
+      (** Wire payload bytes per consensus instance (compare §5.2.2). *)
+  cpu_utilization : float;
+      (** Mean busy fraction of the n CPUs during the window. *)
+  max_nic_utilization : float;
+      (** Busy fraction of the most-loaded NIC during the window (the
+          coordinator's, in practice) — shows when a configuration becomes
+          line-rate-bound. *)
+  boundary_crossings_per_msg : float;
+      (** Framework events per adelivered message (modularity diagnostic). *)
+}
+
+val run : config -> result
+(** Execute the run in virtual time and summarize the window. *)
+
+val run_repeated : ?repeats:int -> config -> result
+(** Run the same configuration [repeats] times (default 3) with seeds
+    [seed, seed+1, …] and combine: latency samples are pooled across the
+    executions (the paper computes means "over many messages and for
+    several executions", §5.1); scalar metrics are averaged. With
+    [repeats = 1] this is {!run}. *)
+
+val pp_result : result Fmt.t
+(** One human-readable line: load, latency, throughput, M, CPU. *)

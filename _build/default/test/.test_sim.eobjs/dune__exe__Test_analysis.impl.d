@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest List Model Printf QCheck QCheck_alcotest Repro_analysis

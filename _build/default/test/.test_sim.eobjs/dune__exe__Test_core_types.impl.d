@@ -1,0 +1,1 @@
+test/test_core_types.ml: Alcotest App_msg Array Batch Flow_control Fmt Group List Msg Order_checker Params QCheck QCheck_alcotest Replica Repro_core Repro_sim String Time

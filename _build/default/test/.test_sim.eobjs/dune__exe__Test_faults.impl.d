@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest App_msg Engine Fmt Group Heartbeat_fd List Network Params Pid QCheck QCheck_alcotest Replica Repro_core Repro_fd Repro_net Repro_sim Time

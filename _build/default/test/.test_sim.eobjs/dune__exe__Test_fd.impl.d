@@ -1,0 +1,1 @@
+test/test_fd.ml: Alcotest Array Chen_fd Engine Fd Group Heartbeat_fd List Network Oracle_fd Params Printf Replica Repro_core Repro_fd Repro_net Repro_sim Time

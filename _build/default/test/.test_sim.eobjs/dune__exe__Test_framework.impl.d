@@ -1,0 +1,1 @@
+test/test_framework.ml: Alcotest Cpu Engine Event_bus List Repro_framework Repro_sim Stack Time

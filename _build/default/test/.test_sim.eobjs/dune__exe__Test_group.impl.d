@@ -1,0 +1,1 @@
+test/test_group.ml: Alcotest App_msg Experiment Fmt Group List Network Params Replica Repro_core Repro_fd Repro_framework Repro_net Repro_sim Repro_workload Stats String Time

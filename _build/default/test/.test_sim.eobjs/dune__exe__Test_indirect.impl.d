@@ -1,0 +1,1 @@
+test/test_indirect.ml: Alcotest App_msg Group Heartbeat_fd List Net_stats Network Params Pid Printf QCheck QCheck_alcotest Replica Repro_core Repro_fd Repro_framework Repro_net Repro_sim Rng Time

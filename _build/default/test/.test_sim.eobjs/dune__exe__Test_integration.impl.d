@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest App_msg Array Group Hashtbl List Net_stats Params Pid Printf Replica Repro_core Repro_framework Repro_net Repro_sim Repro_workload Rng Time

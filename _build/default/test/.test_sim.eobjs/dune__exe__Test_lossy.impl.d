@@ -1,0 +1,1 @@
+test/test_lossy.ml: Alcotest Group List Net_stats Params Pid Printf QCheck QCheck_alcotest Replica Repro_core Repro_fd Repro_net Repro_sim Rng Time

@@ -1,0 +1,1 @@
+test/test_monolithic.ml: Alcotest App_msg Array Engine Group List Net_stats Params Pid Printf QCheck QCheck_alcotest Replica Repro_analysis Repro_core Repro_net Repro_sim Rng Time

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Engine List Net_stats Network Pid QCheck QCheck_alcotest Repro_net Repro_sim Time Topology Wire

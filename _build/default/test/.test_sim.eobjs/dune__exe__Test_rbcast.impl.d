@@ -1,0 +1,1 @@
+test/test_rbcast.ml: Alcotest Array Engine Fun List Msg Net_stats Network Params Printf QCheck QCheck_alcotest Rbcast Repro_analysis Repro_core Repro_net Repro_sim String

@@ -1,0 +1,1 @@
+test/test_rchannel.ml: Alcotest Array Engine List Network Pid Printf QCheck QCheck_alcotest Rchannel Repro_net Repro_sim String Time

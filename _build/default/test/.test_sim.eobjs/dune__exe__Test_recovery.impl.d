@@ -1,0 +1,1 @@
+test/test_recovery.ml: Abcast_modular Abcast_monolithic Alcotest App_msg Batch Consensus Engine Fd Group Heartbeat_fd List Msg Network Params Replica Repro_core Repro_fd Repro_net Repro_sim Time

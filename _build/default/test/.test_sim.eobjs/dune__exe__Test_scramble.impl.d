@@ -1,0 +1,1 @@
+test/test_scramble.ml: Alcotest App_msg Array Batch Consensus Consensus_classic Engine List Msg Oracle_fd Params Pid QCheck QCheck_alcotest Rbcast Repro_core Repro_fd Repro_net Repro_sim Rng Time

@@ -1,0 +1,1 @@
+test/test_scramble.mli:

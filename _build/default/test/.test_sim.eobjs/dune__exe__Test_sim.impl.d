@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cpu Engine Event_queue Fun List Option Printf QCheck QCheck_alcotest Repro_sim Rng Time Trace

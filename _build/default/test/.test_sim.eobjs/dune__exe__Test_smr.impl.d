@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Group Heartbeat_fd List Params Replica Repro_core Repro_fd Repro_sim Rng Smr Time

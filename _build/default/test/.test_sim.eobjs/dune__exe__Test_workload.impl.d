@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Experiment Gen Generator Group Params Printf QCheck QCheck_alcotest Replica Repro_core Repro_sim Repro_workload Stats Time

@@ -1,0 +1,73 @@
+(* Tests for the closed-form model of §5.2. *)
+
+open Repro_analysis
+
+let test_messages () =
+  (* §5.2.1 worked example: n=3, M=4 — modular 16, monolithic 4. *)
+  Alcotest.(check int) "modular n=3 M=4" 16 (Model.modular_messages ~n:3 ~m:4);
+  Alcotest.(check int) "monolithic n=3" 4 (Model.monolithic_messages ~n:3);
+  Alcotest.(check int) "modular n=7 M=4" 60 (Model.modular_messages ~n:7 ~m:4);
+  Alcotest.(check int) "monolithic n=7" 12 (Model.monolithic_messages ~n:7)
+
+let test_rbcast_counts () =
+  (* §3.1: (n-1)(floor((n-1)/2) + 1) = (n-1) * floor((n+1)/2). *)
+  Alcotest.(check int) "majority n=3" 4 (Model.rbcast_messages ~n:3);
+  Alcotest.(check int) "majority n=5" 12 (Model.rbcast_messages ~n:5);
+  Alcotest.(check int) "majority n=7" 24 (Model.rbcast_messages ~n:7);
+  Alcotest.(check int) "classic n=3" 6 (Model.rbcast_classic_messages ~n:3);
+  Alcotest.(check int) "classic n=7" 42 (Model.rbcast_classic_messages ~n:7)
+
+let test_bytes () =
+  (* §5.2.2: Data_mod = 2(n-1)Ml; Data_mono = (n-1)(1+1/n)Ml. *)
+  Alcotest.(check int) "modular n=3 M=4 l=1000" 16_000
+    (Model.modular_bytes ~n:3 ~m:4 ~l:1000);
+  Alcotest.(check (float 1e-6)) "monolithic n=3 M=4 l=1000"
+    (2.0 *. (1.0 +. (1.0 /. 3.0)) *. 4000.0)
+    (Model.monolithic_bytes ~n:3 ~m:4 ~l:1000);
+  Alcotest.(check int) "modular n=7" 48_000 (Model.modular_bytes ~n:7 ~m:4 ~l:1000)
+
+let test_overhead () =
+  (* §5.2.2: 50% at n=3, 75% at n=7. *)
+  Alcotest.(check (float 1e-9)) "n=3" 0.5 (Model.data_overhead ~n:3);
+  Alcotest.(check (float 1e-9)) "n=7" 0.75 (Model.data_overhead ~n:7)
+
+let test_overhead_consistency () =
+  (* The overhead formula must equal the ratio of the byte formulas. *)
+  List.iter
+    (fun n ->
+      let m = 4 and l = 512 in
+      let dmod = float_of_int (Model.modular_bytes ~n ~m ~l) in
+      let dmono = Model.monolithic_bytes ~n ~m ~l in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "n=%d consistent" n)
+        (Model.data_overhead ~n)
+        ((dmod -. dmono) /. dmono))
+    [ 2; 3; 4; 5; 6; 7; 9; 15 ]
+
+let test_invalid () =
+  Alcotest.check_raises "n=0 rejected" (Invalid_argument "Model: n must be >= 1")
+    (fun () -> ignore (Model.monolithic_messages ~n:0))
+
+let prop_modular_dominates =
+  QCheck.Test.make ~name:"modular always costs more (n >= 2, M >= 1)" ~count:200
+    QCheck.(pair (int_range 2 20) (int_range 1 100))
+    (fun (n, m) ->
+      Model.modular_messages ~n ~m > Model.monolithic_messages ~n
+      && float_of_int (Model.modular_bytes ~n ~m ~l:100)
+         > Model.monolithic_bytes ~n ~m ~l:100)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "message counts (§5.2.1)" `Quick test_messages;
+          Alcotest.test_case "rbcast counts (§3.1)" `Quick test_rbcast_counts;
+          Alcotest.test_case "byte counts (§5.2.2)" `Quick test_bytes;
+          Alcotest.test_case "overhead (n-1)/(n+1)" `Quick test_overhead;
+          Alcotest.test_case "overhead consistent with byte formulas" `Quick
+            test_overhead_consistency;
+          Alcotest.test_case "invalid arguments" `Quick test_invalid;
+          QCheck_alcotest.to_alcotest prop_modular_dominates;
+        ] );
+    ]

@@ -1,0 +1,351 @@
+(* Tests for the optimized Chandra-Toueg consensus (§3.2): agreement,
+   validity, termination, good-run message pattern, coordinator crash and
+   false-suspicion recovery. The harness wires n consensus modules over the
+   simulated network with per-process oracle failure detectors, exactly as
+   the modular replica does (minus the abcast layer). *)
+
+open Repro_sim
+open Repro_net
+open Repro_fd
+open Repro_core
+
+type proc = {
+  consensus : Consensus.t;
+  oracle : Oracle_fd.t;
+  mutable decided : (int * Batch.t) list;
+}
+
+type world = {
+  engine : Engine.t;
+  net : Msg.t Network.t;
+  procs : proc array;
+  params : Params.t;
+}
+
+let msg ~origin ~seq =
+  App_msg.make ~origin ~seq ~size:100 ~abcast_at:Time.zero
+
+let batch_of_pids pids =
+  Batch.of_list (List.map (fun p -> msg ~origin:p ~seq:0) pids)
+
+let make ?(n = 3) ?params () =
+  let params = match params with Some p -> p | None -> Params.default ~n in
+  let engine = Engine.create () in
+  let net =
+    Network.create engine ~kind_of:Msg.kind ~n ~payload_bytes:Msg.payload_bytes ()
+  in
+  let procs =
+    Array.init n (fun me ->
+        let oracle = Oracle_fd.create () in
+        let send ~dst m = Network.send net ~src:me ~dst m in
+        let broadcast m = Network.send_to_others net ~src:me m in
+        let rec proc =
+          lazy
+            (let rbcast =
+               Rbcast.create ~me ~n ~variant:params.Params.modular.Params.rbcast_variant
+                 ~broadcast:(fun ~meta (inst, round, value) ->
+                   broadcast (Msg.Decision_tag { meta; inst; round; value }))
+                 ~deliver:(fun ~meta (inst, round, value) ->
+                   Consensus.rb_deliver
+                     (Lazy.force proc).consensus
+                     ~proposer:meta.Msg.rb_origin ~inst ~round ~value)
+                 ()
+             in
+             let consensus =
+               Consensus.create ~engine ~params ~me ~fd:(Oracle_fd.fd oracle) ~send
+                 ~broadcast
+                 ~rbcast_decision:(fun ~inst ~round ~value ->
+                   Rbcast.rbcast rbcast (inst, round, value))
+                 ~on_decide:(fun ~inst value ->
+                   let p = Lazy.force proc in
+                   p.decided <- (inst, value) :: p.decided)
+                 ()
+             in
+             Network.register net me (fun ~src m ->
+                 match m with
+                 | Msg.Decision_tag { meta; inst; round; value } ->
+                   Rbcast.receive rbcast ~src ~meta (inst, round, value)
+                 | _ -> Consensus.receive (Lazy.force proc).consensus ~src m);
+             { consensus; oracle; decided = [] })
+        in
+        Lazy.force proc)
+  in
+  { engine; net; procs; params }
+
+let decision_of w p inst = List.assoc_opt inst w.procs.(p).decided
+let run w = Engine.run w.engine
+let run_for w span = Engine.run_until w.engine (Time.add (Engine.now w.engine) span)
+
+let check_agreement ?(correct = []) w inst =
+  let correct =
+    if correct = [] then Pid.all ~n:(Array.length w.procs) else correct
+  in
+  let decisions = List.filter_map (fun p -> decision_of w p inst) correct in
+  Alcotest.(check int) "all correct processes decided" (List.length correct)
+    (List.length decisions);
+  match decisions with
+  | [] -> Alcotest.fail "no decisions"
+  | first :: rest ->
+    List.iter
+      (fun d -> Alcotest.(check bool) "agreement" true (Batch.equal first d))
+      rest;
+    first
+
+(* ---- Good runs ---- *)
+
+let test_basic_agreement () =
+  let w = make () in
+  Array.iteri
+    (fun p proc ->
+      Consensus.propose proc.consensus ~inst:0 (batch_of_pids [ p ]))
+    w.procs;
+  run w;
+  let d = check_agreement w 0 in
+  (* Validity: round 1 has no estimate phase, so the decision is the
+     coordinator p1's initial value. *)
+  Alcotest.(check bool) "decision is p1's proposal" true
+    (Batch.equal d (batch_of_pids [ 0 ]))
+
+let test_single_proposer_coordinator () =
+  let w = make () in
+  Consensus.propose w.procs.(0).consensus ~inst:0 (batch_of_pids [ 0 ]);
+  run w;
+  ignore (check_agreement w 0)
+
+let test_good_run_message_pattern () =
+  let w = make () in
+  Array.iteri
+    (fun p proc -> Consensus.propose proc.consensus ~inst:0 (batch_of_pids [ p ]))
+    w.procs;
+  run w;
+  ignore (check_agreement w 0);
+  let kinds = Net_stats.by_kind (Network.stats w.net) in
+  (* §3.2 optimized pattern: proposal to n-1, n-1 acks (minus the
+     coordinator's implicit one), decision tag via majority rbcast. *)
+  Alcotest.(check (option int)) "proposals" (Some 2) (List.assoc_opt "propose" kinds);
+  Alcotest.(check (option int)) "acks" (Some 2) (List.assoc_opt "ack" kinds);
+  Alcotest.(check (option int)) "decision tags"
+    (Some (Repro_analysis.Model.rbcast_messages ~n:3))
+    (List.assoc_opt "decision-tag" kinds);
+  Alcotest.(check (option int)) "no estimates in good runs" None
+    (List.assoc_opt "estimate" kinds);
+  Alcotest.(check (option int)) "no solicitations in good runs" None
+    (List.assoc_opt "new-round" kinds)
+
+let test_good_run_single_round () =
+  let w = make ~n:7 () in
+  Array.iteri
+    (fun p proc -> Consensus.propose proc.consensus ~inst:0 (batch_of_pids [ p ]))
+    w.procs;
+  run w;
+  ignore (check_agreement w 0);
+  for p = 0 to 6 do
+    Alcotest.(check int)
+      (Printf.sprintf "p%d stayed in round 1" (p + 1))
+      1
+      (Consensus.rounds_used w.procs.(p).consensus ~inst:0)
+  done
+
+let test_concurrent_instances () =
+  let w = make () in
+  for inst = 0 to 4 do
+    Array.iteri
+      (fun p proc -> Consensus.propose proc.consensus ~inst (batch_of_pids [ p ]))
+      w.procs
+  done;
+  run w;
+  for inst = 0 to 4 do
+    ignore (check_agreement w inst)
+  done
+
+let test_decision_api () =
+  let w = make () in
+  Alcotest.(check bool) "unknown instance" true
+    (Consensus.decision w.procs.(0).consensus ~inst:9 = None);
+  Array.iteri
+    (fun p proc -> Consensus.propose proc.consensus ~inst:0 (batch_of_pids [ p ]))
+    w.procs;
+  run w;
+  Alcotest.(check bool) "decision queryable" true
+    (Consensus.decision w.procs.(1).consensus ~inst:0 <> None)
+
+(* ---- Crash runs ---- *)
+
+let suspect_everywhere w dead =
+  Array.iteri (fun p proc -> if p <> dead then Oracle_fd.suspect proc.oracle dead) w.procs
+
+let test_coordinator_crash_before_propose () =
+  let w = make () in
+  Network.crash w.net 0;
+  Consensus.propose w.procs.(1).consensus ~inst:0 (batch_of_pids [ 1 ]);
+  Consensus.propose w.procs.(2).consensus ~inst:0 (batch_of_pids [ 2 ]);
+  run_for w (Time.span_ms 100);
+  suspect_everywhere w 0;
+  run_for w (Time.span_s 2);
+  let d = check_agreement ~correct:[ 1; 2 ] w 0 in
+  (* Validity: the decision must be one of the survivors' proposals. *)
+  Alcotest.(check bool) "decision proposed by a survivor" true
+    (Batch.equal d (batch_of_pids [ 1 ]) || Batch.equal d (batch_of_pids [ 2 ]));
+  Alcotest.(check bool) "rounds advanced past the dead coordinator" true
+    (Consensus.rounds_used w.procs.(1).consensus ~inst:0 >= 2)
+
+let test_coordinator_crash_mid_broadcast () =
+  (* p1 proposes but reaches only p2 before crashing; after suspicion the
+     instance must still terminate with agreement among survivors. *)
+  let w = make () in
+  Network.crash_after_sends w.net 0 1;
+  Array.iteri
+    (fun p proc -> Consensus.propose proc.consensus ~inst:0 (batch_of_pids [ p ]))
+    w.procs;
+  run_for w (Time.span_ms 100);
+  suspect_everywhere w 0;
+  run_for w (Time.span_s 2);
+  ignore (check_agreement ~correct:[ 1; 2 ] w 0)
+
+let test_crash_after_decision_sent_partially () =
+  (* The coordinator decides and crashes while reliably broadcasting the
+     DECISION tag: rbcast relaying (or recovery rounds) must propagate the
+     decision, and the locked value must survive. *)
+  let w = make ~n:5 () in
+  (* Let the instance complete normally except p1 dies after 6 sends:
+     4 proposals + 2 decision tag copies. *)
+  Network.crash_after_sends w.net 0 6;
+  Array.iteri
+    (fun p proc -> Consensus.propose proc.consensus ~inst:0 (batch_of_pids [ p ]))
+    w.procs;
+  run_for w (Time.span_ms 200);
+  suspect_everywhere w 0;
+  run_for w (Time.span_s 3);
+  let d = check_agreement ~correct:[ 1; 2; 3; 4 ] w 0 in
+  Alcotest.(check bool) "locked value preserved (p1's proposal)" true
+    (Batch.equal d (batch_of_pids [ 0 ]))
+
+let test_two_coordinator_crashes () =
+  let w = make ~n:7 () in
+  Network.crash w.net 0;
+  Network.crash w.net 1;
+  for p = 2 to 6 do
+    Consensus.propose w.procs.(p).consensus ~inst:0 (batch_of_pids [ p ])
+  done;
+  run_for w (Time.span_ms 100);
+  suspect_everywhere w 0;
+  suspect_everywhere w 1;
+  run_for w (Time.span_s 3);
+  ignore (check_agreement ~correct:[ 2; 3; 4; 5; 6 ] w 0)
+
+(* ---- Wrong suspicions (safety under FD inaccuracy) ---- *)
+
+let test_false_suspicion_safe () =
+  (* p2 wrongly suspects the (alive) coordinator before it proposes. The
+     algorithm may decide in round 1 (without p2's ack) or later, but
+     agreement must hold and everyone must terminate. *)
+  let w = make () in
+  Oracle_fd.suspect w.procs.(1).oracle 0;
+  Array.iteri
+    (fun p proc -> Consensus.propose proc.consensus ~inst:0 (batch_of_pids [ p ]))
+    w.procs;
+  run_for w (Time.span_s 3);
+  ignore (check_agreement w 0)
+
+let test_false_suspicion_after_ack () =
+  (* p2 acks round 1 then wrongly suspects the coordinator: its higher
+     round must not destroy the round-1 decision (locking), and p2 itself
+     must still decide the same value. *)
+  let w = make () in
+  Array.iteri
+    (fun p proc -> Consensus.propose proc.consensus ~inst:0 (batch_of_pids [ p ]))
+    w.procs;
+  (* Give round 1 time to partially progress, then inject the suspicion. *)
+  run_for w (Time.span_us 400);
+  Oracle_fd.suspect w.procs.(1).oracle 0;
+  run_for w (Time.span_s 3);
+  let d = check_agreement w 0 in
+  Alcotest.(check bool) "locked round-1 value" true (Batch.equal d (batch_of_pids [ 0 ]))
+
+let test_everyone_falsely_suspects () =
+  let w = make () in
+  Array.iteri (fun p proc -> if p <> 0 then Oracle_fd.suspect proc.oracle 0) w.procs;
+  Array.iteri
+    (fun p proc -> Consensus.propose proc.consensus ~inst:0 (batch_of_pids [ p ]))
+    w.procs;
+  run_for w (Time.span_s 3);
+  ignore (check_agreement w 0)
+
+(* Property: random crash/suspicion schedules never violate agreement or
+   validity, and all correct processes terminate. *)
+let prop_random_crashes =
+  let gen =
+    QCheck.Gen.(
+      let* n = oneofl [ 3; 5; 7 ] in
+      let f = (n - 1) / 2 in
+      let* crashes = int_bound f in
+      let* crash_pids =
+        let rec pick acc k =
+          if k = 0 then return acc
+          else
+            let* p = int_bound (n - 1) in
+            if List.mem p acc then pick acc k else pick (p :: acc) (k - 1)
+        in
+        pick [] crashes
+      in
+      let* delay_us = int_bound 3000 in
+      let* seed = int_bound 1000 in
+      return (n, crash_pids, delay_us, seed))
+  in
+  QCheck.Test.make ~name:"consensus safe under random minority crashes" ~count:60
+    (QCheck.make gen) (fun (n, crash_pids, delay_us, seed) ->
+      let params = { (Params.default ~n) with Params.seed } in
+      let w = make ~n ~params () in
+      Array.iteri
+        (fun p proc -> Consensus.propose proc.consensus ~inst:0 (batch_of_pids [ p ]))
+        w.procs;
+      ignore
+        (Engine.schedule_after w.engine (Time.span_us delay_us) (fun () ->
+             List.iter
+               (fun dead ->
+                 Network.crash w.net dead;
+                 suspect_everywhere w dead)
+               crash_pids));
+      run_for w (Time.span_s 10);
+      let correct = List.filter (fun p -> not (List.mem p crash_pids)) (Pid.all ~n) in
+      let decisions = List.filter_map (fun p -> decision_of w p 0) correct in
+      List.length decisions = List.length correct
+      &&
+      match decisions with
+      | [] -> false
+      | first :: rest -> List.for_all (Batch.equal first) rest)
+
+let () =
+  Alcotest.run "consensus"
+    [
+      ( "good-runs",
+        [
+          Alcotest.test_case "basic agreement + validity" `Quick test_basic_agreement;
+          Alcotest.test_case "single proposer" `Quick test_single_proposer_coordinator;
+          Alcotest.test_case "message pattern (§3.2)" `Quick test_good_run_message_pattern;
+          Alcotest.test_case "single round, n=7" `Quick test_good_run_single_round;
+          Alcotest.test_case "concurrent instances" `Quick test_concurrent_instances;
+          Alcotest.test_case "decision API" `Quick test_decision_api;
+        ] );
+      ( "crashes",
+        [
+          Alcotest.test_case "coordinator crash before propose" `Quick
+            test_coordinator_crash_before_propose;
+          Alcotest.test_case "coordinator crash mid-broadcast" `Quick
+            test_coordinator_crash_mid_broadcast;
+          Alcotest.test_case "crash during decision broadcast" `Quick
+            test_crash_after_decision_sent_partially;
+          Alcotest.test_case "two coordinator crashes (n=7)" `Quick
+            test_two_coordinator_crashes;
+        ] );
+      ( "suspicions",
+        [
+          Alcotest.test_case "false suspicion before propose" `Quick
+            test_false_suspicion_safe;
+          Alcotest.test_case "false suspicion after ack (locking)" `Quick
+            test_false_suspicion_after_ack;
+          Alcotest.test_case "everyone falsely suspects" `Quick
+            test_everyone_falsely_suspects;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_random_crashes ]);
+    ]

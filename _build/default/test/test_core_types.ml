@@ -1,0 +1,265 @@
+(* Unit tests for the core data types: application messages, batches, the
+   wire-size model, parameters, flow control, and the order checker. *)
+
+open Repro_sim
+open Repro_core
+
+let mk ?(size = 100) origin seq = App_msg.make ~origin ~seq ~size ~abcast_at:Time.zero
+
+(* ---- App_msg ---- *)
+
+let test_app_msg_identity () =
+  let a = mk 0 1 and b = mk 0 2 and c = mk 1 0 in
+  Alcotest.(check int) "same id equal" 0 (App_msg.compare_id a.App_msg.id a.App_msg.id);
+  Alcotest.(check bool) "seq orders within origin" true
+    (App_msg.compare_id a.App_msg.id b.App_msg.id < 0);
+  Alcotest.(check bool) "origin dominates seq" true
+    (App_msg.compare_id b.App_msg.id c.App_msg.id < 0);
+  Alcotest.(check bool) "equal_id" true (App_msg.equal_id a.App_msg.id a.App_msg.id);
+  Alcotest.(check string) "pp" "p1#1(100B)" (Fmt.str "%a" App_msg.pp a)
+
+let test_id_set () =
+  let set =
+    App_msg.Id_set.of_list [ (mk 0 0).App_msg.id; (mk 1 0).App_msg.id; (mk 0 0).App_msg.id ]
+  in
+  Alcotest.(check int) "dedup" 2 (App_msg.Id_set.cardinal set)
+
+(* ---- Batch ---- *)
+
+let test_batch_canonical () =
+  let b1 = Batch.of_list [ mk 2 0; mk 0 0; mk 1 0 ] in
+  let b2 = Batch.of_list [ mk 0 0; mk 1 0; mk 2 0; mk 0 0 ] in
+  Alcotest.(check bool) "order-insensitive and deduped" true (Batch.equal b1 b2);
+  Alcotest.(check int) "size" 3 (Batch.size b1);
+  Alcotest.(check (list int)) "to_list sorted by origin"
+    [ 0; 1; 2 ]
+    (List.map (fun m -> m.App_msg.id.App_msg.origin) (Batch.to_list b1))
+
+let test_batch_operations () =
+  let b = Batch.of_list [ mk ~size:10 0 0; mk ~size:20 1 0 ] in
+  Alcotest.(check int) "payload_bytes" 30 (Batch.payload_bytes b);
+  Alcotest.(check bool) "mem" true (Batch.mem b (mk 0 0).App_msg.id);
+  Alcotest.(check bool) "not mem" false (Batch.mem b (mk 2 0).App_msg.id);
+  let u = Batch.union b (Batch.of_list [ mk 1 0; mk 2 0 ]) in
+  Alcotest.(check int) "union dedups" 3 (Batch.size u);
+  let removed = Batch.remove_ids u (Batch.ids b) in
+  Alcotest.(check int) "remove_ids" 1 (Batch.size removed);
+  Alcotest.(check bool) "empty" true (Batch.is_empty Batch.empty);
+  Alcotest.(check int) "ids cardinality" 3 (App_msg.Id_set.cardinal (Batch.ids u))
+
+let prop_batch_union =
+  QCheck.Test.make ~name:"batch union is commutative, associative, idempotent" ~count:200
+    QCheck.(pair (list (pair (int_bound 4) (int_bound 20))) (list (pair (int_bound 4) (int_bound 20))))
+    (fun (xs, ys) ->
+      let batch_of l = Batch.of_list (List.map (fun (o, s) -> mk o s) l) in
+      let a = batch_of xs and b = batch_of ys in
+      Batch.equal (Batch.union a b) (Batch.union b a)
+      && Batch.equal (Batch.union a (Batch.union a b)) (Batch.union a b)
+      && Batch.equal (Batch.union a a) a)
+
+let prop_batch_sorted =
+  QCheck.Test.make ~name:"batch to_list is always identity-sorted" ~count:200
+    QCheck.(list (pair (int_bound 6) (int_bound 50)))
+    (fun l ->
+      let b = Batch.of_list (List.map (fun (o, s) -> mk o s) l) in
+      let out = Batch.to_list b in
+      List.sort App_msg.compare out = out)
+
+(* ---- Msg size model ---- *)
+
+let test_msg_sizes () =
+  let small = Batch.of_list [ mk ~size:100 0 0 ] in
+  let big = Batch.of_list [ mk ~size:100 0 0; mk ~size:5000 1 0 ] in
+  let size msg = Msg.payload_bytes msg in
+  Alcotest.(check bool) "ack is tiny" true (size (Msg.Ack { inst = 0; round = 1 }) < 32);
+  Alcotest.(check bool) "nack is tiny" true (size (Msg.Nack { inst = 0; round = 1 }) < 32);
+  Alcotest.(check bool) "tag decision is tiny" true
+    (size
+       (Msg.Decision_tag
+          { meta = { Msg.rb_origin = 0; rb_seq = 0 }; inst = 0; round = 1; value = None })
+    < 64);
+  Alcotest.(check bool) "proposal grows with batch" true
+    (size (Msg.Propose { inst = 0; round = 1; value = big })
+    > size (Msg.Propose { inst = 0; round = 1; value = small }));
+  Alcotest.(check bool) "diffuse carries the payload" true
+    (size (Msg.Diffuse (mk ~size:4096 0 0)) >= 4096);
+  Alcotest.(check bool) "piggybacked ack carries payloads" true
+    (size (Msg.Ack_diff { inst = 0; round = 1; piggyback = [ mk ~size:2048 1 0 ] })
+    >= 2048);
+  (* A combined proposal+decision costs barely more than the proposal:
+     that is the entire point of §4.1. *)
+  let prop_alone =
+    size (Msg.Prop_dec { inst = 1; round = 1; proposal = big; decided = None })
+  in
+  let prop_with_decision =
+    size (Msg.Prop_dec { inst = 1; round = 1; proposal = big; decided = Some (0, 1) })
+  in
+  Alcotest.(check bool) "piggybacked decision is almost free" true
+    (prop_with_decision - prop_alone < 16)
+
+let test_msg_kinds_distinct () =
+  let kinds =
+    List.map Msg.kind
+      [
+        Msg.Heartbeat;
+        Msg.Diffuse (mk 0 0);
+        Msg.Estimate { inst = 0; round = 1; value = Batch.empty; ts = 0 };
+        Msg.Propose { inst = 0; round = 1; value = Batch.empty };
+        Msg.Ack { inst = 0; round = 1 };
+        Msg.Nack { inst = 0; round = 1 };
+        Msg.Decision_tag
+          { meta = { Msg.rb_origin = 0; rb_seq = 0 }; inst = 0; round = 1; value = None };
+        Msg.New_round { inst = 0; round = 2 };
+        Msg.Prop_dec { inst = 0; round = 1; proposal = Batch.empty; decided = None };
+        Msg.Ack_diff { inst = 0; round = 1; piggyback = [] };
+        Msg.Mono_estimate
+          { inst = 0; round = 2; value = Batch.empty; ts = 0; piggyback = [] };
+        Msg.Mono_decision_tag { inst = 0; round = 1 };
+        Msg.To_coord (mk 0 0);
+        Msg.Decision_request { inst = 0 };
+        Msg.Decision_full { inst = 0; value = Batch.empty };
+      ]
+  in
+  Alcotest.(check int) "all kinds distinct" (List.length kinds)
+    (List.length (List.sort_uniq compare kinds))
+
+let test_msg_pp_smoke () =
+  (* The printers must not raise on any constructor. *)
+  List.iter
+    (fun msg -> ignore (Fmt.str "%a" Msg.pp msg))
+    [
+      Msg.Heartbeat;
+      Msg.Diffuse (mk 0 0);
+      Msg.Prop_dec
+        {
+          inst = 3;
+          round = 1;
+          proposal = Batch.of_list [ mk 0 0 ];
+          decided = Some (2, 1);
+        };
+      Msg.Mono_estimate
+        { inst = 0; round = 2; value = Batch.empty; ts = 1; piggyback = [ mk 1 4 ] };
+    ]
+
+(* ---- Params ---- *)
+
+let test_params_coordinator_rotation () =
+  let p = Params.default ~n:3 in
+  Alcotest.(check int) "round 1 -> p1" 0 (Params.coordinator p ~round:1);
+  Alcotest.(check int) "round 2 -> p2" 1 (Params.coordinator p ~round:2);
+  Alcotest.(check int) "round 3 -> p3" 2 (Params.coordinator p ~round:3);
+  Alcotest.(check int) "round 4 wraps to p1" 0 (Params.coordinator p ~round:4);
+  Alcotest.check_raises "round 0 invalid"
+    (Invalid_argument "Params.coordinator: rounds start at 1") (fun () ->
+      ignore (Params.coordinator p ~round:0))
+
+let test_params_majority () =
+  Alcotest.(check int) "n=3" 2 (Params.majority (Params.default ~n:3));
+  Alcotest.(check int) "n=4" 3 (Params.majority (Params.default ~n:4));
+  Alcotest.(check int) "n=7" 4 (Params.majority (Params.default ~n:7))
+
+(* ---- Flow control ---- *)
+
+let test_flow_control () =
+  let f = Flow_control.create ~window:2 in
+  Alcotest.(check bool) "room initially" true (Flow_control.has_room f);
+  Flow_control.acquire f;
+  Flow_control.acquire f;
+  Alcotest.(check bool) "full" false (Flow_control.has_room f);
+  Alcotest.(check int) "in flight" 2 (Flow_control.in_flight f);
+  Alcotest.check_raises "over-acquire rejected"
+    (Invalid_argument "Flow_control.acquire: window full") (fun () ->
+      Flow_control.acquire f);
+  let drained = ref 0 in
+  Flow_control.set_on_space f (fun () -> incr drained);
+  Flow_control.release f;
+  Alcotest.(check int) "drain callback ran" 1 !drained;
+  Alcotest.(check bool) "room again" true (Flow_control.has_room f);
+  Alcotest.check_raises "window >= 1"
+    (Invalid_argument "Flow_control.create: window must be >= 1") (fun () ->
+      ignore (Flow_control.create ~window:0))
+
+(* ---- Order checker ---- *)
+
+let id origin seq = { App_msg.origin; seq }
+
+let test_checker_accepts_total_order () =
+  let c = Order_checker.create ~n:3 in
+  List.iter
+    (fun pid ->
+      Order_checker.observe c pid (id 0 0);
+      Order_checker.observe c pid (id 1 0))
+    [ 0; 1; 2 ];
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (Fmt.str "%a" Order_checker.pp_violation) (Order_checker.violations c));
+  Alcotest.(check int) "common prefix" 2 (Order_checker.common_prefix_length c);
+  Alcotest.(check (list int)) "nobody lagging" [] (Order_checker.lagging c)
+
+let test_checker_detects_divergence () =
+  let c = Order_checker.create ~n:2 in
+  Order_checker.observe c 0 (id 0 0);
+  Order_checker.observe c 0 (id 1 0);
+  Order_checker.observe c 1 (id 1 0);
+  (* p2 delivered id(1,0) first: order divergence at position 0 *)
+  Alcotest.(check int) "one violation" 1 (List.length (Order_checker.violations c));
+  Alcotest.(check (list int)) "p2 lagging" [ 1 ] (Order_checker.lagging c)
+
+let test_checker_detects_duplicate () =
+  let c = Order_checker.create ~n:1 in
+  Order_checker.observe c 0 (id 0 0);
+  Order_checker.observe c 0 (id 0 0);
+  match Order_checker.violations c with
+  | [ v ] ->
+    Alcotest.(check bool) "describes duplicate" true
+      (String.length v.Order_checker.description > 0)
+  | other -> Alcotest.failf "expected one violation, got %d" (List.length other)
+
+let test_checker_attached_to_group () =
+  let params = Params.default ~n:3 in
+  let g = Group.create ~kind:Replica.Monolithic ~params () in
+  let c = Order_checker.create ~n:3 in
+  Order_checker.attach c g;
+  for i = 0 to 19 do
+    Group.abcast g (i mod 3) ~size:128
+  done;
+  ignore (Group.run_until_quiescent g ~limit:(Time.span_s 30) ());
+  Alcotest.(check int) "no violations in a good run" 0
+    (List.length (Order_checker.violations c));
+  Alcotest.(check (list int)) "delivered everywhere" [ 20; 20; 20 ]
+    (Array.to_list (Order_checker.delivered_counts c))
+
+let () =
+  Alcotest.run "core-types"
+    [
+      ( "app-msg",
+        [
+          Alcotest.test_case "identity order" `Quick test_app_msg_identity;
+          Alcotest.test_case "id sets" `Quick test_id_set;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "canonical form" `Quick test_batch_canonical;
+          Alcotest.test_case "operations" `Quick test_batch_operations;
+          QCheck_alcotest.to_alcotest prop_batch_union;
+          QCheck_alcotest.to_alcotest prop_batch_sorted;
+        ] );
+      ( "msg",
+        [
+          Alcotest.test_case "size model" `Quick test_msg_sizes;
+          Alcotest.test_case "kinds distinct" `Quick test_msg_kinds_distinct;
+          Alcotest.test_case "printers total" `Quick test_msg_pp_smoke;
+        ] );
+      ( "params",
+        [
+          Alcotest.test_case "coordinator rotation" `Quick test_params_coordinator_rotation;
+          Alcotest.test_case "majority" `Quick test_params_majority;
+        ] );
+      ("flow-control", [ Alcotest.test_case "window" `Quick test_flow_control ]);
+      ( "order-checker",
+        [
+          Alcotest.test_case "accepts a total order" `Quick test_checker_accepts_total_order;
+          Alcotest.test_case "detects divergence" `Quick test_checker_detects_divergence;
+          Alcotest.test_case "detects duplicates" `Quick test_checker_detects_duplicate;
+          Alcotest.test_case "attached to a group" `Quick test_checker_attached_to_group;
+        ] );
+    ]

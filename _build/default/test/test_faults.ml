@@ -1,0 +1,192 @@
+(* End-to-end fault injection on both full stacks with the live heartbeat
+   failure detector: coordinator crashes, non-coordinator crashes, crashes
+   mid-broadcast, wrong suspicions. The optimizations of §3 and §4 must
+   preserve atomic broadcast's properties in all these runs. *)
+
+open Repro_sim
+open Repro_net
+open Repro_fd
+open Repro_core
+
+let fd_mode = `Heartbeat Heartbeat_fd.default_config
+
+let make kind ?(n = 3) ?(seed = 0) () =
+  let params = { (Params.default ~n) with Params.seed } in
+  Group.create ~kind ~params ~fd_mode ()
+
+let run_for g span = Group.run_for g span
+
+(* Uniform agreement + total order among the given (correct) processes:
+   every pair of delivery logs must be prefix-compatible, and eventually
+   equal; we check equality after a long settling period. *)
+let check_survivors g correct ~expect =
+  let logs = List.map (fun p -> Group.deliveries g p) correct in
+  match logs with
+  | [] -> ()
+  | first :: rest ->
+    List.iter
+      (fun log ->
+        Alcotest.(check bool) "survivors share the delivery sequence" true (log = first))
+      rest;
+    List.iter
+      (fun id ->
+        Alcotest.(check bool)
+          (Fmt.str "%a delivered at survivors" App_msg.pp_id id)
+          true (List.mem id first))
+      expect
+
+let prefix_of shorter longer =
+  let rec go a b =
+    match (a, b) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: a', y :: b' -> x = y && go a' b'
+  in
+  if List.length shorter <= List.length longer then go shorter longer else go longer shorter
+
+let id ~origin ~seq = { App_msg.origin; seq }
+
+let test_non_coordinator_crash kind () =
+  let g = make kind () in
+  Group.abcast g 0 ~size:256;
+  Group.abcast g 2 ~size:256;
+  run_for g (Time.span_ms 50);
+  Group.crash g 2;
+  Group.abcast g 0 ~size:256;
+  Group.abcast g 1 ~size:256;
+  run_for g (Time.span_s 3);
+  check_survivors g [ 0; 1 ]
+    ~expect:[ id ~origin:0 ~seq:0; id ~origin:0 ~seq:1; id ~origin:1 ~seq:0 ]
+
+let test_coordinator_crash kind () =
+  (* p1 (the good-run coordinator of both stacks) crashes while traffic is
+     flowing; the heartbeat detector suspects it and the survivors keep
+     ordering messages. *)
+  let g = make kind () in
+  Group.abcast g 1 ~size:256;
+  run_for g (Time.span_ms 50);
+  Group.crash g 0;
+  run_for g (Time.span_ms 10);
+  Group.abcast g 1 ~size:256;
+  Group.abcast g 2 ~size:256;
+  run_for g (Time.span_s 5);
+  check_survivors g [ 1; 2 ]
+    ~expect:[ id ~origin:1 ~seq:0; id ~origin:1 ~seq:1; id ~origin:2 ~seq:0 ]
+
+let test_coordinator_crash_mid_broadcast kind () =
+  (* The coordinator dies part-way through a fan-out (the §3.3 dangerous
+     scenario): survivors must stay consistent — a message the coordinator
+     was relaying is either delivered at both survivors or at neither. *)
+  let g = make kind () in
+  Group.abcast g 1 ~size:256;
+  Group.abcast g 2 ~size:256;
+  run_for g (Time.span_ms 20);
+  Network.crash_after_sends (Group.network g) 0 1;
+  Group.abcast g 1 ~size:256;
+  run_for g (Time.span_s 5);
+  let l1 = Group.deliveries g 1 and l2 = Group.deliveries g 2 in
+  Alcotest.(check bool) "survivor logs prefix-compatible" true (prefix_of l1 l2);
+  (* Liveness: the survivors' own later message must be delivered. *)
+  check_survivors g [ 1; 2 ] ~expect:[ id ~origin:1 ~seq:1 ]
+
+let test_crash_under_load kind () =
+  let g = make kind ~n:5 () in
+  let engine = Group.engine g in
+  let rec pump i =
+    if i < 400 then begin
+      List.iter (fun p -> if not (Network.is_crashed (Group.network g) p) then
+        Group.abcast g p ~size:512) (Pid.all ~n:5);
+      ignore (Engine.schedule_after engine (Time.span_ms 2) (fun () -> pump (i + 1)))
+    end
+  in
+  pump 0;
+  ignore (Engine.schedule_after engine (Time.span_ms 200) (fun () -> Group.crash g 0));
+  ignore (Engine.schedule_after engine (Time.span_ms 350) (fun () -> Group.crash g 3));
+  run_for g (Time.span_s 6);
+  let survivors = [ 1; 2; 4 ] in
+  let logs = List.map (fun p -> Group.deliveries g p) survivors in
+  let first = List.hd logs in
+  List.iter
+    (fun log ->
+      Alcotest.(check bool) "survivors share the delivery sequence" true (log = first))
+    (List.tl logs);
+  Alcotest.(check bool) "substantial progress after crashes" true
+    (List.length first > 200);
+  Alcotest.(check int) "no duplicates" (List.length first)
+    (List.length (List.sort_uniq compare first))
+
+let test_false_suspicion_isolation kind () =
+  (* Temporarily cut p1's heartbeats towards p2 so that p2 falsely suspects
+     the coordinator, then heal. Safety must hold throughout and the system
+     must keep delivering afterwards. Protocol traffic still flows in both
+     directions (only the FD path of p1->p2 heartbeats is what we sever —
+     heartbeats share links with protocol messages, so we cut and quickly
+     heal instead of a long partition). *)
+  let g = make kind () in
+  Group.abcast g 0 ~size:128;
+  run_for g (Time.span_ms 30);
+  Network.cut (Group.network g) ~src:0 ~dst:1;
+  run_for g (Time.span_ms 120);
+  (* p2 has now likely suspected p1. Heal and continue. *)
+  Network.heal (Group.network g) ~src:0 ~dst:1;
+  Group.abcast g 1 ~size:128;
+  Group.abcast g 2 ~size:128;
+  run_for g (Time.span_s 5);
+  check_survivors g [ 0; 1; 2 ]
+    ~expect:[ id ~origin:0 ~seq:0; id ~origin:1 ~seq:0; id ~origin:2 ~seq:0 ]
+
+(* Property: for random crash schedules of a minority, survivors always
+   agree and always make progress (both stacks). *)
+let prop_random_minority_crashes kind name =
+  QCheck.Test.make ~name ~count:25
+    QCheck.(
+      triple (oneofl [ 3; 5 ]) (int_bound 500)
+        (pair (int_bound 999) (int_bound 1)))
+    (fun (n, crash_ms, (seed, extra_crash)) ->
+      let g = make kind ~n ~seed () in
+      let engine = Group.engine g in
+      let f = (n - 1) / 2 in
+      let crashes = min f (1 + extra_crash) in
+      let dead = List.init crashes (fun i -> (seed + i) mod n) |> List.sort_uniq compare in
+      let rec pump i =
+        if i < 200 then begin
+          List.iter
+            (fun p ->
+              if not (Network.is_crashed (Group.network g) p) then
+                Group.abcast g p ~size:256)
+            (Pid.all ~n);
+          ignore (Engine.schedule_after engine (Time.span_ms 3) (fun () -> pump (i + 1)))
+        end
+      in
+      pump 0;
+      ignore
+        (Engine.schedule_after engine (Time.span_ms crash_ms) (fun () ->
+             List.iter (fun p -> Group.crash g p) dead));
+      run_for g (Time.span_s 8);
+      let survivors = List.filter (fun p -> not (List.mem p dead)) (Pid.all ~n) in
+      let logs = List.map (fun p -> Group.deliveries g p) survivors in
+      match logs with
+      | [] -> false
+      | first :: rest ->
+        List.for_all (( = ) first) rest
+        && List.length first > 0
+        && List.length (List.sort_uniq compare first) = List.length first)
+
+let cases kind tag =
+  [
+    Alcotest.test_case "non-coordinator crash" `Quick (test_non_coordinator_crash kind);
+    Alcotest.test_case "coordinator crash" `Quick (test_coordinator_crash kind);
+    Alcotest.test_case "coordinator crash mid-broadcast" `Quick
+      (test_coordinator_crash_mid_broadcast kind);
+    Alcotest.test_case "two crashes under load (n=5)" `Slow (test_crash_under_load kind);
+    Alcotest.test_case "false suspicion" `Quick (test_false_suspicion_isolation kind);
+    QCheck_alcotest.to_alcotest
+      (prop_random_minority_crashes kind (tag ^ " survives random minority crashes"));
+  ]
+
+let () =
+  Alcotest.run "faults"
+    [
+      ("modular", cases Replica.Modular "modular");
+      ("monolithic", cases Replica.Monolithic "monolithic");
+    ]

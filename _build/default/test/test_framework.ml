@@ -1,0 +1,94 @@
+(* Tests for the Cactus-style composition framework: typed ports, dispatch
+   cost accounting, module registry. *)
+
+open Repro_sim
+open Repro_framework
+
+let make ?(dispatch_cost = Time.span_us 10) () =
+  let engine = Engine.create () in
+  let cpu = Cpu.create engine in
+  let stack = Stack.create ~cpu ~dispatch_cost in
+  (engine, cpu, stack)
+
+let test_emit_subscribe () =
+  let _, _, stack = make () in
+  let port = Event_bus.port (Stack.bus stack) "test" in
+  let got = ref [] in
+  Event_bus.subscribe port (fun v -> got := v :: !got);
+  Event_bus.subscribe port (fun v -> got := (v * 10) :: !got);
+  Event_bus.emit port 7;
+  Alcotest.(check (list int)) "handlers in subscription order" [ 70; 7 ] !got
+
+let test_emit_charges_cpu () =
+  let engine, cpu, stack = make ~dispatch_cost:(Time.span_us 10) () in
+  let port = Event_bus.port (Stack.bus stack) "cost" in
+  Event_bus.subscribe port ignore;
+  ignore
+    (Engine.schedule_after engine Time.span_zero (fun () ->
+         Event_bus.emit port ();
+         Event_bus.emit port ()));
+  Engine.run engine;
+  Alcotest.(check int) "two dispatch charges" 20_000 (Time.span_to_ns (Cpu.busy_time cpu))
+
+let test_zero_cost_dispatch () =
+  let engine, cpu, stack = make ~dispatch_cost:Time.span_zero () in
+  let port = Event_bus.port (Stack.bus stack) "free" in
+  Event_bus.subscribe port ignore;
+  ignore (Engine.schedule_after engine Time.span_zero (fun () -> Event_bus.emit port ()));
+  Engine.run engine;
+  Alcotest.(check int) "no CPU charged" 0 (Time.span_to_ns (Cpu.busy_time cpu))
+
+let test_emission_count () =
+  let _, _, stack = make () in
+  let a = Event_bus.port (Stack.bus stack) "a" in
+  let b = Event_bus.port (Stack.bus stack) "b" in
+  Event_bus.emit a ();
+  Event_bus.emit a ();
+  Event_bus.emit b ();
+  Alcotest.(check int) "crossings counted across ports" 3 (Stack.boundary_crossings stack);
+  Alcotest.(check string) "port name" "a" (Event_bus.port_name a)
+
+let test_unsubscribed_port () =
+  let _, _, stack = make () in
+  let port = Event_bus.port (Stack.bus stack) "silent" in
+  Event_bus.emit port 99;
+  (* no subscribers: no exception, still counted *)
+  Alcotest.(check int) "still counted" 1 (Stack.boundary_crossings stack)
+
+let test_module_registry () =
+  let _, _, stack = make () in
+  Stack.mount stack { Stack.name = "ABcast"; description = "ordering" };
+  Stack.mount stack { Stack.name = "Consensus"; description = "agreement" };
+  Alcotest.(check (list string)) "mount order" [ "ABcast"; "Consensus" ]
+    (List.map (fun m -> m.Stack.name) (Stack.modules stack))
+
+let test_chained_dispatch_delays_later_work () =
+  (* An emission's dispatch charge must push back CPU work submitted
+     afterwards — this is how framework overhead becomes latency. *)
+  let engine, cpu, stack = make ~dispatch_cost:(Time.span_us 100) () in
+  let port = Event_bus.port (Stack.bus stack) "chain" in
+  Event_bus.subscribe port ignore;
+  let finish = ref 0 in
+  ignore
+    (Engine.schedule_after engine Time.span_zero (fun () ->
+         Event_bus.emit port ();
+         Cpu.submit cpu ~cost:(Time.span_us 1) (fun () ->
+             finish := Time.to_ns (Engine.now engine))));
+  Engine.run engine;
+  Alcotest.(check int) "work delayed by dispatch" 101_000 !finish
+
+let () =
+  Alcotest.run "framework"
+    [
+      ( "event-bus",
+        [
+          Alcotest.test_case "emit/subscribe" `Quick test_emit_subscribe;
+          Alcotest.test_case "dispatch cost charged" `Quick test_emit_charges_cpu;
+          Alcotest.test_case "zero-cost dispatch" `Quick test_zero_cost_dispatch;
+          Alcotest.test_case "emission count" `Quick test_emission_count;
+          Alcotest.test_case "no subscribers" `Quick test_unsubscribed_port;
+          Alcotest.test_case "dispatch delays later work" `Quick
+            test_chained_dispatch_delays_later_work;
+        ] );
+      ("stack", [ Alcotest.test_case "module registry" `Quick test_module_registry ]);
+    ]

@@ -1,0 +1,201 @@
+(* Targeted tests of the recovery machinery — the paths that never run in
+   good runs and that the paper's optimizations must keep correct (§3, §4):
+
+   - the §3.3 timeout: a partially-diffused message still gets ordered
+     because the holder's round-1 "kick" estimate wakes the coordinator;
+   - the §4.2 re-piggyback: a non-coordinator's messages survive the death
+     of the coordinator they were piggybacked to;
+   - the decision-tag recovery: a process that receives a DECISION tag
+     without the matching proposal fetches the value explicitly;
+   - steward re-routing: To_coord traffic reaches the new coordinator after
+     the original crashes. *)
+
+open Repro_sim
+open Repro_net
+open Repro_fd
+open Repro_core
+
+let fd_mode = `Heartbeat Heartbeat_fd.default_config
+
+(* ---- §3.3: partial diffusion + kick ---- *)
+
+let test_modular_partial_diffusion_kick () =
+  (* p2 abcasts m but crashes after reaching only p3 (pids: p1=0, p2=1,
+     p3=2; p2's fan-out goes to p1 first, so budget 1 reaches p1... use
+     budget 1 = first destination in ascending order = p1. To strand the
+     message AWAY from the coordinator, have p3 (pid 2) crash after
+     reaching only p2 (pid 1): others of p3 = [p1; p2], budget must be...
+     ascending order sends to p1 first. So instead: p2 (pid 1) crashes
+     after 1 send; others of p2 = [p1(0); p3(2)]; budget 1 reaches p1 = the
+     coordinator, which needs no kick. To exercise the kick we want the
+     holder to be a NON-coordinator: crash p1? p1 is the coordinator...
+
+     Cleanest construction: cut the links p2->p1 BEFORE the abcast so the
+     diffusion reaches only p3, then crash p2. p3 now holds an undelivered
+     message the coordinator has never seen, and no consensus is running:
+     only the §3.3 kick can save it. *)
+  let g = Group.create ~kind:Replica.Modular ~params:(Params.default ~n:3) ~fd_mode () in
+  let net = Group.network g in
+  Network.cut net ~src:1 ~dst:0;
+  Group.abcast g 1 ~size:256;
+  Group.run_for g (Time.span_ms 20);
+  Group.crash g 1;
+  (* Nothing happens until p3's round-1 kick (500 ms) wakes p1. *)
+  Group.run_for g (Time.span_ms 200);
+  Alcotest.(check int) "not yet delivered at p1" 0
+    (Replica.delivered_count (Group.replica g 0));
+  Group.run_for g (Time.span_s 2);
+  let expect = { App_msg.origin = 1; seq = 0 } in
+  Alcotest.(check bool) "delivered at p1 after kick" true
+    (List.mem expect (Group.deliveries g 0));
+  Alcotest.(check bool) "delivered at p3" true (List.mem expect (Group.deliveries g 2));
+  Alcotest.(check bool) "same order" true (Group.deliveries g 0 = Group.deliveries g 2)
+
+(* ---- §4.2: re-piggyback after coordinator death ---- *)
+
+let test_mono_repiggyback_after_coordinator_crash () =
+  (* p2's message is sent To_coord to p1, which crashes after receiving it
+     but before proposing. The message exists nowhere except p1 (dead) and
+     p2's own outstanding set; only the §4.2 re-piggyback (estimate to the
+     new coordinator) or the kick timer can recover it. *)
+  let g =
+    Group.create ~kind:Replica.Monolithic ~params:(Params.default ~n:3) ~fd_mode ()
+  in
+  (* Prevent p1 from ever proposing: crash it the moment the To_coord
+     message is in flight. *)
+  Group.abcast g 1 ~size:256;
+  Group.run_for g (Time.span_us 300);
+  Group.crash g 0;
+  Group.run_for g (Time.span_s 3);
+  let expect = { App_msg.origin = 1; seq = 0 } in
+  Alcotest.(check bool) "recovered at p2" true (List.mem expect (Group.deliveries g 1));
+  Alcotest.(check bool) "recovered at p3" true (List.mem expect (Group.deliveries g 2));
+  Alcotest.(check bool) "survivors agree" true
+    (Group.deliveries g 1 = Group.deliveries g 2)
+
+let test_mono_to_coord_rerouted_to_new_steward () =
+  (* After p1 is dead and suspected, a fresh abcast at p3 must reach the
+     new steward (p2) and be ordered without p1. *)
+  let g =
+    Group.create ~kind:Replica.Monolithic ~params:(Params.default ~n:3) ~fd_mode ()
+  in
+  Group.abcast g 0 ~size:128;
+  Group.run_for g (Time.span_ms 50);
+  Group.crash g 0;
+  Group.run_for g (Time.span_ms 500);
+  (* FD has suspected p1 by now. *)
+  Group.abcast g 2 ~size:128;
+  Group.run_for g (Time.span_s 3);
+  let expect = { App_msg.origin = 2; seq = 0 } in
+  Alcotest.(check bool) "ordered by the new steward" true
+    (List.mem expect (Group.deliveries g 1));
+  Alcotest.(check bool) "survivors agree" true
+    (Group.deliveries g 1 = Group.deliveries g 2)
+
+(* ---- Decision-tag recovery (both stacks) ---- *)
+
+let test_modular_tag_without_proposal () =
+  (* Unit-level: feed a consensus module a decision tag for a proposal it
+     never saw; it must broadcast a Decision_request, and decide once the
+     full value arrives. *)
+  let params = Params.default ~n:3 in
+  let engine = Engine.create () in
+  let sent = ref [] in
+  let decided = ref None in
+  let c =
+    Consensus.create ~engine ~params ~me:2 ~fd:Fd.never_suspects
+      ~send:(fun ~dst msg -> sent := (dst, msg) :: !sent)
+      ~broadcast:(fun msg ->
+        List.iter (fun dst -> sent := (dst, msg) :: !sent) [ 0; 1 ])
+      ~rbcast_decision:(fun ~inst:_ ~round:_ ~value:_ -> ())
+      ~on_decide:(fun ~inst:_ value -> decided := Some value)
+      ()
+  in
+  (* The tag arrives via rbcast relay, but p3 never saw the proposal. *)
+  Consensus.rb_deliver c ~proposer:0 ~inst:0 ~round:1 ~value:None;
+  let requests =
+    List.filter (fun (_, m) -> match m with Msg.Decision_request _ -> true | _ -> false)
+      !sent
+  in
+  Alcotest.(check int) "request broadcast to both peers" 2 (List.length requests);
+  Alcotest.(check bool) "not yet decided" true (!decided = None);
+  (* A peer answers with the full value. *)
+  let v = Batch.of_list [ App_msg.make ~origin:0 ~seq:0 ~size:10 ~abcast_at:Time.zero ] in
+  Consensus.receive c ~src:0 (Msg.Decision_full { inst = 0; value = v });
+  match !decided with
+  | Some w -> Alcotest.(check bool) "decided the fetched value" true (Batch.equal v w)
+  | None -> Alcotest.fail "decision_full must decide"
+
+let test_mono_tag_without_proposal () =
+  let params = Params.default ~n:3 in
+  let engine = Engine.create () in
+  let sent = ref [] in
+  let delivered = ref [] in
+  let mono =
+    Abcast_monolithic.create ~engine ~params ~me:2 ~fd:Fd.never_suspects
+      ~send:(fun ~dst msg -> sent := (dst, msg) :: !sent)
+      ~broadcast:(fun msg ->
+        List.iter (fun dst -> sent := (dst, msg) :: !sent) [ 0; 1 ])
+      ~on_adeliver:(fun m -> delivered := m :: !delivered)
+      ()
+  in
+  (* A Prop_dec for instance 1 carries the decision tag of instance 0 —
+     which this process never saw. *)
+  let v1 = Batch.of_list [ App_msg.make ~origin:0 ~seq:1 ~size:10 ~abcast_at:Time.zero ] in
+  Abcast_monolithic.receive mono ~src:0
+    (Msg.Prop_dec { inst = 1; round = 1; proposal = v1; decided = Some (0, 1) });
+  let requests =
+    List.filter (fun (_, m) -> match m with Msg.Decision_request _ -> true | _ -> false)
+      !sent
+  in
+  Alcotest.(check bool) "requested the missing instance-0 value" true
+    (List.length requests >= 1);
+  (* The value arrives; instances 0 then 1 must deliver in order. *)
+  let v0 = Batch.of_list [ App_msg.make ~origin:0 ~seq:0 ~size:10 ~abcast_at:Time.zero ] in
+  Abcast_monolithic.receive mono ~src:0 (Msg.Decision_full { inst = 0; value = v0 });
+  Abcast_monolithic.receive mono ~src:0 (Msg.Mono_decision_tag { inst = 1; round = 1 });
+  let order = List.rev_map (fun m -> m.App_msg.id.App_msg.seq) !delivered in
+  Alcotest.(check (list int)) "both instances delivered in order" [ 0; 1 ] order
+
+(* ---- Buffered out-of-order decisions ---- *)
+
+let test_modular_out_of_order_decisions () =
+  let params = Params.default ~n:3 in
+  let delivered = ref [] in
+  let abcast =
+    Abcast_modular.create ~params ~me:0
+      ~diffuse:(fun _ -> ())
+      ~consensus:{ Abcast_modular.propose = (fun ~inst:_ _ -> ()) }
+      ~on_adeliver:(fun m -> delivered := m.App_msg.id.App_msg.seq :: !delivered)
+      ()
+  in
+  let batch seq =
+    Batch.of_list [ App_msg.make ~origin:1 ~seq ~size:10 ~abcast_at:Time.zero ]
+  in
+  Abcast_modular.on_decide abcast ~inst:2 (batch 2);
+  Abcast_modular.on_decide abcast ~inst:1 (batch 1);
+  Alcotest.(check (list int)) "nothing delivered before instance 0" [] !delivered;
+  Abcast_modular.on_decide abcast ~inst:0 (batch 0);
+  Alcotest.(check (list int)) "drained in instance order" [ 2; 1; 0 ] !delivered;
+  Alcotest.(check int) "next instance" 3 (Abcast_modular.next_instance abcast)
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "modular",
+        [
+          Alcotest.test_case "§3.3 kick saves a stranded message" `Quick
+            test_modular_partial_diffusion_kick;
+          Alcotest.test_case "tag without proposal" `Quick test_modular_tag_without_proposal;
+          Alcotest.test_case "out-of-order decisions buffered" `Quick
+            test_modular_out_of_order_decisions;
+        ] );
+      ( "monolithic",
+        [
+          Alcotest.test_case "§4.2 re-piggyback after coordinator crash" `Quick
+            test_mono_repiggyback_after_coordinator_crash;
+          Alcotest.test_case "To_coord re-routed to new steward" `Quick
+            test_mono_to_coord_rerouted_to_new_steward;
+          Alcotest.test_case "tag without proposal" `Quick test_mono_tag_without_proposal;
+        ] );
+    ]

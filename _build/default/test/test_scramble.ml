@@ -1,0 +1,206 @@
+(* Adversarial message reordering. The simulated network is FIFO (TCP), but
+   the algorithms themselves must not depend on ordering: Chandra-Toueg is
+   specified over plain quasi-reliable channels (§2.1). This harness
+   replaces the network with a chaos transport that delivers every message
+   after an independent random delay — acks may overtake proposals,
+   decision tags may overtake the proposals they certify, estimates for
+   round 3 may arrive before round 2's — and checks that agreement,
+   validity and termination still hold, with and without crashes and
+   wrong suspicions. *)
+
+open Repro_sim
+open Repro_net
+open Repro_fd
+open Repro_core
+
+(* ---- Chaos transport: random per-message delay, no FIFO, no CPU ---- *)
+
+type chaos = {
+  engine : Engine.t;
+  rng : Rng.t;
+  handlers : (src:Pid.t -> Msg.t -> unit) option array;
+  mutable crashed : bool array;
+  max_delay_us : int;
+}
+
+let chaos_create engine ~n ~max_delay_us =
+  {
+    engine;
+    rng = Rng.split (Engine.rng engine);
+    handlers = Array.make n None;
+    crashed = Array.make n false;
+    max_delay_us;
+  }
+
+let chaos_send t ~src ~dst msg =
+  if (not t.crashed.(src)) && src <> dst then begin
+    let delay = Time.span_us (1 + Rng.int t.rng t.max_delay_us) in
+    ignore
+      (Engine.schedule_after t.engine delay (fun () ->
+           if not t.crashed.(dst) then
+             match t.handlers.(dst) with
+             | Some h -> h ~src msg
+             | None -> ()))
+  end
+
+let chaos_broadcast t ~src msg =
+  List.iter
+    (fun dst -> chaos_send t ~src ~dst msg)
+    (Pid.others ~n:(Array.length t.handlers) src)
+
+(* ---- Consensus worlds over the chaos transport ---- *)
+
+type variant = Opt | Classic
+
+type proc = { oracle : Oracle_fd.t; mutable decided : (int * Batch.t) list }
+
+let msg ~origin ~seq = App_msg.make ~origin ~seq ~size:64 ~abcast_at:Time.zero
+let batch_of p = Batch.of_list [ msg ~origin:p ~seq:0 ]
+
+let build_world ~variant ~n ~seed ~max_delay_us =
+  let params = { (Params.default ~n) with Params.seed } in
+  let engine = Engine.create ~seed () in
+  let chaos = chaos_create engine ~n ~max_delay_us in
+  let procs = Array.make n { oracle = Oracle_fd.create (); decided = [] } in
+  let proposers = Array.make n (fun (_ : Batch.t) -> ()) in
+  for me = 0 to n - 1 do
+    let oracle = Oracle_fd.create () in
+    let proc = { oracle; decided = [] } in
+    procs.(me) <- proc;
+    let send ~dst m = chaos_send chaos ~src:me ~dst m in
+    let broadcast m = chaos_broadcast chaos ~src:me m in
+    let receive_ref = ref (fun ~src:_ (_ : Msg.t) -> ()) in
+    let rb_deliver_ref = ref (fun ~proposer:_ ~inst:_ ~round:_ ~value:_ -> ()) in
+    let rbcast =
+      Rbcast.create ~me ~n ~variant:Params.Majority
+        ~broadcast:(fun ~meta (inst, round, value) ->
+          broadcast (Msg.Decision_tag { meta; inst; round; value }))
+        ~deliver:(fun ~meta (inst, round, value) ->
+          !rb_deliver_ref ~proposer:meta.Msg.rb_origin ~inst ~round ~value)
+        ()
+    in
+    let rbcast_decision ~inst ~round ~value = Rbcast.rbcast rbcast (inst, round, value) in
+    let on_decide ~inst value = proc.decided <- (inst, value) :: proc.decided in
+    (match variant with
+    | Opt ->
+      let c =
+        Consensus.create ~engine ~params ~me ~fd:(Oracle_fd.fd oracle) ~send ~broadcast
+          ~rbcast_decision ~on_decide ()
+      in
+      receive_ref := (fun ~src m -> Consensus.receive c ~src m);
+      rb_deliver_ref :=
+        (fun ~proposer ~inst ~round ~value ->
+          Consensus.rb_deliver c ~proposer ~inst ~round ~value);
+      proposers.(me) <- fun b -> Consensus.propose c ~inst:0 b
+    | Classic ->
+      let c =
+        Consensus_classic.create ~engine ~params ~me ~fd:(Oracle_fd.fd oracle) ~send
+          ~broadcast ~rbcast_decision ~on_decide ()
+      in
+      receive_ref := (fun ~src m -> Consensus_classic.receive c ~src m);
+      rb_deliver_ref :=
+        (fun ~proposer ~inst ~round ~value ->
+          Consensus_classic.rb_deliver c ~proposer ~inst ~round ~value);
+      proposers.(me) <- fun b -> Consensus_classic.propose c ~inst:0 b);
+    chaos.handlers.(me) <-
+      Some
+        (fun ~src m ->
+          match m with
+          | Msg.Decision_tag { meta; inst; round; value } ->
+            Rbcast.receive rbcast ~src ~meta (inst, round, value)
+          | _ -> !receive_ref ~src m)
+  done;
+  (engine, chaos, procs, proposers)
+
+let agreement_holds procs ~correct =
+  let decisions =
+    List.filter_map (fun p -> List.assoc_opt 0 procs.(p).decided) correct
+  in
+  List.length decisions = List.length correct
+  &&
+  match decisions with
+  | [] -> false
+  | first :: rest -> List.for_all (Batch.equal first) rest
+
+let scramble_case ~variant ~name =
+  QCheck.Test.make ~name ~count:80
+    QCheck.(triple (oneofl [ 3; 5; 7 ]) (int_bound 99999) (int_range 1 5000))
+    (fun (n, seed, max_delay_us) ->
+      let engine, _, procs, proposers = build_world ~variant ~n ~seed ~max_delay_us in
+      Array.iteri (fun p f -> f (batch_of p)) proposers;
+      ignore proposers;
+      Engine.run_until engine (Time.of_ns 60_000_000_000);
+      agreement_holds procs ~correct:(Pid.all ~n))
+
+let scramble_crash_case ~variant ~name =
+  QCheck.Test.make ~name ~count:60
+    QCheck.(
+      quad (oneofl [ 3; 5; 7 ]) (int_bound 99999) (int_range 1 3000) (int_bound 5000))
+    (fun (n, seed, max_delay_us, crash_at_us) ->
+      let engine, chaos, procs, proposers = build_world ~variant ~n ~seed ~max_delay_us in
+      Array.iteri (fun p f -> f (batch_of p)) proposers;
+      (* Crash the round-1 coordinator mid-flight and have everyone
+         suspect it shortly after. *)
+      ignore
+        (Engine.schedule_after engine (Time.span_us (1 + crash_at_us)) (fun () ->
+             chaos.crashed.(0) <- true;
+             Array.iteri
+               (fun p proc -> if p <> 0 then Oracle_fd.suspect proc.oracle 0)
+               procs));
+      Engine.run_until engine (Time.of_ns 120_000_000_000);
+      let correct = List.filter (fun p -> p <> 0) (Pid.all ~n) in
+      (* p1 may or may not have decided before crashing; survivors must
+         agree among themselves, and with p1 if it decided. *)
+      let survivor_ok = agreement_holds procs ~correct in
+      let p1_consistent =
+        match List.assoc_opt 0 procs.(0).decided with
+        | None -> true
+        | Some v -> (
+          match List.assoc_opt 0 procs.(1).decided with
+          | Some w -> Batch.equal v w
+          | None -> false)
+      in
+      survivor_ok && p1_consistent)
+
+let scramble_false_suspicion_case ~variant ~name =
+  QCheck.Test.make ~name ~count:60
+    QCheck.(
+      quad (oneofl [ 3; 5 ]) (int_bound 99999) (int_range 1 3000)
+        (pair (int_bound 4) (int_bound 5000)))
+    (fun (n, seed, max_delay_us, (who, when_us)) ->
+      let engine, _, procs, proposers = build_world ~variant ~n ~seed ~max_delay_us in
+      Array.iteri (fun p f -> f (batch_of p)) proposers;
+      let who = who mod n in
+      (* A wrong suspicion of the (alive) coordinator at one process. *)
+      ignore
+        (Engine.schedule_after engine (Time.span_us (1 + when_us)) (fun () ->
+             if who <> 0 then Oracle_fd.suspect procs.(who).oracle 0));
+      Engine.run_until engine (Time.of_ns 120_000_000_000);
+      agreement_holds procs ~correct:(Pid.all ~n))
+
+let () =
+  Alcotest.run "scramble"
+    [
+      ( "optimized",
+        [
+          QCheck_alcotest.to_alcotest
+            (scramble_case ~variant:Opt ~name:"agreement under reordering");
+          QCheck_alcotest.to_alcotest
+            (scramble_crash_case ~variant:Opt
+               ~name:"agreement under reordering + coordinator crash");
+          QCheck_alcotest.to_alcotest
+            (scramble_false_suspicion_case ~variant:Opt
+               ~name:"agreement under reordering + wrong suspicion");
+        ] );
+      ( "classical",
+        [
+          QCheck_alcotest.to_alcotest
+            (scramble_case ~variant:Classic ~name:"agreement under reordering (classic)");
+          QCheck_alcotest.to_alcotest
+            (scramble_crash_case ~variant:Classic
+               ~name:"agreement under reordering + crash (classic)");
+          QCheck_alcotest.to_alcotest
+            (scramble_false_suspicion_case ~variant:Classic
+               ~name:"agreement under reordering + wrong suspicion (classic)");
+        ] );
+    ]
