@@ -19,6 +19,32 @@ let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 let warmup_s = if quick then 0.5 else 1.0
 let measure_s = if quick then 1.5 else 4.0
 
+(* --metrics-out FILE / --trace-out FILE: observe the whole harness through
+   one sink (counters and histograms accumulate across every point) and
+   dump it as JSONL at the end. Without --trace-out no events are retained,
+   so metrics-only observation stays cheap over the full run. *)
+let flag_value name =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
+
+let metrics_out = flag_value "--metrics-out"
+let trace_out = flag_value "--trace-out"
+
+let obs =
+  match (metrics_out, trace_out) with
+  | None, None -> Repro_obs.Obs.noop
+  | _ ->
+    (* Fail on an unwritable path now, not after the whole harness. *)
+    List.iter
+      (fun out -> Option.iter (fun path -> close_out (open_out path)) out)
+      [ metrics_out; trace_out ];
+    if trace_out = None then Repro_obs.Obs.create ~max_events:0 ()
+    else Repro_obs.Obs.create ()
+
 let kind_name = function
   | Replica.Modular -> "modular"
   | Replica.Monolithic -> "monolithic"
@@ -29,7 +55,7 @@ let loads = [ 250.0; 500.0; 1000.0; 2000.0; 3000.0; 4000.0; 5000.0; 7000.0 ]
 let sizes = [ 64; 128; 256; 512; 1024; 2048; 4096; 8192; 16384; 32768 ]
 
 let run_point ?params ~kind ~n ~load ~size () =
-  Experiment.run
+  Experiment.run ~obs
     (Experiment.config ~kind ~n ~offered_load:load ~size ~warmup_s ~measure_s ?params ())
 
 let section title =
@@ -545,4 +571,15 @@ let () =
   loss_study ();
   indirect_study ();
   microbench ();
+  let tags = [ ("source", "bench") ] in
+  Option.iter
+    (fun path ->
+      Repro_obs.Jsonl.write_metrics_file ~tags path obs;
+      Fmt.pr "wrote metrics JSONL to %s@." path)
+    metrics_out;
+  Option.iter
+    (fun path ->
+      Repro_obs.Jsonl.write_trace_file ~tags path obs;
+      Fmt.pr "wrote trace JSONL to %s@." path)
+    trace_out;
   Fmt.pr "@.done.@."

@@ -43,6 +43,47 @@ let measure_arg =
 let csv_arg =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated rows instead of a table.")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's counters, gauges and latency histograms as JSONL to $(docv) \
+           (one metric per line; see README \"Observability\").")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's phase-tagged protocol trace as JSONL to $(docv), one event \
+           per line, stamped with the simulated clock.")
+
+(* Build a sink iff an output file was requested, observe [f] through it,
+   then flush the requested files. With no trace file the sink retains no
+   events, so long metric-only runs stay cheap. *)
+let with_obs ~metrics_out ~trace_out ~tags f =
+  match (metrics_out, trace_out) with
+  | None, None -> f Repro_obs.Obs.noop
+  | _ ->
+    (* Fail on an unwritable path now, not after the whole simulation. *)
+    List.iter
+      (fun out -> Option.iter (fun path -> close_out (open_out path)) out)
+      [ metrics_out; trace_out ];
+    let obs =
+      match trace_out with
+      | None -> Repro_obs.Obs.create ~max_events:0 ()
+      | Some _ -> Repro_obs.Obs.create ()
+    in
+    let result = f obs in
+    Option.iter
+      (fun path -> Repro_obs.Jsonl.write_metrics_file ~tags path obs)
+      metrics_out;
+    Option.iter (fun path -> Repro_obs.Jsonl.write_trace_file ~tags path obs) trace_out;
+    result
+
 let run_one ~kind ~n ~load ~size ~warmup ~measure ~seed =
   Experiment.run
     (Experiment.config ~kind ~n ~offered_load:load ~size ~warmup_s:warmup
@@ -120,7 +161,8 @@ let run_cmd =
           ~doc:
             "Per-copy message loss probability; > 0 mounts the reliable-channel              transport over fair-lossy links.")
   in
-  let run kind n load size warmup measure seed csv classic repeats loss =
+  let run kind n load size warmup measure seed csv classic repeats loss metrics_out
+      trace_out =
     let params =
       let p = Params.default ~n in
       let p =
@@ -138,13 +180,19 @@ let run_cmd =
       Experiment.config ~kind ~n ~offered_load:load ~size ~warmup_s:warmup
         ~measure_s:measure ~seed ~params ()
     in
-    emit ~csv [ Experiment.run_repeated ~repeats config ]
+    let result =
+      with_obs ~metrics_out ~trace_out
+        ~tags:[ ("stack", kind_name kind); ("n", string_of_int n) ]
+        (fun obs -> Experiment.run_repeated ~repeats ~obs config)
+    in
+    emit ~csv [ result ]
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a single benchmark configuration.")
     Term.(
       const run $ kind_arg $ n_arg $ load_arg $ size_arg $ warmup_arg $ measure_arg
-      $ seed_arg $ csv_arg $ classic_arg $ repeats_arg $ loss_arg)
+      $ seed_arg $ csv_arg $ classic_arg $ repeats_arg $ loss_arg $ metrics_out_arg
+      $ trace_out_arg)
 
 (* ---- figures ---- *)
 

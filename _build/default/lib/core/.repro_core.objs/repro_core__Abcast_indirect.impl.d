@@ -1,1 +1,1 @@
-lib/core/abcast_indirect.ml: App_msg Batch Engine Hashtbl List Log Logs Msg Params Pid Repro_net Repro_sim Time
+lib/core/abcast_indirect.ml: App_msg Batch Engine Hashtbl List Log Logs Msg Params Pid Printf Repro_net Repro_obs Repro_sim Time

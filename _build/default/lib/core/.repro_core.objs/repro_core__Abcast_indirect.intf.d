@@ -1,1 +1,1 @@
-lib/core/abcast_indirect.mli: App_msg Batch Engine Msg Params Pid Repro_net Repro_sim
+lib/core/abcast_indirect.mli: App_msg Batch Engine Msg Params Pid Repro_net Repro_obs Repro_sim

@@ -1,1 +1,1 @@
-lib/core/abcast_modular.ml: App_msg Batch Hashtbl List Log Logs Params Repro_net
+lib/core/abcast_modular.ml: App_msg Batch Hashtbl List Log Logs Params Printf Repro_net Repro_obs

@@ -1,1 +1,1 @@
-lib/core/abcast_modular.mli: App_msg Batch Params Repro_net
+lib/core/abcast_modular.mli: App_msg Batch Params Repro_net Repro_obs

@@ -1,1 +1,1 @@
-lib/core/abcast_monolithic.ml: App_msg Batch Engine Fd Hashtbl List Log Logs Msg Params Pid Printf Rbcast Repro_fd Repro_net Repro_sim
+lib/core/abcast_monolithic.ml: App_msg Batch Engine Fd Hashtbl List Log Logs Msg Params Pid Printf Rbcast Repro_fd Repro_net Repro_obs Repro_sim

@@ -1,1 +1,1 @@
-lib/core/abcast_monolithic.mli: App_msg Engine Fd Msg Params Pid Repro_fd Repro_net Repro_sim
+lib/core/abcast_monolithic.mli: App_msg Engine Fd Msg Params Pid Repro_fd Repro_net Repro_obs Repro_sim

@@ -1,1 +1,1 @@
-lib/core/consensus.ml: Batch Engine Fd Hashtbl List Log Logs Msg Params Pid Repro_fd Repro_net Repro_sim
+lib/core/consensus.ml: Batch Engine Fd Hashtbl List Log Logs Msg Params Pid Printf Repro_fd Repro_net Repro_obs Repro_sim Time

@@ -1,1 +1,1 @@
-lib/core/consensus_classic.mli: Batch Engine Fd Msg Params Pid Repro_fd Repro_net Repro_sim
+lib/core/consensus_classic.mli: Batch Engine Fd Msg Params Pid Repro_fd Repro_net Repro_obs Repro_sim

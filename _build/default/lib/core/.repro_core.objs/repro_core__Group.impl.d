@@ -1,1 +1,1 @@
-lib/core/group.ml: App_msg Array Engine Hashtbl List Network Params Pid Replica Repro_net Repro_sim Time Wire_msg
+lib/core/group.ml: App_msg Array Engine Hashtbl List Network Params Pid Replica Repro_net Repro_obs Repro_sim Time Wire_msg

@@ -1,1 +1,1 @@
-lib/core/group.mli: App_msg Engine Net_stats Network Params Pid Replica Repro_net Repro_sim Time Wire_msg
+lib/core/group.mli: App_msg Engine Net_stats Network Params Pid Replica Repro_net Repro_obs Repro_sim Time Wire_msg

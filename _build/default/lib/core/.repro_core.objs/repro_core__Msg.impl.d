@@ -1,1 +1,1 @@
-lib/core/msg.ml: App_msg Batch Fmt List Pid Repro_net
+lib/core/msg.ml: App_msg Batch Fmt List Pid Repro_net Repro_obs

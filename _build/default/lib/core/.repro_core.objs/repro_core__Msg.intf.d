@@ -1,1 +1,1 @@
-lib/core/msg.mli: App_msg Batch Fmt Pid Repro_net
+lib/core/msg.mli: App_msg Batch Fmt Pid Repro_net Repro_obs

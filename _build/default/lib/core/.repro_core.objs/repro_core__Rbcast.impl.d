@@ -1,1 +1,1 @@
-lib/core/rbcast.ml: List Msg Params Pid Repro_net Set
+lib/core/rbcast.ml: List Msg Params Pid Printf Repro_net Repro_obs Set

@@ -1,1 +1,1 @@
-lib/core/rbcast.mli: Msg Params Pid Repro_net
+lib/core/rbcast.mli: Msg Params Pid Repro_net Repro_obs

@@ -1,1 +1,1 @@
-lib/core/replica.mli: App_msg Chen_fd Heartbeat_fd Network Oracle_fd Params Pid Repro_fd Repro_framework Repro_net Stack Wire_msg
+lib/core/replica.mli: App_msg Chen_fd Heartbeat_fd Network Oracle_fd Params Pid Repro_fd Repro_framework Repro_net Repro_obs Stack Wire_msg

@@ -1,1 +1,1 @@
-lib/core/wire_msg.mli: Msg Rchannel Repro_net
+lib/core/wire_msg.mli: Msg Rchannel Repro_net Repro_obs

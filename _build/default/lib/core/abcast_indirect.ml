@@ -2,6 +2,7 @@ open Repro_sim
 open Repro_net
 
 module L = (val Logs.src_log Log.abcast)
+module Obs = Repro_obs.Obs
 
 type consensus_service = { propose : inst:int -> Batch.t -> unit }
 
@@ -21,6 +22,7 @@ type t = {
   broadcast : Msg.t -> unit;
   consensus : consensus_service;
   on_adeliver : App_msg.t -> unit;
+  obs : Obs.t;
   payloads : App_msg.t Id_tbl.t; (* everything diffused to us, incl. own *)
   mutable delivered : App_msg.Id_set.t;
   mutable pending : App_msg.Id_set.t; (* ids known but not yet ordered *)
@@ -38,7 +40,8 @@ let id_only (id : App_msg.id) =
   App_msg.make ~origin:id.App_msg.origin ~seq:id.App_msg.seq ~size:0
     ~abcast_at:Time.zero
 
-let create ~engine ~params ~me ~diffuse ~send ~broadcast ~consensus ~on_adeliver () =
+let create ~engine ~params ~me ~diffuse ~send ~broadcast ~consensus ~on_adeliver
+    ?(obs = Obs.noop) () =
   {
     engine;
     params;
@@ -48,6 +51,7 @@ let create ~engine ~params ~me ~diffuse ~send ~broadcast ~consensus ~on_adeliver
     broadcast;
     consensus;
     on_adeliver;
+    obs;
     payloads = Id_tbl.create 1024;
     delivered = App_msg.Id_set.empty;
     pending = App_msg.Id_set.empty;
@@ -117,6 +121,9 @@ let adeliver_batch t batch =
           t.delivered <- App_msg.Id_set.add m.id t.delivered;
           t.ordered <- App_msg.Id_set.remove m.id t.ordered;
           t.delivered_count <- t.delivered_count + 1;
+          Obs.incr t.obs "abcast.adelivers";
+          if Obs.enabled t.obs then
+            Obs.observe_since t.obs "abcast.e2e_ms" payload.App_msg.abcast_at;
           t.on_adeliver payload
         | None ->
           (* Unreachable: the caller checked [missing_payloads] first. *)
@@ -139,6 +146,10 @@ let rec drain t =
       L.debug (fun m ->
           m "%a adeliver instance %d (%d msgs, indirect)" Pid.pp t.me t.next_decide
             (Batch.size batch));
+      if Obs.enabled t.obs then
+        Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"adeliver"
+          ~detail:(Printf.sprintf "i%d (%d msgs)" t.next_decide (Batch.size batch))
+          ();
       adeliver_batch t batch;
       t.next_decide <- t.next_decide + 1;
       drain t
@@ -158,6 +169,13 @@ let note_payload t (m : App_msg.t) =
 
 let abcast t m =
   if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
+    Obs.incr t.obs "abcast.abcasts";
+    if Obs.enabled t.obs then
+      Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"abcast"
+        ~detail:
+          (Printf.sprintf "m %d/%d" (m.App_msg.id.App_msg.origin + 1)
+             m.App_msg.id.App_msg.seq)
+        ();
     note_payload t m;
     t.diffuse m;
     maybe_propose t

@@ -38,11 +38,13 @@ val create :
   broadcast:(Msg.t -> unit) ->
   consensus:consensus_service ->
   on_adeliver:(App_msg.t -> unit) ->
+  ?obs:Repro_obs.Obs.t ->
   unit ->
   t
 (** [diffuse] sends the payload to every other process; [broadcast]/[send]
     carry the payload-recovery messages. The consensus decisions must be
-    fed back through {!on_decide}. *)
+    fed back through {!on_decide}. [obs] follows the same metric and trace
+    names as {!Abcast_modular.create}. *)
 
 val abcast : t -> App_msg.t -> unit
 val on_diffuse : t -> App_msg.t -> unit

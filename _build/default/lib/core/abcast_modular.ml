@@ -1,4 +1,5 @@
 module L = (val Logs.src_log Log.abcast)
+module Obs = Repro_obs.Obs
 
 type consensus_service = { propose : inst:int -> Batch.t -> unit }
 
@@ -8,6 +9,7 @@ type t = {
   diffuse : App_msg.t -> unit;
   consensus : consensus_service;
   on_adeliver : App_msg.t -> unit;
+  obs : Obs.t;
   mutable delivered : App_msg.Id_set.t;
   mutable pending : Batch.t;
   mutable next_decide : int; (* next instance to adeliver *)
@@ -16,13 +18,14 @@ type t = {
   mutable delivered_count : int;
 }
 
-let create ~params ~me ~diffuse ~consensus ~on_adeliver () =
+let create ~params ~me ~diffuse ~consensus ~on_adeliver ?(obs = Obs.noop) () =
   {
     params;
     me;
     diffuse;
     consensus;
     on_adeliver;
+    obs;
     delivered = App_msg.Id_set.empty;
     pending = Batch.empty;
     next_decide = 0;
@@ -58,6 +61,9 @@ let adeliver_batch t batch =
       if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
         t.delivered <- App_msg.Id_set.add m.App_msg.id t.delivered;
         t.delivered_count <- t.delivered_count + 1;
+        Obs.incr t.obs "abcast.adelivers";
+        if Obs.enabled t.obs then
+          Obs.observe_since t.obs "abcast.e2e_ms" m.App_msg.abcast_at;
         t.on_adeliver m
       end)
     (Batch.to_list batch);
@@ -70,6 +76,10 @@ let rec drain t =
     L.debug (fun m ->
         m "%a adeliver instance %d (%d msgs)" Repro_net.Pid.pp t.me t.next_decide
           (Batch.size batch));
+    if Obs.enabled t.obs then
+      Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"adeliver"
+        ~detail:(Printf.sprintf "i%d (%d msgs)" t.next_decide (Batch.size batch))
+        ();
     adeliver_batch t batch;
     t.next_decide <- t.next_decide + 1;
     drain t
@@ -78,6 +88,11 @@ let rec drain t =
 let abcast t m =
   if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
     t.pending <- Batch.add t.pending m;
+    Obs.incr t.obs "abcast.abcasts";
+    if Obs.enabled t.obs then
+      Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"abcast"
+        ~detail:(Printf.sprintf "m %d/%d" (m.App_msg.id.App_msg.origin + 1) m.App_msg.id.App_msg.seq)
+        ();
     t.diffuse m;
     maybe_propose t
   end

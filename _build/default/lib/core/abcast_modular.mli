@@ -26,10 +26,16 @@ val create :
   diffuse:(App_msg.t -> unit) ->
   consensus:consensus_service ->
   on_adeliver:(App_msg.t -> unit) ->
+  ?obs:Repro_obs.Obs.t ->
   unit ->
   t
 (** [diffuse] must send the message to every other process (the stack wires
-    it to the network). [on_adeliver] observes the total order. *)
+    it to the network). [on_adeliver] observes the total order.
+
+    [obs] (default: no-op) counts [abcast.abcasts] and [abcast.adelivers],
+    records the abcast-to-adelivery latency at this process in the
+    [abcast.e2e_ms] histogram, and traces [abcast]/[adeliver] phases in the
+    [`Abcast] layer. *)
 
 val abcast : t -> App_msg.t -> unit
 (** Broadcast a message admitted by flow control: diffuse it and make sure

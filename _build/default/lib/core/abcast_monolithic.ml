@@ -1,6 +1,7 @@
 open Repro_sim
 open Repro_net
 open Repro_fd
+module Obs = Repro_obs.Obs
 
 module L = (val Logs.src_log Log.mono)
 
@@ -31,6 +32,7 @@ type t = {
   send : dst:Pid.t -> Msg.t -> unit;
   broadcast : Msg.t -> unit;
   on_adeliver : App_msg.t -> unit;
+  obs : Obs.t;
   instances : (int, inst_state) Hashtbl.t;
   mutable delivered : App_msg.Id_set.t;
   mutable next_deliver : int; (* next instance to adeliver *)
@@ -118,6 +120,9 @@ let adeliver_batch t batch =
       if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
         t.delivered <- App_msg.Id_set.add m.App_msg.id t.delivered;
         t.delivered_count <- t.delivered_count + 1;
+        Obs.incr t.obs "abcast.adelivers";
+        if Obs.enabled t.obs then
+          Obs.observe_since t.obs "abcast.e2e_ms" m.App_msg.abcast_at;
         t.on_adeliver m
       end)
     (Batch.to_list batch);
@@ -131,6 +136,10 @@ let rec drain t =
   match Hashtbl.find_opt t.decisions_buf t.next_deliver with
   | Some batch ->
     Hashtbl.remove t.decisions_buf t.next_deliver;
+    if Obs.enabled t.obs then
+      Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"adeliver"
+        ~detail:(Printf.sprintf "i%d (%d msgs)" t.next_deliver (Batch.size batch))
+        ();
     adeliver_batch t batch;
     t.next_deliver <- t.next_deliver + 1;
     drain t
@@ -188,6 +197,11 @@ and mono_decide t s value ~here_round =
       s.pending_requesters;
     s.pending_requesters <- [];
     L.debug (fun m -> m "%a decide i%d %a" Pid.pp t.me s.inst Batch.pp value);
+    Obs.incr t.obs "abcast.decisions";
+    if Obs.enabled t.obs then
+      Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"decide"
+        ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst s.round (Batch.size value))
+        ();
     Hashtbl.replace t.decisions_buf s.inst value;
     drain t;
     (* Idle transition: the last instance just decided and nothing else is
@@ -393,6 +407,13 @@ let rec arm_kick t =
 
 let abcast t m =
   if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
+    Obs.incr t.obs "abcast.abcasts";
+    if Obs.enabled t.obs then
+      Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"abcast"
+        ~detail:
+          (Printf.sprintf "m %d/%d" (m.App_msg.id.App_msg.origin + 1)
+             m.App_msg.id.App_msg.seq)
+        ();
     t.own_outstanding <- Batch.add t.own_outstanding m;
     arm_kick t;
     if am_steward t then begin
@@ -569,7 +590,7 @@ let receive t ~src msg =
   | Msg.Nack _ | Msg.Payload_request _ | Msg.Payload_push _ ->
     ()
 
-let create ~engine ~params ~me ~fd ~send ~broadcast ~on_adeliver () =
+let create ~engine ~params ~me ~fd ~send ~broadcast ~on_adeliver ?(obs = Obs.noop) () =
   let t =
     {
       engine;
@@ -579,6 +600,7 @@ let create ~engine ~params ~me ~fd ~send ~broadcast ~on_adeliver () =
       send;
       broadcast;
       on_adeliver;
+      obs;
       instances = Hashtbl.create 64;
       delivered = App_msg.Id_set.empty;
       next_deliver = 0;
@@ -602,7 +624,7 @@ let create ~engine ~params ~me ~fd ~send ~broadcast ~on_adeliver () =
           broadcast (Msg.Decision_tag { meta; inst; round; value = None }))
         ~deliver:(fun ~meta (inst, round) ->
           handle_decision_tag t ~inst ~round ~proposer:meta.Msg.rb_origin)
-        ()
+        ~obs ()
     in
     t.decision_rb := Some rb
   end;

@@ -38,8 +38,14 @@ val create :
   send:(dst:Pid.t -> Msg.t -> unit) ->
   broadcast:(Msg.t -> unit) ->
   on_adeliver:(App_msg.t -> unit) ->
+  ?obs:Repro_obs.Obs.t ->
   unit ->
   t
+(** [obs] (default: no-op) counts [abcast.abcasts], [abcast.adelivers] and
+    [abcast.decisions], records the abcast-to-adelivery latency in the
+    [abcast.e2e_ms] histogram, and traces [abcast]/[decide]/[adeliver]
+    phases — all in the [`Abcast] layer, since the monolithic stack has no
+    internal consensus/rbcast boundary to attribute to. *)
 
 val abcast : t -> App_msg.t -> unit
 (** Broadcast a message admitted by flow control. At the coordinator it

@@ -1,11 +1,13 @@
 open Repro_sim
 open Repro_net
 open Repro_fd
+module Obs = Repro_obs.Obs
 
 module L = (val Logs.src_log Log.consensus)
 
 type inst_state = {
   inst : int;
+  created_at : Time.t; (* first local activity, for the decide-latency histogram *)
   mutable round : int;
   mutable estimate : Batch.t option;
   mutable ts : int; (* round of last adoption; 0 = initial value, never adopted *)
@@ -32,6 +34,7 @@ type t = {
   broadcast : Msg.t -> unit;
   rbcast_decision : inst:int -> round:int -> value:Batch.t option -> unit;
   on_decide : inst:int -> Batch.t -> unit;
+  obs : Obs.t;
   instances : (int, inst_state) Hashtbl.t;
 }
 
@@ -55,6 +58,7 @@ let state t inst =
     let s =
       {
         inst;
+        created_at = Engine.now t.engine;
         round = 1;
         estimate = None;
         ts = 0;
@@ -95,6 +99,13 @@ let decide t s value =
     s.pending_requesters <- [];
     L.debug (fun m ->
         m "%a decide i%d %a" Pid.pp t.me s.inst Batch.pp value);
+    Obs.incr t.obs "consensus.decisions";
+    if Obs.enabled t.obs then begin
+      Obs.observe_since t.obs "consensus.decide_ms" s.created_at;
+      Obs.event t.obs ~pid:t.me ~layer:`Consensus ~phase:"decide"
+        ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst s.round (Batch.size value))
+        ()
+    end;
     t.on_decide ~inst:s.inst value
 
 let reply_decision t s ~dst =
@@ -171,6 +182,11 @@ and maybe_propose t s ~round =
       slot := [ t.me ];
       L.debug (fun m ->
           m "%a propose i%d r%d (%d msgs)" Pid.pp t.me s.inst round (Batch.size value));
+      Obs.incr t.obs "consensus.proposals";
+      if Obs.enabled t.obs then
+        Obs.event t.obs ~pid:t.me ~layer:`Consensus ~phase:"propose"
+          ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst round (Batch.size value))
+          ();
       send_to_others t (Msg.Propose { inst = s.inst; round; value });
       arm_progress_timer t s;
       check_majority t s ~round
@@ -206,6 +222,7 @@ and send_estimate t s ~round =
   match s.estimate with
   | Some value when not (List.mem round s.estimate_sent) ->
     s.estimate_sent <- round :: s.estimate_sent;
+    Obs.incr t.obs "consensus.estimates";
     t.send ~dst:(coord t ~round)
       (Msg.Estimate { inst = s.inst; round; value; ts = s.ts })
   | Some _ | None -> ()
@@ -288,6 +305,7 @@ let handle_propose t s ~src ~round ~value =
       s.acked_rounds <- round :: s.acked_rounds;
       s.estimate <- Some value;
       s.ts <- round;
+      Obs.incr t.obs "consensus.acks";
       t.send ~dst:src (Msg.Ack { inst = s.inst; round });
       arm_progress_timer t s
     end
@@ -377,7 +395,8 @@ let rb_deliver t ~proposer ~inst ~round ~value =
         send_to_others t (Msg.Decision_request { inst })
     end
 
-let create ~engine ~params ~me ~fd ~send ~broadcast ~rbcast_decision ~on_decide () =
+let create ~engine ~params ~me ~fd ~send ~broadcast ~rbcast_decision ~on_decide
+    ?(obs = Obs.noop) () =
   let t =
     {
       engine;
@@ -388,6 +407,7 @@ let create ~engine ~params ~me ~fd ~send ~broadcast ~rbcast_decision ~on_decide 
       broadcast;
       rbcast_decision;
       on_decide;
+      obs;
       instances = Hashtbl.create 64;
     }
   in

@@ -45,11 +45,18 @@ val create :
   broadcast:(Msg.t -> unit) ->
   rbcast_decision:(inst:int -> round:int -> value:Batch.t option -> unit) ->
   on_decide:(inst:int -> Batch.t -> unit) ->
+  ?obs:Repro_obs.Obs.t ->
   unit ->
   t
 (** [rbcast_decision] must eventually feed back into {!rb_deliver} on every
     correct process (including this one — the local rbcast delivery is how
-    the deciding coordinator itself decides). *)
+    the deciding coordinator itself decides).
+
+    [obs] (default: no-op) counts [consensus.proposals], [consensus.acks],
+    [consensus.estimates] and [consensus.decisions], records the
+    first-activity-to-decision latency in the [consensus.decide_ms]
+    histogram, and traces [propose]/[decide] phases in the [`Consensus]
+    layer. *)
 
 val propose : t -> inst:int -> Batch.t -> unit
 (** Start (or join) instance [inst] with an initial value. Idempotent per

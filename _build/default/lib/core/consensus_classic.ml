@@ -1,9 +1,11 @@
 open Repro_sim
 open Repro_net
 open Repro_fd
+module Obs = Repro_obs.Obs
 
 type inst_state = {
   inst : int;
+  created_at : Time.t;
   mutable round : int;
   mutable estimate : Batch.t option;
   mutable ts : int;
@@ -27,6 +29,7 @@ type t = {
   broadcast : Msg.t -> unit;
   rbcast_decision : inst:int -> round:int -> value:Batch.t option -> unit;
   on_decide : inst:int -> Batch.t -> unit;
+  obs : Obs.t;
   instances : (int, inst_state) Hashtbl.t;
 }
 
@@ -47,6 +50,7 @@ let state t inst =
     let s =
       {
         inst;
+        created_at = Engine.now t.engine;
         round = 0; (* becomes 1 on the first [enter_round] *)
         estimate = None;
         ts = 0;
@@ -78,6 +82,13 @@ let decide t s value =
       (fun q -> t.send ~dst:q (Msg.Decision_full { inst = s.inst; value }))
       s.pending_requesters;
     s.pending_requesters <- [];
+    Obs.incr t.obs "consensus.decisions";
+    if Obs.enabled t.obs then begin
+      Obs.observe_since t.obs "consensus.decide_ms" s.created_at;
+      Obs.event t.obs ~pid:t.me ~layer:`Consensus ~phase:"decide"
+        ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst s.round (Batch.size value))
+        ()
+    end;
     t.on_decide ~inst:s.inst value
 
 let reply_decision t s ~dst =
@@ -124,6 +135,11 @@ let rec try_propose t s ~round =
         s.estimate <- Some value;
         s.ts <- round;
         Hashtbl.replace s.acks round (ref [ t.me ]);
+        Obs.incr t.obs "consensus.proposals";
+        if Obs.enabled t.obs then
+          Obs.event t.obs ~pid:t.me ~layer:`Consensus ~phase:"propose"
+            ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst round (Batch.size value))
+            ();
         t.broadcast (Msg.Propose { inst = s.inst; round; value });
         check_majority t s ~round
   end
@@ -151,8 +167,10 @@ and enter_round t s ~round =
     | Some value ->
       let c = coord t ~round in
       record_estimate s ~round ~src:t.me ~ts:s.ts ~value;
-      if c <> t.me then
+      if c <> t.me then begin
+        Obs.incr t.obs "consensus.estimates";
         t.send ~dst:c (Msg.Estimate { inst = s.inst; round; value; ts = s.ts })
+      end
       else try_propose t s ~round
     | None -> ());
     arm_progress_timer t s
@@ -210,6 +228,7 @@ let handle_propose t s ~src ~round ~value =
     else begin
       s.estimate <- Some value;
       s.ts <- round;
+      Obs.incr t.obs "consensus.acks";
       t.send ~dst:src (Msg.Ack { inst = s.inst; round });
       (* Classical cycling: the next round starts immediately. *)
       enter_round t s ~round:(round + 1)
@@ -278,7 +297,8 @@ let rb_deliver t ~proposer ~inst ~round ~value =
       | None -> t.broadcast (Msg.Decision_request { inst })
     end
 
-let create ~engine ~params ~me ~fd ~send ~broadcast ~rbcast_decision ~on_decide () =
+let create ~engine ~params ~me ~fd ~send ~broadcast ~rbcast_decision ~on_decide
+    ?(obs = Obs.noop) () =
   let t =
     {
       engine;
@@ -289,6 +309,7 @@ let create ~engine ~params ~me ~fd ~send ~broadcast ~rbcast_decision ~on_decide 
       broadcast;
       rbcast_decision;
       on_decide;
+      obs;
       instances = Hashtbl.create 64;
     }
   in

@@ -36,10 +36,12 @@ val create :
   broadcast:(Msg.t -> unit) ->
   rbcast_decision:(inst:int -> round:int -> value:Batch.t option -> unit) ->
   on_decide:(inst:int -> Batch.t -> unit) ->
+  ?obs:Repro_obs.Obs.t ->
   unit ->
   t
-(** Same contract as {!Consensus.create}. [rbcast_decision] is always
-    called with [value = Some batch] (full-value decisions). *)
+(** Same contract as {!Consensus.create}, including the [obs] metric and
+    trace names. [rbcast_decision] is always called with
+    [value = Some batch] (full-value decisions). *)
 
 val propose : t -> inst:int -> Batch.t -> unit
 val receive : t -> src:Pid.t -> Msg.t -> unit

@@ -1,5 +1,6 @@
 open Repro_sim
 open Repro_net
+module Obs = Repro_obs.Obs
 
 type latency_record = {
   id : App_msg.id;
@@ -39,11 +40,17 @@ let handle_delivery t pid m =
   end;
   List.iter (fun f -> f pid m) t.observers
 
-let create ~kind ~params ?(fd_mode = `Good_run) ?(record_deliveries = true) () =
+let create ~kind ~params ?(fd_mode = `Good_run) ?(record_deliveries = true)
+    ?(obs = Obs.noop) () =
   let engine = Engine.create ~seed:params.Params.seed () in
+  (* The observability sink is usually created before any engine exists
+     (e.g. by the CLI, from flags); attach it to this group's virtual
+     clock so every metric and event is stamped with Engine time. *)
+  Obs.set_clock obs (fun () -> Engine.now engine);
   let network =
     Network.create engine ~wire:params.Params.wire ?topology:params.Params.topology
-      ~kind_of:Wire_msg.kind ~n:params.Params.n ~payload_bytes:Wire_msg.payload_bytes ()
+      ~kind_of:Wire_msg.kind ~layer_of:Wire_msg.layer ~obs ~n:params.Params.n
+      ~payload_bytes:Wire_msg.payload_bytes ()
   in
   (match params.Params.transport with
   | Params.Lossy p -> Network.set_loss_rate network p
@@ -63,7 +70,7 @@ let create ~kind ~params ?(fd_mode = `Good_run) ?(record_deliveries = true) () =
     Array.init params.Params.n (fun pid ->
         Replica.create ~kind ~params ~net:network ~me:pid ~fd_mode ~record_deliveries
           ~on_adeliver:(fun m -> handle_delivery t pid m)
-          ());
+          ~obs ());
   t
 
 let engine t = t.engine

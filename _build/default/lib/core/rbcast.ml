@@ -1,4 +1,5 @@
 open Repro_net
+module Obs = Repro_obs.Obs
 
 module Seen = Set.Make (struct
   type t = Pid.t * int
@@ -12,12 +13,13 @@ type 'p t = {
   variant : Params.rbcast_variant;
   broadcast : meta:Msg.rb_meta -> 'p -> unit;
   deliver : meta:Msg.rb_meta -> 'p -> unit;
+  obs : Obs.t;
   mutable seen : Seen.t;
   mutable next_seq : int;
 }
 
-let create ~me ~n ~variant ~broadcast ~deliver () =
-  { me; n; variant; broadcast; deliver; seen = Seen.empty; next_seq = 0 }
+let create ~me ~n ~variant ~broadcast ~deliver ?(obs = Obs.noop) () =
+  { me; n; variant; broadcast; deliver; obs; seen = Seen.empty; next_seq = 0 }
 
 let relayers ~n ~origin =
   let count = (n - 1) / 2 in
@@ -34,6 +36,12 @@ let rbcast t payload =
   let meta = { Msg.rb_origin = t.me; rb_seq = t.next_seq } in
   t.next_seq <- t.next_seq + 1;
   t.seen <- Seen.add (meta.rb_origin, meta.rb_seq) t.seen;
+  Obs.incr t.obs "rbcast.broadcasts";
+  Obs.incr t.obs "rbcast.delivers";
+  if Obs.enabled t.obs then
+    Obs.event t.obs ~pid:t.me ~layer:`Rbcast ~phase:"rbcast"
+      ~detail:(Printf.sprintf "rb %d/%d" (meta.rb_origin + 1) meta.rb_seq)
+      ();
   t.deliver ~meta payload;
   send_to_others t ~meta payload
 
@@ -46,6 +54,14 @@ let receive t ~src:_ ~meta payload =
   let key = (meta.Msg.rb_origin, meta.Msg.rb_seq) in
   if not (Seen.mem key t.seen) then begin
     t.seen <- Seen.add key t.seen;
+    Obs.incr t.obs "rbcast.delivers";
+    if Obs.enabled t.obs then
+      Obs.event t.obs ~pid:t.me ~layer:`Rbcast ~phase:"rdeliver"
+        ~detail:(Printf.sprintf "rb %d/%d" (meta.Msg.rb_origin + 1) meta.Msg.rb_seq)
+        ();
     t.deliver ~meta payload;
-    if should_relay t ~origin:meta.Msg.rb_origin then send_to_others t ~meta payload
+    if should_relay t ~origin:meta.Msg.rb_origin then begin
+      Obs.incr t.obs "rbcast.relays";
+      send_to_others t ~meta payload
+    end
   end

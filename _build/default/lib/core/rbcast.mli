@@ -30,11 +30,16 @@ val create :
   variant:Params.rbcast_variant ->
   broadcast:(meta:Msg.rb_meta -> 'p -> unit) ->
   deliver:(meta:Msg.rb_meta -> 'p -> unit) ->
+  ?obs:Repro_obs.Obs.t ->
   unit ->
   'p t
 (** [deliver] is invoked exactly once per rdelivered payload (duplicates
     from relays are suppressed by the envelope's origin/sequence pair); it
-    receives the envelope so consumers can identify the broadcaster. *)
+    receives the envelope so consumers can identify the broadcaster.
+
+    [obs] (default: no-op) counts [rbcast.broadcasts], [rbcast.delivers]
+    and [rbcast.relays], and traces [rbcast]/[rdeliver] phases in the
+    [`Rbcast] layer. *)
 
 val rbcast : 'p t -> 'p -> unit
 (** Broadcast a payload: deliver locally and send to every other process. *)

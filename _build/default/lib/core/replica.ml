@@ -2,6 +2,7 @@ open Repro_sim
 open Repro_net
 open Repro_fd
 open Repro_framework
+module Obs = Repro_obs.Obs
 
 type kind = Modular | Monolithic | Indirect
 
@@ -56,6 +57,7 @@ type t = {
   mutable rev_deliveries : App_msg.id list;
   record_deliveries : bool;
   on_adeliver : App_msg.t -> unit;
+  obs : Obs.t;
   mutable heartbeat : Heartbeat_fd.t option;
   mutable chen : Chen_fd.t option;
   mutable rchannel : Msg.t Rchannel.t option;
@@ -85,6 +87,12 @@ let engine t = Network.engine t.net
 let handle_adeliver t m =
   t.delivered_count <- t.delivered_count + 1;
   if t.record_deliveries then t.rev_deliveries <- m.App_msg.id :: t.rev_deliveries;
+  if Obs.enabled t.obs then
+    Obs.event t.obs ~pid:t.me ~layer:`App ~phase:"adeliver"
+      ~detail:
+        (Printf.sprintf "m %d/%d (%d B)" (m.App_msg.id.App_msg.origin + 1)
+           m.App_msg.id.App_msg.seq m.App_msg.size)
+      ();
   if Pid.equal m.App_msg.id.App_msg.origin t.me then Flow_control.release t.flow;
   t.on_adeliver m
 
@@ -127,7 +135,7 @@ let crash t =
 (* ---- Wiring ---- *)
 
 let create ~kind ~params ~net ~me ?(fd_mode = `Good_run) ?(record_deliveries = true)
-    ?(on_adeliver = ignore) () =
+    ?(on_adeliver = ignore) ?(obs = Obs.noop) () =
   let cpu = Network.cpu net me in
   let stack = Stack.create ~cpu ~dispatch_cost:params.Params.dispatch_cost in
   let t =
@@ -146,6 +154,7 @@ let create ~kind ~params ~net ~me ?(fd_mode = `Good_run) ?(record_deliveries = t
       rev_deliveries = [];
       record_deliveries;
       on_adeliver;
+      obs;
       heartbeat = None;
       chen = None;
       rchannel = None;
@@ -171,7 +180,7 @@ let create ~kind ~params ~net ~me ?(fd_mode = `Good_run) ?(record_deliveries = t
           ~send_raw:(fun ~dst frame ->
             Network.send net ~src:me ~dst (Wire_msg.Frame frame))
           ~deliver:(fun ~src msg -> !deliver_ref ~src msg)
-          ()
+          ~obs ()
       in
       t.rchannel <- Some channel;
       ( (fun ~dst msg -> Rchannel.send channel ~dst msg),
@@ -215,7 +224,7 @@ let create ~kind ~params ~net ~me ?(fd_mode = `Good_run) ?(record_deliveries = t
     | Params.Ct_optimized ->
       let c =
         Consensus.create ~engine:(engine t) ~params ~me ~fd ~send ~broadcast
-          ~rbcast_decision ~on_decide ()
+          ~rbcast_decision ~on_decide ~obs ()
       in
       {
         c_propose = (fun ~inst value -> Consensus.propose c ~inst value);
@@ -227,7 +236,7 @@ let create ~kind ~params ~net ~me ?(fd_mode = `Good_run) ?(record_deliveries = t
     | Params.Ct_classic ->
       let c =
         Consensus_classic.create ~engine:(engine t) ~params ~me ~fd ~send ~broadcast
-          ~rbcast_decision ~on_decide ()
+          ~rbcast_decision ~on_decide ~obs ()
       in
       {
         c_propose = (fun ~inst value -> Consensus_classic.propose c ~inst value);
@@ -248,7 +257,7 @@ let create ~kind ~params ~net ~me ?(fd_mode = `Good_run) ?(record_deliveries = t
       let mono =
         Abcast_monolithic.create ~engine:(engine t) ~params ~me ~fd ~send ~broadcast
           ~on_adeliver:(fun m -> handle_adeliver t m)
-          ()
+          ~obs ()
       in
       let port_net = Event_bus.port bus "net->abcast+" in
       Event_bus.subscribe port_net (fun (src, msg) ->
@@ -277,7 +286,7 @@ let create ~kind ~params ~net ~me ?(fd_mode = `Good_run) ?(record_deliveries = t
             broadcast (Msg.Decision_tag { meta; inst; round; value }))
           ~deliver:(fun ~meta payload ->
             Event_bus.emit port_rdeliver (meta, payload))
-          ()
+          ~obs ()
       in
       let rbcast_decision ~inst ~round ~value =
         Event_bus.emit port_rbcast (inst, round, value)
@@ -293,7 +302,7 @@ let create ~kind ~params ~net ~me ?(fd_mode = `Good_run) ?(record_deliveries = t
                 (fun ~inst value -> Event_bus.emit port_propose (inst, value));
             }
           ~on_adeliver:(fun m -> handle_adeliver t m)
-          ()
+          ~obs ()
       in
       Event_bus.subscribe port_propose (fun (inst, value) ->
           consensus.c_propose ~inst value);
@@ -332,7 +341,7 @@ let create ~kind ~params ~net ~me ?(fd_mode = `Good_run) ?(record_deliveries = t
           ~broadcast:(fun ~meta (inst, round, value) ->
             broadcast (Msg.Decision_tag { meta; inst; round; value }))
           ~deliver:(fun ~meta payload -> Event_bus.emit port_rdeliver (meta, payload))
-          ()
+          ~obs ()
       in
       let rbcast_decision ~inst ~round ~value =
         Event_bus.emit port_rbcast (inst, round, value)
@@ -349,7 +358,7 @@ let create ~kind ~params ~net ~me ?(fd_mode = `Good_run) ?(record_deliveries = t
                 (fun ~inst value -> Event_bus.emit port_propose (inst, value));
             }
           ~on_adeliver:(fun m -> handle_adeliver t m)
-          ()
+          ~obs ()
       in
       Event_bus.subscribe port_propose (fun (inst, value) -> consensus.c_propose ~inst value);
       Event_bus.subscribe port_decide (fun (inst, value) ->

@@ -39,12 +39,18 @@ val create :
   ?fd_mode:fd_mode ->
   ?record_deliveries:bool ->
   ?on_adeliver:(App_msg.t -> unit) ->
+  ?obs:Repro_obs.Obs.t ->
   unit ->
   t
 (** Build and wire the replica. [fd_mode] defaults to [`Good_run];
     [record_deliveries] (default [true]) keeps the full in-order delivery
     log in memory for assertions. [on_adeliver] observes every adelivered
-    message (after internal bookkeeping). *)
+    message (after internal bookkeeping).
+
+    [obs] (default: no-op) is handed to every mounted protocol module (see
+    their [create] docs for the metric names) and additionally records an
+    [`App]-layer [adeliver] trace event per delivered message at this
+    process. *)
 
 val me : t -> Pid.t
 val kind : t -> kind

@@ -11,3 +11,8 @@ let kind = function
   | Plain m -> Msg.kind m
   | Frame (Rchannel.Data { payload; _ }) -> Msg.kind payload
   | Frame (Rchannel.Ack _) -> "channel-ack"
+
+let layer = function
+  | Plain m -> Msg.layer m
+  | Frame (Rchannel.Data { payload; _ }) -> Msg.layer payload
+  | Frame (Rchannel.Ack _) -> `Net

@@ -18,3 +18,6 @@ val payload_bytes : t -> int
 
 val kind : t -> string
 (** The inner {!Msg.kind}, or ["channel-ack"]. *)
+
+val layer : t -> Repro_obs.Obs.layer
+(** The inner {!Msg.layer}; channel acks bill to the [`Net] layer. *)

@@ -1,1 +1,1 @@
-lib/net/network.ml: Array Cpu Engine List Net_stats Pid Repro_sim Time Topology Wire
+lib/net/network.ml: Array Cpu Engine List Net_stats Pid Printf Repro_obs Repro_sim Time Topology Wire

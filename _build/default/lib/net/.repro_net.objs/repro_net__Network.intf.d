@@ -1,1 +1,1 @@
-lib/net/network.mli: Cpu Engine Net_stats Pid Repro_sim Time Topology Wire
+lib/net/network.mli: Cpu Engine Net_stats Pid Repro_obs Repro_sim Time Topology Wire

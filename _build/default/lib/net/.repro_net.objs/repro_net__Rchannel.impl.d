@@ -1,1 +1,1 @@
-lib/net/rchannel.ml: Array Engine List Pid Repro_sim Time
+lib/net/rchannel.ml: Array Engine List Pid Printf Repro_obs Repro_sim Time

@@ -1,1 +1,1 @@
-lib/net/rchannel.mli: Engine Pid Repro_sim Time
+lib/net/rchannel.mli: Engine Pid Repro_obs Repro_sim Time

@@ -37,4 +37,8 @@ val zero : snapshot
 (** The empty snapshot. *)
 
 val pp_snapshot : snapshot Fmt.t
-(** Prints [<msgs> msgs, <payload> B payload, <wire> B on wire]. *)
+(** One line, no trailing newline:
+    [<messages> msgs, <payload_bytes> B payload, <wire_bytes> B on wire] —
+    e.g. [42 msgs, 4096 B payload, 5462 B on wire]. For the same totals
+    split by protocol layer, observe the run with [Repro_obs.Obs] (the
+    [net.msgs.*] / [net.*_bytes.*] counters). *)

@@ -1,4 +1,5 @@
 open Repro_sim
+module Obs = Repro_obs.Obs
 
 type 'msg node = {
   cpu : Cpu.t;
@@ -20,13 +21,15 @@ type 'msg t = {
   last_arrival : Time.t array array;
   payload_bytes : 'msg -> int;
   kind_of : 'msg -> string;
+  layer_of : 'msg -> Obs.layer;
+  obs : Obs.t;
   stats : Net_stats.t;
   mutable cut_links : (Pid.t * Pid.t) list;
   mutable loss_rate : float;
 }
 
-let create engine ?(wire = Wire.default) ?topology ?(kind_of = fun _ -> "msg") ~n
-    ~payload_bytes () =
+let create engine ?(wire = Wire.default) ?topology ?(kind_of = fun _ -> "msg")
+    ?(layer_of = fun _ -> `Net) ?(obs = Obs.noop) ~n ~payload_bytes () =
   if n < 1 then invalid_arg "Network.create: n must be >= 1";
   let node _ =
     {
@@ -50,6 +53,8 @@ let create engine ?(wire = Wire.default) ?topology ?(kind_of = fun _ -> "msg") ~
     last_arrival = Array.init n (fun _ -> Array.make n Time.zero);
     payload_bytes;
     kind_of;
+    layer_of;
+    obs;
     stats = Net_stats.create ~n;
     cut_links = [];
     loss_rate = 0.0;
@@ -86,9 +91,31 @@ let deliver t ~src ~dst msg =
     Cpu.submit node.cpu ~cost (fun () ->
         if not node.crashed then
           match node.handler with
-          | Some handler -> handler ~src msg
+          | Some handler ->
+            if Obs.enabled t.obs then
+              Obs.event t.obs ~pid:dst ~layer:(t.layer_of msg) ~phase:"rx"
+                ~detail:
+                  (Printf.sprintf "%s <- p%d" (t.kind_of msg) (src + 1))
+                ();
+            handler ~src msg
           | None -> ())
   end
+
+(* Layer-attributed traffic accounting: the [Net_stats] totals split by
+   the protocol layer that produced each message — the measured side of
+   the paper's per-layer message/byte argument (§5.2). *)
+let record_tx t ~src ~dst msg ~payload_bytes =
+  let layer = t.layer_of msg in
+  let lname = Obs.layer_name layer in
+  Obs.incr t.obs ("net.msgs." ^ lname);
+  Obs.incr t.obs ~by:payload_bytes ("net.payload_bytes." ^ lname);
+  Obs.incr t.obs
+    ~by:(Wire.on_wire_bytes t.wire ~payload_bytes)
+    ("net.wire_bytes." ^ lname);
+  Obs.incr t.obs ("net.kind_msgs." ^ t.kind_of msg);
+  Obs.event t.obs ~pid:src ~layer ~phase:"tx"
+    ~detail:(Printf.sprintf "%s -> p%d" (t.kind_of msg) (dst + 1))
+    ()
 
 (* A sender that is past its crash budget silently loses the message; this
    is how a crash "in the middle of" a broadcast manifests. *)
@@ -138,6 +165,7 @@ let transmit t ~src ~dsts msg =
           sender.nic_busy_ns <- sender.nic_busy_ns + Time.span_to_ns tx_time;
           Net_stats.record_send t.stats ~src ~kind:(t.kind_of msg) ~payload_bytes
             ~wire_bytes:(Wire.on_wire_bytes t.wire ~payload_bytes);
+          if Obs.enabled t.obs then record_tx t ~src ~dst msg ~payload_bytes;
           let dropped =
             t.loss_rate > 0.0 && Repro_sim.Rng.float t.rng 1.0 < t.loss_rate
           in
@@ -154,6 +182,11 @@ let transmit t ~src ~dsts msg =
             t.last_arrival.(src).(dst) <- arrival;
             ignore
               (Engine.schedule_at t.engine arrival (fun () -> deliver t ~src ~dst msg))
+          end
+          else if Obs.enabled t.obs then begin
+            Obs.incr t.obs "net.dropped_msgs";
+            Obs.event t.obs ~pid:src ~layer:(t.layer_of msg) ~phase:"drop"
+              ~detail:(t.kind_of msg) ()
           end)
         dsts)
 

@@ -29,6 +29,8 @@ val create :
   ?wire:Wire.t ->
   ?topology:Topology.t ->
   ?kind_of:('msg -> string) ->
+  ?layer_of:('msg -> Repro_obs.Obs.layer) ->
+  ?obs:Repro_obs.Obs.t ->
   n:int ->
   payload_bytes:('msg -> int) ->
   unit ->
@@ -37,7 +39,14 @@ val create :
     [payload_bytes] gives the serialized size of a message, used for both
     timing and traffic accounting. [kind_of] (default: constant ["msg"])
     labels messages for the per-kind statistics. [topology] overrides the
-    wire model's uniform propagation latency per link. *)
+    wire model's uniform propagation latency per link.
+
+    [obs] (default: the no-op sink) receives layer-attributed traffic
+    counters ([net.msgs.<layer>], [net.payload_bytes.<layer>],
+    [net.wire_bytes.<layer>], [net.kind_msgs.<kind>], [net.dropped_msgs])
+    and per-copy trace events (phases [tx], [rx], [drop]); [layer_of]
+    (default: constant [`Net]) attributes each message to its protocol
+    layer for that accounting. *)
 
 val n : _ t -> int
 (** Number of processes in the (static) system. *)

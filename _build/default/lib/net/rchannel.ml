@@ -1,4 +1,5 @@
 open Repro_sim
+module Obs = Repro_obs.Obs
 
 type 'msg wire = Data of { seq : int; payload : 'msg } | Ack of { cumulative : int }
 
@@ -19,19 +20,21 @@ type 'msg t = {
   send_raw : dst:Pid.t -> 'msg wire -> unit;
   deliver : src:Pid.t -> 'msg -> unit;
   rto : Time.span;
+  obs : Obs.t;
   outgoing : 'msg link_out array;
   incoming : 'msg link_in array;
   mutable retransmissions : int;
   mutable halted : bool;
 }
 
-let create engine ~me ~n ~send_raw ~deliver ?(rto = Time.span_ms 20) () =
+let create engine ~me ~n ~send_raw ~deliver ?(rto = Time.span_ms 20) ?(obs = Obs.noop) () =
   {
     engine;
     me;
     send_raw;
     deliver;
     rto;
+    obs;
     outgoing = Array.init n (fun _ -> { next_seq = 0; unacked = []; timer = None });
     incoming = Array.init n (fun _ -> { expected = 0; buffered = [] });
     retransmissions = 0;
@@ -56,6 +59,11 @@ let rec arm_timer t ~dst link =
                List.iter
                  (fun (seq, payload) ->
                    t.retransmissions <- t.retransmissions + 1;
+                   Obs.incr t.obs "rchannel.retransmissions";
+                   if Obs.enabled t.obs then
+                     Obs.event t.obs ~pid:t.me ~layer:`Net ~phase:"retransmit"
+                       ~detail:(Printf.sprintf "seq %d -> p%d" seq (dst + 1))
+                       ();
                    t.send_raw ~dst (Data { seq; payload }))
                  link.unacked;
                arm_timer t ~dst link
@@ -96,7 +104,8 @@ let handle_data t ~src ~seq ~payload =
     link.buffered <-
       List.merge (fun (a, _) (b, _) -> compare a b) link.buffered [ (seq, payload) ];
     drain_in_order t ~src link
-  end;
+  end
+  else Obs.incr t.obs "rchannel.duplicates";
   (* Always (re-)acknowledge what we have — lost acks are recovered by the
      sender's retransmission provoking a fresh one. *)
   t.send_raw ~dst:src (Ack { cumulative = link.expected - 1 })

@@ -37,10 +37,14 @@ val create :
   send_raw:(dst:Pid.t -> 'msg wire -> unit) ->
   deliver:(src:Pid.t -> 'msg -> unit) ->
   ?rto:Time.span ->
+  ?obs:Repro_obs.Obs.t ->
   unit ->
   'msg t
 (** [rto] is the retransmission timeout (default 20 ms). [deliver] is
-    invoked exactly once per payload, in per-link FIFO order. *)
+    invoked exactly once per payload, in per-link FIFO order. [obs]
+    (default: no-op) counts [rchannel.retransmissions] and
+    [rchannel.duplicates] and traces each retransmission (layer [`Net],
+    phase [retransmit]). *)
 
 val send : 'msg t -> dst:Pid.t -> 'msg -> unit
 (** Queue a payload for reliable delivery to [dst]. A self-send is

@@ -1,0 +1,1 @@
+lib/obs/histogram.ml: Array Repro_sim Stats Time

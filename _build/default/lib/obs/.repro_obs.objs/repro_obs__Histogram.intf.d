@@ -1,0 +1,1 @@
+lib/obs/histogram.mli: Repro_sim Stats Time

@@ -1,0 +1,1 @@
+lib/obs/jsonl.ml: Buffer Char Float Fun Histogram List Obs Printf Repro_sim Stats String Time

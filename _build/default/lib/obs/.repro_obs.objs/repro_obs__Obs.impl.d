@@ -1,0 +1,1 @@
+lib/obs/obs.ml: Engine Fmt Hashtbl Histogram List Repro_sim Time Trace

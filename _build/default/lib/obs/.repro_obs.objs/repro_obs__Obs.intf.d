@@ -1,0 +1,1 @@
+lib/obs/obs.mli: Engine Fmt Histogram Repro_sim Stats Time Trace

@@ -1,0 +1,1 @@
+lib/obs/stats.ml: Array Fmt List

@@ -1,0 +1,135 @@
+open Repro_sim
+
+type layer = [ `Abcast | `Consensus | `Rbcast | `Net | `App ]
+
+let layer_name = function
+  | `Abcast -> "abcast"
+  | `Consensus -> "consensus"
+  | `Rbcast -> "rbcast"
+  | `Net -> "net"
+  | `App -> "app"
+
+let all_layers : layer list = [ `Abcast; `Consensus; `Rbcast; `Net; `App ]
+
+type event = { at : Time.t; pid : int; layer : layer; phase : string; detail : string }
+
+type t = {
+  enabled : bool;
+  mutable now : unit -> Time.t;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
+  trace : event Trace.t;
+  max_events : int;
+  mutable dropped_events : int;
+}
+
+let make ~enabled ~max_events =
+  let now = ref (fun () -> Time.zero) in
+  {
+    enabled;
+    now = (fun () -> !now ());
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+    trace = Trace.create_with_clock (fun () -> !now ());
+    max_events;
+    dropped_events = 0;
+  }
+
+(* The shared no-op sink: disabled forever, so every instrumentation call
+   reduces to one branch. A single instance is safe because a disabled
+   sink never mutates its tables. *)
+let noop = make ~enabled:false ~max_events:0
+
+let create ?(max_events = 2_000_000) () = make ~enabled:true ~max_events
+
+let set_clock t now =
+  if t.enabled then begin
+    t.now <- now;
+    Trace.set_clock t.trace now
+  end
+
+let of_engine engine =
+  let t = create () in
+  set_clock t (fun () -> Engine.now engine);
+  t
+
+let enabled t = t.enabled
+let now t = t.now ()
+
+(* ---- Metrics ---- *)
+
+let incr t ?(by = 1) name =
+  if t.enabled then
+    match Hashtbl.find_opt t.counters name with
+    | Some slot -> slot := !slot + by
+    | None -> Hashtbl.add t.counters name (ref by)
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some slot -> !slot | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun name slot acc -> (name, !slot) :: acc) t.counters []
+  |> List.sort compare
+
+let set_gauge t name v =
+  if t.enabled then
+    match Hashtbl.find_opt t.gauges name with
+    | Some slot -> slot := v
+    | None -> Hashtbl.add t.gauges name (ref v)
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.gauges name with Some slot -> Some !slot | None -> None
+
+let gauges t =
+  Hashtbl.fold (fun name slot acc -> (name, !slot) :: acc) t.gauges []
+  |> List.sort compare
+
+let histogram t ?edges name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create ?edges () in
+    Hashtbl.add t.histograms name h;
+    h
+
+let observe t ?edges name v = if t.enabled then Histogram.observe (histogram t ?edges name) v
+
+let observe_span t ?edges name span =
+  if t.enabled then Histogram.observe_span (histogram t ?edges name) span
+
+let observe_since t ?edges name since =
+  if t.enabled then
+    let at = t.now () in
+    (* A sink whose clock was never wired (or an event stamped before the
+       clock advanced) must not crash the protocol it observes. *)
+    if Time.(at >= since) then
+      Histogram.observe_span (histogram t ?edges name) (Time.diff at since)
+
+let histogram_summary t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> Some (Histogram.summary h)
+  | None -> None
+
+let histograms t =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.histograms []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ---- Trace ---- *)
+
+let event t ~pid ~layer ~phase ?(detail = "") () =
+  if t.enabled then begin
+    if Trace.length t.trace < t.max_events then
+      Trace.record t.trace { at = t.now (); pid; layer; phase; detail }
+    else t.dropped_events <- t.dropped_events + 1
+  end
+
+let events t = Trace.events t.trace
+let event_count t = Trace.length t.trace
+let dropped_events t = t.dropped_events
+let trace t = t.trace
+
+let pp_event ppf e =
+  Fmt.pf ppf "p%d %s/%s%s" (e.pid + 1) (layer_name e.layer) e.phase
+    (if e.detail = "" then "" else " " ^ e.detail)

@@ -1,0 +1,124 @@
+open Repro_sim
+
+(** Unified observability sink: per-module metrics and phase-tagged
+    protocol tracing.
+
+    One [Obs.t] is shared by every layer of a simulated group. Protocol
+    modules receive it as an optional argument defaulting to {!noop}, so
+    instrumentation costs a single branch when observation is off and
+    existing call sites need no change.
+
+    Three metric families, all keyed by dotted names:
+
+    - {e counters} — monotone event counts (messages per layer, acks,
+      retransmissions, …);
+    - {e gauges} — last-written scalars (run-level summaries such as
+      instances decided in the measurement window);
+    - {e histograms} — fixed-bucket latency distributions with exact
+      p50/p95/p99 (see {!Histogram}).
+
+    Plus a structured {e trace}: one {!event} per protocol step, stamped
+    with the simulated clock, the process, the protocol {!layer} and a
+    free-form phase tag ("propose", "ack", "decide", …).
+
+    All timestamps come from the engine's virtual clock through the [now]
+    closure wired by {!set_clock} (done by [Group.create]); recording never
+    schedules events, charges CPU cost, or consumes randomness, so an
+    instrumented run is event-for-event identical to an uninstrumented
+    one. *)
+
+type layer = [ `Abcast | `Consensus | `Rbcast | `Net | `App ]
+(** The protocol layer an event or message belongs to: the three
+    microprotocols of the modular stack (the monolithic ABcast+ module
+    counts as [`Abcast]), the network/transport below them, and the
+    application above. *)
+
+val layer_name : layer -> string
+(** Lower-case name as used in metric keys and JSONL ("abcast", …). *)
+
+val all_layers : layer list
+
+type event = {
+  at : Time.t;  (** Simulated instant (never wall time). *)
+  pid : int;  (** Process the event happened at. *)
+  layer : layer;
+  phase : string;  (** Protocol phase, e.g. "propose", "ack", "decide". *)
+  detail : string;  (** Free-form context, e.g. "i3 r1". *)
+}
+
+type t
+
+val noop : t
+(** The shared disabled sink: every recording call is a no-op. This is the
+    default everywhere, so building a group without an explicit [Obs.t]
+    observes nothing and costs (almost) nothing. *)
+
+val create : ?max_events:int -> unit -> t
+(** A fresh enabled sink. Its clock reads {!Time.zero} until {!set_clock}
+    is called. At most [max_events] (default 2,000,000) trace events are
+    retained; later events are counted in {!dropped_events} instead. *)
+
+val of_engine : Engine.t -> t
+(** [create ()] with the clock already wired to the engine. *)
+
+val set_clock : t -> (unit -> Time.t) -> unit
+(** Wire the clock used to stamp events and compute spans. [Group.create]
+    calls this with the group engine's [now]; no-op on {!noop}. *)
+
+val enabled : t -> bool
+(** [false] exactly for {!noop}. Guard expensive detail-string
+    construction on this at hot call sites. *)
+
+val now : t -> Time.t
+(** The sink's current clock reading. *)
+
+(** {1 Counters} *)
+
+val incr : t -> ?by:int -> string -> unit
+val counter_value : t -> string -> int
+(** 0 if never incremented. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+(** {1 Gauges} *)
+
+val set_gauge : t -> string -> float -> unit
+val gauge_value : t -> string -> float option
+val gauges : t -> (string * float) list
+
+(** {1 Histograms} *)
+
+val observe : t -> ?edges:float array -> string -> float -> unit
+(** Record a sample in the named histogram, created on first use with
+    [edges] (default {!Histogram.default_edges}, milliseconds). *)
+
+val observe_span : t -> ?edges:float array -> string -> Time.span -> unit
+(** {!observe} of a duration as fractional milliseconds. *)
+
+val observe_since : t -> ?edges:float array -> string -> Time.t -> unit
+(** Record [now - since] in milliseconds. Silently skipped when the clock
+    has not reached [since] (e.g. on a sink whose clock was never wired). *)
+
+val histogram_summary : t -> string -> Stats.summary option
+val histograms : t -> (string * Histogram.t) list
+
+(** {1 Trace} *)
+
+val event : t -> pid:int -> layer:layer -> phase:string -> ?detail:string -> unit -> unit
+(** Record one structured trace event at the current instant. *)
+
+val events : t -> event list
+(** All events, oldest first. *)
+
+val event_count : t -> int
+
+val dropped_events : t -> int
+(** Events discarded after [max_events] was reached. *)
+
+val trace : t -> event Trace.t
+(** The underlying {!Trace} recorder (the generic [Sim.Trace] generalised
+    by these structured events), for [Trace.find_last]-style assertions. *)
+
+val pp_event : event Fmt.t
+(** Prints [p<pid+1> <layer>/<phase> <detail>], e.g. [p1 consensus/propose i0 r1]. *)

@@ -1,0 +1,71 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  ci95 : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let empty =
+  {
+    count = 0;
+    mean = 0.0;
+    stddev = 0.0;
+    ci95 = 0.0;
+    min = 0.0;
+    max = 0.0;
+    p50 = 0.0;
+    p95 = 0.0;
+    p99 = 0.0;
+  }
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize samples =
+  match samples with
+  | [] -> empty
+  | _ ->
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    let n = Array.length a in
+    let fn = float_of_int n in
+    let mean = Array.fold_left ( +. ) 0.0 a /. fn in
+    let var =
+      if n < 2 then 0.0
+      else
+        Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 a
+        /. (fn -. 1.0)
+    in
+    let stddev = sqrt var in
+    {
+      count = n;
+      mean;
+      stddev;
+      ci95 = 1.96 *. stddev /. sqrt fn;
+      min = a.(0);
+      max = a.(n - 1);
+      p50 = percentile a 0.5;
+      p95 = percentile a 0.95;
+      p99 = percentile a 0.99;
+    }
+
+let pp_summary ppf s =
+  Fmt.pf ppf "%.3f ±%.3f (p50=%.3f, p95=%.3f, n=%d)" s.mean s.ci95 s.p50 s.p95 s.count

@@ -1,15 +1,17 @@
 type 'a entry = { at : Time.t; event : 'a }
 
 type 'a t = {
-  engine : Engine.t;
+  mutable now : unit -> Time.t;
   mutable rev_entries : 'a entry list;
   mutable length : int;
 }
 
-let create engine = { engine; rev_entries = []; length = 0 }
+let create_with_clock now = { now; rev_entries = []; length = 0 }
+let create engine = create_with_clock (fun () -> Engine.now engine)
+let set_clock t now = t.now <- now
 
 let record t event =
-  t.rev_entries <- { at = Engine.now t.engine; event } :: t.rev_entries;
+  t.rev_entries <- { at = t.now (); event } :: t.rev_entries;
   t.length <- t.length + 1
 
 let entries t = List.rev t.rev_entries

@@ -1,8 +1,15 @@
 (** Timestamped event recorder.
 
     A lightweight append-only log of labelled events, used by tests to
-    assert on protocol histories and by examples to narrate runs. Recording
-    is O(1); the log lives entirely in memory. *)
+    assert on protocol histories, by examples to narrate runs, and by the
+    observability layer ([Repro_obs.Obs]) as the store behind its
+    structured trace events. Recording is O(1); the log lives entirely in
+    memory.
+
+    The clock is a plain closure so the recorder does not depend on who
+    owns the engine: {!create} wires it to an engine's virtual clock, and
+    {!create_with_clock} accepts any [unit -> Time.t] (the observability
+    sink wires its clock after construction via {!set_clock}). *)
 
 type 'a t
 (** A trace of events of type ['a]. *)
@@ -11,6 +18,13 @@ type 'a entry = { at : Time.t; event : 'a }
 
 val create : Engine.t -> 'a t
 (** A fresh empty trace stamping entries with the engine's clock. *)
+
+val create_with_clock : (unit -> Time.t) -> 'a t
+(** A fresh empty trace stamping entries with an arbitrary clock. *)
+
+val set_clock : 'a t -> (unit -> Time.t) -> unit
+(** Replace the clock used for subsequent entries. Existing entries keep
+    their timestamps. *)
 
 val record : 'a t -> 'a -> unit
 (** Append an event at the current instant. *)
@@ -28,4 +42,6 @@ val find_last : 'a t -> f:('a -> bool) -> 'a entry option
 (** The most recent entry satisfying [f], if any. *)
 
 val pp : 'a Fmt.t -> 'a t Fmt.t
-(** Prints one [<time> <event>] line per entry, oldest first. *)
+(** One line per entry, oldest first, each terminated by a newline:
+    [<at> <event>] where [<at>] is {!Time.pp}'s millisecond rendering —
+    e.g. [1.000ms one] for an event recorded at 1 ms. *)

@@ -1,1 +1,1 @@
-lib/workload/stats.ml: Array Fmt List
+lib/workload/stats.ml: Repro_obs

@@ -1,1 +1,1 @@
-lib/workload/stats.mli: Fmt
+lib/workload/stats.mli: Repro_obs

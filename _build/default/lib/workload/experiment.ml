@@ -1,6 +1,7 @@
 open Repro_sim
 open Repro_net
 open Repro_core
+module Obs = Repro_obs.Obs
 
 type config = {
   kind : Replica.kind;
@@ -56,10 +57,10 @@ let total_crossings group =
     0
     (Pid.all ~n:params.Params.n)
 
-let run_raw config =
+let run_raw ?(obs = Obs.noop) config =
   let params = { config.params with Params.n = config.n; seed = config.seed } in
   let group =
-    Group.create ~kind:config.kind ~params ~record_deliveries:false ()
+    Group.create ~kind:config.kind ~params ~record_deliveries:false ~obs ()
   in
   let generator =
     Generator.start group ~offered_load:config.offered_load ~size:config.size ()
@@ -106,6 +107,16 @@ let run_raw config =
   let finstances = float_of_int (max 1 instances) in
   let delta = Net_stats.diff stats1 stats0 in
   let delivered_p1 = delivered_window |> List.hd in
+  (* Run-level gauges: the window-normalized quantities the per-layer
+     counters cannot express (those are cumulative and include warm-up). *)
+  if Obs.enabled obs then begin
+    Obs.set_gauge obs "run.instances" (float_of_int instances);
+    Obs.set_gauge obs "run.window_s" window_s;
+    Obs.set_gauge obs "run.mean_batch" (float_of_int delivered_p1 /. finstances);
+    Obs.set_gauge obs "run.throughput" throughput;
+    Obs.set_gauge obs "run.msgs_per_instance"
+      (float_of_int delta.Net_stats.messages /. finstances)
+  end;
   ( latencies,
     {
       config;
@@ -125,12 +136,12 @@ let run_raw config =
         /. float_of_int (max 1 (List.fold_left ( + ) 0 delivered_window));
     } )
 
-let run config = snd (run_raw config)
+let run ?obs config = snd (run_raw ?obs config)
 
-let run_repeated ?(repeats = 3) config =
+let run_repeated ?(repeats = 3) ?obs config =
   if repeats < 1 then invalid_arg "Experiment.run_repeated: repeats must be >= 1";
   let runs =
-    List.init repeats (fun i -> run_raw { config with seed = config.seed + i })
+    List.init repeats (fun i -> run_raw ?obs { config with seed = config.seed + i })
   in
   let pooled_latencies = List.concat_map fst runs in
   let results = List.map snd runs in

@@ -56,15 +56,21 @@ type result = {
       (** Framework events per adelivered message (modularity diagnostic). *)
 }
 
-val run : config -> result
-(** Execute the run in virtual time and summarize the window. *)
+val run : ?obs:Repro_obs.Obs.t -> config -> result
+(** Execute the run in virtual time and summarize the window. [obs]
+    (default: no-op) observes the whole run — see {!Group.create} — and
+    additionally receives window-normalized run gauges: [run.instances],
+    [run.window_s], [run.mean_batch], [run.throughput],
+    [run.msgs_per_instance]. Counters in [obs] are cumulative over the
+    whole execution, warm-up included. *)
 
-val run_repeated : ?repeats:int -> config -> result
+val run_repeated : ?repeats:int -> ?obs:Repro_obs.Obs.t -> config -> result
 (** Run the same configuration [repeats] times (default 3) with seeds
     [seed, seed+1, …] and combine: latency samples are pooled across the
     executions (the paper computes means "over many messages and for
     several executions", §5.1); scalar metrics are averaged. With
-    [repeats = 1] this is {!run}. *)
+    [repeats = 1] this is {!run}. A shared [obs] accumulates counters and
+    histograms across all repeats; gauges keep the last run's values. *)
 
 val pp_result : result Fmt.t
 (** One human-readable line: load, latency, throughput, M, CPU. *)

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest App_msg Array Engine Group List Params Printf Replica Repro_analysis Repro_core Repro_net Repro_obs Repro_sim String Time

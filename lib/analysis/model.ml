@@ -27,3 +27,11 @@ let monolithic_bytes ~n ~m ~l =
 let data_overhead ~n =
   check_n n;
   float_of_int (n - 1) /. float_of_int (n + 1)
+
+let modular_layer_messages ~n ~m =
+  check_n n;
+  [
+    ("abcast", m * (n - 1));
+    ("consensus", 2 * (n - 1));
+    ("rbcast", rbcast_messages ~n);
+  ]

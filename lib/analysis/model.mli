@@ -38,3 +38,11 @@ val monolithic_bytes : n:int -> m:int -> l:int -> float
 
 val data_overhead : n:int -> float
 (** (Data_mod - Data_mono) / Data_mono = (n-1)/(n+1). *)
+
+val modular_layer_messages : n:int -> m:int -> (string * int) list
+(** {!modular_messages} split by the layer that sends each message, keyed
+    by the observability layer names ([Repro_obs.Obs.layer_name]):
+    [("abcast", M(n-1))] diffusions, [("consensus", 2(n-1))] proposal and
+    acks, [("rbcast", (n-1)⌊(n+1)/2⌋)] decision broadcast. The counts sum
+    to {!modular_messages}, and match the [net.msgs.<layer>] counters of
+    an instrumented run divided by the number of consensus instances. *)

@@ -66,6 +66,20 @@ let payload_bytes = function
   | Decision_request _ -> header
   | Decision_full { value; _ } -> header + batch_bytes value
 
+(* Layer attribution for the observability counters: which protocol layer
+   pays for this message. The monolithic stack has no internal layering
+   (that is its point), so all its messages bill to the abcast layer. *)
+let layer : t -> Repro_obs.Obs.layer = function
+  | Heartbeat -> `Net
+  | Diffuse _ -> `Abcast
+  | Estimate _ | Propose _ | Ack _ | Nack _ | New_round _ | Decision_request _
+  | Decision_full _ ->
+    `Consensus
+  | Decision_tag _ -> `Rbcast
+  | Prop_dec _ | Ack_diff _ | Mono_estimate _ | Mono_decision_tag _ | To_coord _
+  | Payload_request _ | Payload_push _ ->
+    `Abcast
+
 let kind = function
   | Heartbeat -> "heartbeat"
   | Diffuse _ -> "diffuse"

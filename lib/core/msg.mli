@@ -97,5 +97,13 @@ val payload_bytes : t -> int
 val kind : t -> string
 (** Constructor name, for traces and per-kind accounting. *)
 
+val layer : t -> Repro_obs.Obs.layer
+(** The protocol layer the message belongs to, for the per-layer traffic
+    counters: [Diffuse] is abcast dissemination; [Estimate], [Propose],
+    [Ack], [Nack], [New_round] and the decision-recovery pair are
+    consensus; [Decision_tag] is reliable broadcast; every monolithic and
+    indirect-stack constructor bills to [`Abcast] (the monolithic stack has
+    no internal layering — that is its point); [Heartbeat] is [`Net]. *)
+
 val pp : t Fmt.t
 (** One-line rendering with instance/round and batch summaries. *)
