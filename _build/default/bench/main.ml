@@ -452,6 +452,31 @@ let indirect_study () =
         [ Replica.Modular; Replica.Indirect; Replica.Monolithic ])
     both_ns
 
+(* ---- Supplementary: the cost of modularity under faults ----
+
+   The paper compares the stacks in good runs only (§5.1). This study
+   re-measures both with a scripted fault striking the measurement window
+   — coordinator crash, a 2% loss window, a healed partition — and
+   reports each stack's degradation against its own fault-free baseline
+   (same live heartbeat detector everywhere, so the fault is the only
+   variable). See EXPERIMENTS.md S-faults. *)
+
+let faults_study () =
+  section "Supplementary S-faults: both stacks under faults (1 KiB, 1000 msgs/s)";
+  let open Repro_fault in
+  List.iter
+    (fun n ->
+      let rows = Study.run ~obs ~warmup_s ~measure_s ~n () in
+      List.iter
+        (fun row ->
+          Fmt.pr "%a" Study.pp_row row;
+          match Study.degradation rows row with
+          | Some (lat, tput) ->
+            Fmt.pr " | lat x%4.2f tput x%4.2f vs fault-free@." lat tput
+          | None -> Fmt.pr " | baseline@.")
+        rows)
+    both_ns
+
 (* ---- Bechamel micro-benchmarks of hot paths ---- *)
 
 let microbench () =
@@ -570,6 +595,7 @@ let () =
   topology_study ();
   loss_study ();
   indirect_study ();
+  faults_study ();
   microbench ();
   let tags = [ ("source", "bench") ] in
   Option.iter

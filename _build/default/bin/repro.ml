@@ -482,6 +482,188 @@ let plot_cmd =
        ~doc:"Regenerate a figure's data as gnuplot-ready .dat files plus a .gp script.")
     Term.(ret (const run $ fig_arg $ out_arg $ warmup_arg $ measure_arg $ seed_arg))
 
+(* ---- nemesis: one scripted fault run ---- *)
+
+let fault_plan_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"FILE"
+        ~doc:
+          "Declarative fault schedule to execute, one step per line, e.g. \"at 100ms \
+           crash p1\" (see DESIGN.md §9 for the grammar). The plan is parsed and \
+           validated before the simulation starts.")
+
+(* Reject a bad plan before any simulation runs: unreadable file, unknown
+   action, non-monotone timestamps, out-of-range pid all exit 1 here. *)
+let load_plan ~n path =
+  match Repro_fault.Schedule.load path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok plan -> (
+    match Repro_fault.Schedule.validate ~n plan with
+    | Error e -> Error (Printf.sprintf "%s: invalid fault plan: %s" path e)
+    | Ok plan -> Ok plan)
+
+let nemesis_cmd =
+  let n_arg =
+    Arg.(value & opt int 3 & info [ "n"; "group-size" ] ~docv:"N" ~doc:"Group size.")
+  in
+  let kind_arg =
+    Arg.(
+      value
+      & opt kind_conv Replica.Modular
+      & info [ "stack" ] ~docv:"STACK" ~doc:"Which implementation to subject to the plan.")
+  in
+  let load_arg =
+    Arg.(
+      value & opt float 600.0
+      & info [ "load" ] ~docv:"MSGS/S" ~doc:"Offered load, messages per second globally.")
+  in
+  let settle_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "settle" ] ~docv:"S"
+          ~doc:"Virtual seconds to keep running after the last scheduled fault.")
+  in
+  let run plan_file kind n load settle seed =
+    match load_plan ~n plan_file with
+    | Error e -> `Error (false, e)
+    | Ok schedule ->
+      let v =
+        Repro_fault.Campaign.run_one ~kind ~n ~seed ~schedule ~offered_load:load
+          ~settle_s:settle ()
+      in
+      Fmt.pr "%a@." Repro_fault.Campaign.pp_verdict v;
+      (match v.Repro_fault.Campaign.outcome with
+      | Repro_fault.Campaign.Pass -> `Ok ()
+      | Repro_fault.Campaign.Fail _ -> `Error (false, "invariant violated"))
+  in
+  Cmd.v
+    (Cmd.info "nemesis"
+       ~doc:
+         "Run one atomic-broadcast group under a declarative fault plan, with \
+          continuous invariant monitoring (total order, agreement, integrity, \
+          validity, liveness).")
+    Term.(
+      ret
+        (const run $ fault_plan_arg $ kind_arg $ n_arg $ load_arg $ settle_arg
+       $ seed_arg))
+
+(* ---- campaign: randomized multi-seed fault campaign ---- *)
+
+let campaign_cmd =
+  let n_arg =
+    Arg.(value & opt int 3 & info [ "n"; "group-size" ] ~docv:"N" ~doc:"Group size.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "campaign-seeds" ] ~docv:"N"
+          ~doc:
+            "Number of random fault schedules; every stack faces the same schedule per \
+             seed.")
+  in
+  let base_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "base-seed" ] ~docv:"SEED" ~doc:"First schedule seed (seeds are consecutive).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Append one JSONL verdict object per run to $(docv).")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "horizon" ] ~docv:"S"
+          ~doc:"Virtual seconds each random schedule spans (faults end by 0.9 horizon).")
+  in
+  let run n seeds base_seed out horizon =
+    let oc = Option.map open_out out in
+    let on_verdict v =
+      Fmt.pr "%a@." Repro_fault.Campaign.pp_verdict v;
+      Option.iter
+        (fun oc ->
+          output_string oc (Repro_fault.Campaign.verdict_line v);
+          output_char oc '\n')
+        oc
+    in
+    let verdicts =
+      Repro_fault.Campaign.run ~base_seed ~horizon_s:horizon ~on_verdict ~n ~seeds ()
+    in
+    Option.iter close_out oc;
+    match Repro_fault.Campaign.failures verdicts with
+    | [] ->
+      Fmt.pr "%d runs, all invariants held.@." (List.length verdicts);
+      `Ok ()
+    | failures ->
+      (* Shrink the first failure to a minimal reproducer before reporting. *)
+      let v = List.hd failures in
+      let minimal = Repro_fault.Campaign.minimize v in
+      Fmt.epr "%d of %d runs violated an invariant.@." (List.length failures)
+        (List.length verdicts);
+      Fmt.epr "Minimal reproducing schedule (stack %s, n=%d, seed %d):@.%s@."
+        (kind_name v.Repro_fault.Campaign.kind)
+        v.Repro_fault.Campaign.n v.Repro_fault.Campaign.seed
+        (Repro_fault.Schedule.to_string minimal);
+      `Error (false, "invariant violations found")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a randomized fault-injection campaign: N random schedules (crashes, \
+          partitions, loss and delay windows) against all three stacks, with \
+          continuous invariant monitoring; failing schedules are shrunk to a minimal \
+          reproducer.")
+    Term.(ret (const run $ n_arg $ seeds_arg $ base_seed_arg $ out_arg $ horizon_arg))
+
+(* ---- study: modularity cost under faults ---- *)
+
+let study_cmd =
+  let n_arg =
+    Arg.(value & opt int 3 & info [ "n"; "group-size" ] ~docv:"N" ~doc:"Group size.")
+  in
+  let run n csv =
+    if csv then print_endline "stack,scenario,n,latency_ms,throughput,lat_ratio,tput_ratio";
+    let rows = ref [] in
+    let all =
+      Repro_fault.Study.run ~n
+        ~on_row:(fun row ->
+          rows := row :: !rows;
+          if not csv then Fmt.pr "%a@." Repro_fault.Study.pp_row row)
+        ()
+    in
+    List.iter
+      (fun (row : Repro_fault.Study.row) ->
+        let lat_r, tput_r =
+          match Repro_fault.Study.degradation all row with
+          | Some (l, t) -> (l, t)
+          | None -> (1.0, 1.0)
+        in
+        if csv then
+          Printf.printf "%s,%s,%d,%.4f,%.2f,%.3f,%.3f\n"
+            (kind_name row.Repro_fault.Study.kind)
+            row.Repro_fault.Study.scenario n
+            row.Repro_fault.Study.result.Experiment.early_latency_ms.Stats.mean
+            row.Repro_fault.Study.result.Experiment.throughput lat_r tput_r
+        else if row.Repro_fault.Study.scenario <> "none" then
+          Fmt.pr "%-10s %-14s degradation: latency x%.2f, throughput x%.2f@."
+            (kind_name row.Repro_fault.Study.kind)
+            row.Repro_fault.Study.scenario lat_r tput_r)
+      all;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "study"
+       ~doc:
+         "Measure the modular/monolithic gap while scripted faults hit the measurement \
+          window (coordinator crash, 2% loss, partition+heal) — the \
+          modularity-cost-under-faults study (EXPERIMENTS.md S-faults).")
+    Term.(ret (const run $ n_arg $ csv_arg))
+
 (* ---- all ---- *)
 
 let all_cmd =
@@ -512,6 +694,18 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "repro" ~version:"1.0.0" ~doc)
-    [ run_cmd; figure_cmd; plot_cmd; tables_cmd; ablation_cmd; dispatch_cmd; window_cmd; all_cmd ]
+    [
+      run_cmd;
+      figure_cmd;
+      plot_cmd;
+      tables_cmd;
+      ablation_cmd;
+      dispatch_cmd;
+      window_cmd;
+      nemesis_cmd;
+      campaign_cmd;
+      study_cmd;
+      all_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -176,8 +176,16 @@ let abcast t m =
           (Printf.sprintf "m %d/%d" (m.App_msg.id.App_msg.origin + 1)
              m.App_msg.id.App_msg.seq)
         ();
-    note_payload t m;
+    (* Diffuse strictly before [note_payload], whose embedded
+       [maybe_propose] may put the identifier into a consensus proposal.
+       Channels are FIFO per link, so any process that sees a proposal
+       naming this id has already received the payload copy sent here —
+       otherwise a sender crashing between proposing and diffusing leaves
+       a decided identifier whose payload died with it, blocking every
+       correct process (the §3.3 hazard; [12] diffuses before proposing
+       for exactly this reason). *)
     t.diffuse m;
+    note_payload t m;
     maybe_propose t
   end
 

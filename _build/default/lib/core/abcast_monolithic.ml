@@ -51,6 +51,9 @@ type t = {
          slots freeing) hold for that very ack instead of going standalone *)
   mutable delivered_count : int;
   mutable kick_timer : Engine.timer option;
+  mutable catchup_timer : Engine.timer option;
+      (* armed while [next_deliver <= max_decided], i.e. a decided instance
+         sits above an undecided hole; see [arm_catchup] *)
   decision_rb : (int * int) Rbcast.t option ref;
       (* reliable broadcast of standalone decision tags, used only in the
          [cheap_decision = false] ablation *)
@@ -174,6 +177,37 @@ let take_own_unsent t =
   t.own_unsent <- [];
   piggyback
 
+(* Safety net against permanent delivery holes: the merged stack's cheap
+   decision dissemination (§4.3) rides the steward's follow-up proposals
+   and one-shot tags, so if the steward crashes before its retransmissions
+   complete, a process can keep deciding {e later} instances while an
+   earlier one stays unknown forever — nothing ever re-announces it. (The
+   modular stack is immune: its decision tags travel by reliable
+   broadcast, whose relay step survives the origin's crash.) While a
+   decided instance sits above an undecided hole, periodically ask
+   everyone for the missing values; deciders answer [Decision_full],
+   undecided receivers park us in [pending_requesters]. Never fires in
+   good runs. *)
+let rec arm_catchup t =
+  if t.catchup_timer = None && t.max_decided >= t.next_deliver then
+    t.catchup_timer <-
+      Some
+        (Engine.schedule_after t.engine t.params.Params.round1_kick (fun () ->
+             t.catchup_timer <- None;
+             if t.max_decided >= t.next_deliver then begin
+               let requested = ref 0 in
+               let inst = ref t.next_deliver in
+               while !inst <= t.max_decided && !requested < 64 do
+                 let s = state t !inst in
+                 if s.decided = None then begin
+                   send_to_others t (Msg.Decision_request { inst = !inst });
+                   incr requested
+                 end;
+                 incr inst
+               done;
+               arm_catchup t
+             end))
+
 let rec arm_progress_timer t s =
   cancel_timer t s.progress_timer;
   s.progress_timer <-
@@ -204,6 +238,7 @@ and mono_decide t s value ~here_round =
         ();
     Hashtbl.replace t.decisions_buf s.inst value;
     drain t;
+    arm_catchup t;
     (* Idle transition: the last instance just decided and nothing else is
        running — any held own messages must reach the coordinator now. *)
     if (not (pipeline_active t)) && t.own_unsent <> [] && not (am_steward t) then begin
@@ -614,6 +649,7 @@ let create ~engine ~params ~me ~fd ~send ~broadcast ~on_adeliver ?(obs = Obs.noo
       ack_imminent = false;
       delivered_count = 0;
       kick_timer = None;
+      catchup_timer = None;
       decision_rb = ref None;
     }
   in

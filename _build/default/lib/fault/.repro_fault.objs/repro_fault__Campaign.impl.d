@@ -1,0 +1,1 @@
+lib/fault/campaign.ml: Array Experiment Float Fmt Generator Group List Monitor Nemesis Params Pid Replica Repro_core Repro_fd Repro_net Repro_obs Repro_sim Repro_workload Rng Schedule Time

@@ -1,0 +1,1 @@
+lib/fault/campaign.mli: Fmt Monitor Replica Repro_core Repro_obs Repro_sim Rng Schedule Time

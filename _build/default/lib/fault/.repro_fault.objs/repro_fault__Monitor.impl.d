@@ -1,0 +1,1 @@
+lib/fault/monitor.ml: App_msg Array Engine Fmt Group Hashtbl List Pid Replica Repro_core Repro_net Repro_sim Schedule Time

@@ -1,0 +1,1 @@
+lib/fault/monitor.mli: App_msg Fmt Group Pid Repro_core Repro_net Repro_sim Schedule Time

@@ -1,0 +1,1 @@
+lib/fault/nemesis.ml: Engine Group List Repro_core Repro_net Repro_obs Repro_sim Schedule Time

@@ -1,0 +1,1 @@
+lib/fault/nemesis.mli: Group Repro_core Repro_obs Schedule

@@ -1,0 +1,1 @@
+lib/fault/schedule.ml: Fmt List Pid Printf Repro_net Repro_sim Result String Time

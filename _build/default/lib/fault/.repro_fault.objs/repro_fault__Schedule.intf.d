@@ -1,0 +1,1 @@
+lib/fault/schedule.mli: Fmt Pid Repro_net Repro_sim Time

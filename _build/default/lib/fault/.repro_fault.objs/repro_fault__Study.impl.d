@@ -1,0 +1,1 @@
+lib/fault/study.ml: Experiment Fmt List Nemesis Params Printf Replica Repro_core Repro_fd Repro_obs Repro_sim Repro_workload Schedule Stats Time

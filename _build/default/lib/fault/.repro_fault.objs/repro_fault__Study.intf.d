@@ -1,0 +1,1 @@
+lib/fault/study.mli: Experiment Fmt Replica Repro_core Repro_obs Repro_workload Schedule

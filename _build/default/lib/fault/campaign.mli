@@ -1,0 +1,103 @@
+open Repro_sim
+open Repro_core
+
+(** Randomized fault-injection campaigns.
+
+    A campaign draws fault schedules from a deterministic {!Rng} — minority
+    crashes, link cuts, partitions, loss-rate windows and delay spikes, all
+    healed before the end of the faulty window — and runs each (seed,
+    schedule) pair against the chosen stacks under a live heartbeat failure
+    detector, with a {!Monitor} attached. Every run yields a {!verdict};
+    a failing verdict can be {!shrink}ed to a locally minimal schedule that
+    still reproduces the violated invariant, and (seed, minimal schedule)
+    then reproduces the failure bit-for-bit.
+
+    Schedules depend only on the seed, never on the stack, so for a given
+    seed all stacks face the same fault pattern — the comparison the
+    modularity-cost-under-faults study needs.
+
+    Runs with link faults (cut / partition / loss / delay) use the
+    {!Params.Lossy} transport with zero baseline loss, which mounts the
+    retransmitting {!Repro_net.Rchannel}: quasi-reliable channels are then
+    {e earned}, so messages dropped inside a fault window are recovered
+    after healing and the liveness invariant is meaningful. Crash-only
+    schedules keep the native [Tcp_like] transport. *)
+
+type outcome = Pass | Fail of Monitor.violation
+
+type verdict = {
+  kind : Replica.kind;
+  n : int;
+  seed : int;
+  schedule : Schedule.t;
+  outcome : outcome;
+  crashed : int;  (** Processes the schedule crashed. *)
+  delivered : int;  (** Deliveries at the first correct process. *)
+  admitted : int;  (** abcast completions across the group. *)
+  mean_latency_ms : float;
+      (** Mean early latency over the whole run, fault windows included —
+          the campaign's degradation signal. [nan] if nothing delivered. *)
+}
+
+val random_schedule : Rng.t -> n:int -> horizon:Time.span -> Schedule.t
+(** Draw a schedule for [n] processes: up to ⌊(n-1)/2⌋ crashes (half of
+    them mid-broadcast via [crash-after-sends]), up to two link-fault
+    windows (cut, partition, loss or delay spike), every disruption healed
+    by [0.9 × horizon]. The result always passes {!Schedule.validate}. *)
+
+val run_one :
+  kind:Replica.kind ->
+  n:int ->
+  seed:int ->
+  schedule:Schedule.t ->
+  ?offered_load:float ->
+  ?settle_s:float ->
+  unit ->
+  verdict
+(** Execute one run: build the group (heartbeat failure detection, seeded
+    from [seed]), attach a monitor, install the schedule, offer load for
+    the schedule's duration plus a short margin, then stop the workload and
+    let the system settle for [settle_s] (default 5) virtual seconds before
+    the final agreement/liveness checks. [offered_load] defaults to 600
+    msgs/s. @raise Invalid_argument if the schedule does not validate. *)
+
+val shrink : fails:(Schedule.t -> bool) -> Schedule.t -> Schedule.t
+(** Greedy delta-debugging: repeatedly remove any single step whose removal
+    keeps [fails] true, to a fixpoint. The result is a subsequence of the
+    input and 1-minimal (removing any one further step makes [fails]
+    false). If the input itself does not fail, it is returned unchanged. *)
+
+val minimize : ?offered_load:float -> ?settle_s:float -> verdict -> Schedule.t
+(** Shrink a failing verdict's schedule so that re-running the same (kind,
+    n, seed) still violates the {e same} invariant. For a passing verdict,
+    the schedule is returned unchanged. *)
+
+val run :
+  ?kinds:Replica.kind list ->
+  ?base_seed:int ->
+  ?offered_load:float ->
+  ?horizon_s:float ->
+  ?settle_s:float ->
+  ?on_verdict:(verdict -> unit) ->
+  n:int ->
+  seeds:int ->
+  unit ->
+  verdict list
+(** The full campaign: seeds [base_seed … base_seed + seeds - 1] (default
+    base 1), each generating one schedule over a [horizon_s] (default 2)
+    virtual-second faulty window, run against every stack in [kinds]
+    (default all three). [on_verdict] (default ignore) observes each
+    verdict as it completes, for progress output. Verdicts are ordered by
+    seed, then by stack. *)
+
+val failures : verdict list -> verdict list
+
+val verdict_json : verdict -> Repro_obs.Jsonl.json
+(** One Obs-JSONL object: [{"type":"verdict","stack":…,"n":…,"seed":…,
+    "result":"pass"|"fail",…,"schedule":…}]; failing verdicts add
+    ["invariant"], ["process"], ["at_ms"] and ["detail"]. *)
+
+val verdict_line : verdict -> string
+(** [verdict_json] rendered compactly (one JSONL line, no newline). *)
+
+val pp_verdict : verdict Fmt.t

@@ -1,0 +1,164 @@
+open Repro_sim
+open Repro_net
+open Repro_core
+
+type invariant = Integrity | Total_order | Agreement | Validity | Liveness
+
+let invariant_name = function
+  | Integrity -> "integrity"
+  | Total_order -> "total-order"
+  | Agreement -> "agreement"
+  | Validity -> "validity"
+  | Liveness -> "liveness"
+
+type violation = {
+  at : Time.t;
+  invariant : invariant;
+  at_process : Pid.t;
+  detail : string;
+}
+
+type t = {
+  n : int;
+  seed : int;
+  schedule : Schedule.t;
+  (* Per-process delivery logs, newest first, plus counts for O(1) index. *)
+  rev_logs : App_msg.id list array;
+  counts : int array;
+  seen : (App_msg.id, unit) Hashtbl.t array;
+  (* The global order: the longest delivery sequence observed so far.
+     Prefix compatibility of all logs is equivalent to each log being a
+     prefix of this one, so every delivery checks one slot. *)
+  mutable global : App_msg.id array;
+  mutable global_len : int;
+  mutable clock : unit -> Time.t;
+  mutable admitted_of : Pid.t -> int option;
+  mutable rev_violations : violation list;
+}
+
+let create ?(seed = 0) ?(schedule = []) ~n () =
+  {
+    n;
+    seed;
+    schedule;
+    rev_logs = Array.make n [];
+    counts = Array.make n 0;
+    seen = Array.init n (fun _ -> Hashtbl.create 64);
+    global = Array.make 64 { App_msg.origin = 0; seq = -1 };
+    global_len = 0;
+    clock = (fun () -> Time.zero);
+    admitted_of = (fun _ -> None);
+    rev_violations = [];
+  }
+
+let violate t invariant at_process detail =
+  t.rev_violations <-
+    { at = t.clock (); invariant; at_process; detail } :: t.rev_violations
+
+let global_push t id =
+  if t.global_len = Array.length t.global then begin
+    let bigger = Array.make (2 * t.global_len) id in
+    Array.blit t.global 0 bigger 0 t.global_len;
+    t.global <- bigger
+  end;
+  t.global.(t.global_len) <- id;
+  t.global_len <- t.global_len + 1
+
+let observe t p id =
+  if p < 0 || p >= t.n then invalid_arg "Monitor.observe: pid out of range";
+  (* Integrity: no duplicate delivery at one process. *)
+  if Hashtbl.mem t.seen.(p) id then
+    violate t Integrity p (Fmt.str "%a delivered twice" App_msg.pp_id id)
+  else Hashtbl.replace t.seen.(p) id ();
+  (* Validity: the message must have been admitted by its origin. *)
+  (if id.App_msg.origin < 0 || id.App_msg.origin >= t.n then
+     violate t Validity p (Fmt.str "%a has no such origin" App_msg.pp_id id)
+   else
+     match t.admitted_of id.App_msg.origin with
+     | Some admitted when id.App_msg.seq >= admitted ->
+       violate t Validity p
+         (Fmt.str "%a delivered but origin admitted only %d messages"
+            App_msg.pp_id id admitted)
+     | _ -> ());
+  (* Total order: this log must stay a prefix of the global order. *)
+  let i = t.counts.(p) in
+  if i < t.global_len then begin
+    if not (App_msg.equal_id t.global.(i) id) then
+      violate t Total_order p
+        (Fmt.str "position %d: delivered %a where the group order has %a" i
+           App_msg.pp_id id App_msg.pp_id t.global.(i))
+  end
+  else global_push t id;
+  t.rev_logs.(p) <- id :: t.rev_logs.(p);
+  t.counts.(p) <- i + 1
+
+let attach t group =
+  let engine = Group.engine group in
+  t.clock <- (fun () -> Engine.now engine);
+  t.admitted_of <- (fun p -> Some (Replica.admitted (Group.replica group p)));
+  Group.on_delivery group (fun p (msg : App_msg.t) -> observe t p msg.id)
+
+let check_final t ~correct ?(min_delivered = 1) () =
+  List.iter
+    (fun p ->
+      if p < 0 || p >= t.n then invalid_arg "Monitor.check_final: pid out of range")
+    correct;
+  (* Uniform agreement among correct processes: online total order already
+     guarantees prefix compatibility, so equality reduces to equal length. *)
+  (match correct with
+  | [] -> ()
+  | first :: rest ->
+    List.iter
+      (fun p ->
+        if t.counts.(p) <> t.counts.(first) then
+          violate t Agreement p
+            (Fmt.str "correct %a delivered %d messages but correct %a delivered %d"
+               Pid.pp p t.counts.(p) Pid.pp first t.counts.(first)))
+      rest);
+  (* Liveness of the correct majority. *)
+  if 2 * List.length correct > t.n then begin
+    List.iter
+      (fun p ->
+        if t.counts.(p) < min_delivered then
+          violate t Liveness p
+            (Fmt.str "correct %a delivered %d < %d messages" Pid.pp p
+               t.counts.(p) min_delivered))
+      correct;
+    (* Every message admitted by a correct origin must be delivered at every
+       correct process; with agreement checked, membership in one correct
+       log suffices. *)
+    match correct with
+    | [] -> ()
+    | witness :: _ ->
+      List.iter
+        (fun origin ->
+          match t.admitted_of origin with
+          | None -> ()
+          | Some admitted ->
+            for seq = 0 to admitted - 1 do
+              let id = { App_msg.origin; seq } in
+              if not (Hashtbl.mem t.seen.(witness) id) then
+                violate t Liveness witness
+                  (Fmt.str "%a admitted by correct origin but never delivered"
+                     App_msg.pp_id id)
+            done)
+        correct
+  end
+
+let violations t = List.rev t.rev_violations
+let first_violation t = match violations t with [] -> None | v :: _ -> Some v
+let seed t = t.seed
+let schedule t = t.schedule
+let delivered_count t p = t.counts.(p)
+let log t p = List.rev t.rev_logs.(p)
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%s violated at %a by %a: %s" (invariant_name v.invariant) Time.pp
+    v.at Pid.pp v.at_process v.detail
+
+let pp_report ppf t =
+  match first_violation t with
+  | None -> Fmt.string ppf "no violations"
+  | Some v ->
+    Fmt.pf ppf "%a@ (seed %d, schedule: %a)" pp_violation v t.seed Schedule.pp
+      t.schedule

@@ -1,0 +1,85 @@
+open Repro_sim
+open Repro_net
+open Repro_core
+
+(** Continuous invariant monitoring for atomic broadcast under faults.
+
+    A monitor watches every adelivery of a run and checks the abcast
+    contract {e online}, in O(1) per delivery:
+
+    - {b integrity} — no process delivers the same message twice;
+    - {b total order} — all delivery sequences are prefix-compatible at
+      all times;
+    - {b validity} — every delivered message was actually abcast (its
+      per-origin sequence number is below the origin's admitted count).
+
+    Two more invariants only make sense once the run has settled, so
+    {!check_final} verifies them at the end:
+
+    - {b uniform agreement} — the correct processes' delivery sequences
+      are {e equal}, not merely prefix-compatible;
+    - {b liveness of the correct majority} — when the correct processes
+      form a majority, each of them delivered at least [min_delivered]
+      messages {e and} every message admitted by a correct process was
+      delivered (a crashed process' messages may be lost; a correct
+      one's may not).
+
+    Violations are recorded, not raised, and each report carries the
+    virtual time, the run's seed and the offending fault schedule — the
+    triple that reproduces the run bit-for-bit.
+
+    The monitor generalizes {!Repro_core.Order_checker} (which predates
+    it and remains for light-weight assertions): it adds validity,
+    final agreement/liveness, and the seed + schedule reproduction
+    context the campaign needs. *)
+
+type invariant = Integrity | Total_order | Agreement | Validity | Liveness
+
+val invariant_name : invariant -> string
+(** ["integrity"], ["total-order"], ["agreement"], ["validity"],
+    ["liveness"]. *)
+
+type violation = {
+  at : Time.t;  (** Virtual instant the violation was detected. *)
+  invariant : invariant;
+  at_process : Pid.t;
+  detail : string;
+}
+
+type t
+
+val create : ?seed:int -> ?schedule:Schedule.t -> n:int -> unit -> t
+(** A fresh monitor for [n] processes. [seed] (default 0) and [schedule]
+    (default empty) are carried into violation reports. *)
+
+val attach : t -> Group.t -> unit
+(** Observe every adelivery of the group, stamp violations with the
+    group's virtual clock, and validate sequence numbers against the
+    replicas' admitted counts. *)
+
+val observe : t -> Pid.t -> App_msg.id -> unit
+(** Feed one adelivery by hand (used by tests that replay — possibly
+    corrupted — delivery logs without a live group). *)
+
+val check_final : t -> correct:Pid.t list -> ?min_delivered:int -> unit -> unit
+(** Run the end-of-run checks (agreement always; liveness only if
+    [correct] is a majority of n). [min_delivered] defaults to 1. *)
+
+val violations : t -> violation list
+(** All violations, oldest first. *)
+
+val first_violation : t -> violation option
+
+val seed : t -> int
+val schedule : t -> Schedule.t
+val delivered_count : t -> Pid.t -> int
+
+val log : t -> Pid.t -> App_msg.id list
+(** The observed delivery sequence of one process, oldest first. *)
+
+val pp_violation : violation Fmt.t
+(** One line: invariant, process, virtual time, detail. *)
+
+val pp_report : t Fmt.t
+(** The first violation plus the reproduction context (seed and
+    schedule); ["no violations"] when clean. *)

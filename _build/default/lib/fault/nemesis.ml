@@ -1,0 +1,35 @@
+open Repro_sim
+open Repro_core
+module Obs = Repro_obs.Obs
+
+type t = { mutable rev_applied : Schedule.step list }
+
+let apply ~obs group (step : Schedule.step) =
+  let net = Group.network group in
+  (match step.Schedule.action with
+  | Schedule.Crash p -> Group.crash group p
+  | Schedule.Crash_after_sends (p, k) -> Repro_net.Network.crash_after_sends net p k
+  | Schedule.Cut (src, dst) -> Repro_net.Network.cut net ~src ~dst
+  | Schedule.Heal (src, dst) -> Repro_net.Network.heal net ~src ~dst
+  | Schedule.Partition blocks -> Repro_net.Network.partition net blocks
+  | Schedule.Heal_all -> Repro_net.Network.heal_all net
+  | Schedule.Loss_rate p -> Repro_net.Network.set_loss_rate net p
+  | Schedule.Delay_spike d -> Repro_net.Network.set_extra_delay net d);
+  if Obs.enabled obs then
+    Obs.event obs ~pid:0 ~layer:`Net ~phase:"fault"
+      ~detail:(Schedule.action_to_string step.Schedule.action) ()
+
+let install ?(obs = Obs.noop) group schedule =
+  let t = { rev_applied = [] } in
+  let engine = Group.engine group in
+  let base = Engine.now engine in
+  List.iter
+    (fun (step : Schedule.step) ->
+      ignore
+        (Engine.schedule_at engine (Time.add base step.Schedule.at) (fun () ->
+             apply ~obs group step;
+             t.rev_applied <- step :: t.rev_applied)))
+    schedule;
+  t
+
+let applied t = List.rev t.rev_applied

@@ -1,0 +1,26 @@
+open Repro_core
+
+(** Executes a {!Schedule} against a live group.
+
+    Installing a schedule registers one engine event per step, at the
+    step's timestamp relative to the installation instant; each event
+    applies its fault through the network's injection primitives
+    ({!Repro_net.Network.crash_after_sends}, [cut], [heal], [partition],
+    [heal_all], [set_loss_rate], [set_extra_delay]) or through
+    {!Group.crash} (so a crashed replica also stops heartbeating and
+    discards queued offers).
+
+    The nemesis never consumes randomness and the engine executes its
+    events deterministically, so a (seed, schedule) pair reproduces a run
+    bit-for-bit — the property the campaign shrinker relies on. *)
+
+type t
+
+val install : ?obs:Repro_obs.Obs.t -> Group.t -> Schedule.t -> t
+(** Schedule every step of the plan. The plan should already be
+    {!Schedule.validate}d; out-of-range pids raise at apply time
+    otherwise. [obs] (default: the group would normally share its sink)
+    records one [`Net]-layer [fault] trace event per applied action. *)
+
+val applied : t -> Schedule.step list
+(** Steps applied so far, oldest first (for assertions and reporting). *)

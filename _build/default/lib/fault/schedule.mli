@@ -1,0 +1,98 @@
+open Repro_sim
+open Repro_net
+
+(** Declarative, serializable fault plans.
+
+    A schedule is a time-ordered list of fault actions to inject into a
+    running group: crashes (immediate or mid-broadcast), directed link
+    cuts and heals, symmetric partitions, loss-rate windows and delay
+    spikes. Timestamps are virtual-time spans relative to the instant the
+    schedule is installed (see {!Nemesis.install}).
+
+    Schedules have a line-oriented concrete syntax so they can be stored
+    in files, passed to [repro nemesis --fault-plan], printed as minimal
+    reproducers by the campaign shrinker, and re-run bit-for-bit:
+
+    {v
+# one action per line; '#' starts a comment
+at 100ms  crash p1
+at 150ms  crash-after-sends p2 3
+at 200ms  cut p1 p3
+at 250ms  heal p1 p3
+at 300ms  partition p1 p2 | p3
+at 500ms  heal-all
+at 600ms  loss 0.02
+at 900ms  loss 0
+at 1s     delay 2ms
+at 1200ms delay 0ms
+    v}
+
+    Times are a non-negative integer with unit [ns], [us], [ms] or [s];
+    processes use the paper's 1-based [p1] … [pn] names; [partition]
+    separates blocks with [|] (unlisted processes form implicit singleton
+    blocks). [validate] checks a plan up front — before any simulation
+    starts — so a bad plan fails fast with a position-tagged error. *)
+
+type action =
+  | Crash of Pid.t  (** Silent, permanent crash (§2.1). *)
+  | Crash_after_sends of Pid.t * int
+      (** Crash after [k] more point-to-point sends — mid-broadcast with
+          [k] below the fan-out (§3.3). *)
+  | Cut of Pid.t * Pid.t  (** Cut the directed link src -> dst. *)
+  | Heal of Pid.t * Pid.t  (** Heal the directed link src -> dst. *)
+  | Partition of Pid.t list list
+      (** Symmetric partition into blocks ({!Network.partition}). *)
+  | Heal_all  (** Heal every cut link ({!Network.heal_all}). *)
+  | Loss_rate of float
+      (** Set the per-copy drop probability; a window is a pair of
+          actions, [Loss_rate p] then [Loss_rate baseline]. *)
+  | Delay_spike of Time.span
+      (** Set the extra propagation delay; end the spike with
+          [Delay_spike Time.span_zero]. *)
+
+type step = { at : Time.span;  (** Relative to installation. *) action : action }
+type t = step list
+
+val validate : n:int -> t -> (t, string) result
+(** Check a plan against a group of [n] processes: timestamps must be
+    non-decreasing, every pid in range, send budgets non-negative, loss
+    rates in [0, 1), partition blocks disjoint. [Ok] returns the plan
+    unchanged; [Error] carries a human-readable reason naming the
+    offending step. *)
+
+val crashed_pids : t -> Pid.t list
+(** Processes the plan crashes (immediately or after sends), ascending
+    and without duplicates — the complement of the correct set a monitor
+    should check. *)
+
+val duration : t -> Time.span
+(** Timestamp of the last step ([span_zero] for the empty plan). *)
+
+val drops_messages : t -> bool
+(** Whether any step can make the network drop a message (a cut, a
+    partition, or a positive loss rate — crashes and delay spikes do not
+    drop anything). Such plans violate the quasi-reliable channels the
+    protocols assume, so runs executing them should mount the
+    retransmitting {!Repro_net.Rchannel} ({!Params.Lossy} transport). *)
+
+val equal : t -> t -> bool
+
+val is_subsequence : t -> of_:t -> bool
+(** Whether every step of the first plan appears, in order, in the
+    second — the shrinker's contract. *)
+
+val action_to_string : action -> string
+val pp_action : action Fmt.t
+val pp_step : step Fmt.t
+val pp : t Fmt.t
+
+val to_string : t -> string
+(** The concrete plan syntax; [of_string] round-trips it exactly. *)
+
+val of_string : string -> (t, string) result
+(** Parse the plan syntax. Errors are tagged with the line number. Does
+    not check pid ranges (that needs [n]) — run {!validate} next. *)
+
+val load : string -> (t, string) result
+(** Read and parse a plan file; an unreadable path is an [Error], not an
+    exception. *)

@@ -1,0 +1,109 @@
+open Repro_sim
+open Repro_core
+open Repro_workload
+module Obs = Repro_obs.Obs
+module Jsonl = Repro_obs.Jsonl
+
+type row = {
+  kind : Replica.kind;
+  scenario : string;
+  result : Experiment.result;
+}
+
+let span_of_s s = Time.span_ns (int_of_float (s *. 1e9))
+
+let scenarios ~warmup_s ~n =
+  let at s = span_of_s (warmup_s +. s) in
+  let maj = (n / 2) + 1 in
+  let majority_block = List.init maj (fun i -> i) in
+  let minority_block = List.init (n - maj) (fun i -> maj + i) in
+  [
+    ("none", []);
+    ("crash-coord", [ { Schedule.at = at 1.0; action = Schedule.Crash 0 } ]);
+    ( "loss-2pct",
+      [
+        { Schedule.at = at 1.0; action = Schedule.Loss_rate 0.02 };
+        { Schedule.at = at 3.0; action = Schedule.Loss_rate 0.0 };
+      ] );
+    ( "partition-heal",
+      [
+        {
+          Schedule.at = at 1.0;
+          action = Schedule.Partition [ majority_block; minority_block ];
+        };
+        { Schedule.at = at 2.0; action = Schedule.Heal_all };
+      ] );
+  ]
+
+let run ?(kinds = [ Replica.Modular; Replica.Monolithic ]) ?(offered_load = 1000.0)
+    ?(size = 1024) ?(warmup_s = 1.0) ?(measure_s = 4.0) ?(obs = Obs.noop)
+    ?(on_row = fun _ -> ()) ~n () =
+  List.concat_map
+    (fun kind ->
+      List.map
+        (fun (scenario, schedule) ->
+          let transport =
+            if Schedule.drops_messages schedule then Params.Lossy 0.0
+            else Params.Tcp_like
+          in
+          let params = { (Params.default ~n) with Params.transport = transport } in
+          let config =
+            Experiment.config ~kind ~n ~offered_load ~size ~warmup_s ~measure_s
+              ~params
+              ~fd_mode:(`Heartbeat Repro_fd.Heartbeat_fd.default_config)
+              ()
+          in
+          let result =
+            Experiment.run ~obs
+              ~on_group:(fun g -> ignore (Nemesis.install g schedule))
+              config
+          in
+          let row = { kind; scenario; result } in
+          if Obs.enabled obs then begin
+            let prefix =
+              Printf.sprintf "study.%s.%s" (Experiment.kind_name kind) scenario
+            in
+            Obs.set_gauge obs (prefix ^ ".latency_ms")
+              result.Experiment.early_latency_ms.Stats.mean;
+            Obs.set_gauge obs (prefix ^ ".throughput") result.Experiment.throughput
+          end;
+          on_row row;
+          row)
+        (scenarios ~warmup_s ~n))
+    kinds
+
+let baseline rows kind =
+  List.find_opt (fun r -> r.kind = kind && r.scenario = "none") rows
+
+let degradation rows row =
+  if row.scenario = "none" then None
+  else
+    match baseline rows row.kind with
+    | None -> None
+    | Some b ->
+      Some
+        ( row.result.Experiment.early_latency_ms.Stats.mean
+          /. b.result.Experiment.early_latency_ms.Stats.mean,
+          row.result.Experiment.throughput /. b.result.Experiment.throughput )
+
+let row_json row =
+  Jsonl.Obj
+    [
+      ("type", Jsonl.String "study");
+      ("stack", Jsonl.String (Experiment.kind_name row.kind));
+      ("scenario", Jsonl.String row.scenario);
+      ("n", Jsonl.Int row.result.Experiment.config.Experiment.n);
+      ("latency_ms", Jsonl.Float row.result.Experiment.early_latency_ms.Stats.mean);
+      ("ci95_ms", Jsonl.Float row.result.Experiment.early_latency_ms.Stats.ci95);
+      ("throughput", Jsonl.Float row.result.Experiment.throughput);
+      ("cpu", Jsonl.Float row.result.Experiment.cpu_utilization);
+    ]
+
+let pp_row ppf row =
+  Fmt.pf ppf "%-10s %-14s n=%d | lat %7.3f ±%5.3f ms | tput %7.1f/s | CPU %3.0f%%"
+    (Experiment.kind_name row.kind) row.scenario
+    row.result.Experiment.config.Experiment.n
+    row.result.Experiment.early_latency_ms.Stats.mean
+    row.result.Experiment.early_latency_ms.Stats.ci95
+    row.result.Experiment.throughput
+    (100.0 *. row.result.Experiment.cpu_utilization)

@@ -1,0 +1,66 @@
+open Repro_core
+open Repro_workload
+
+(** The modularity-cost-under-faults study (EXPERIMENTS.md S-faults).
+
+    The paper measures the modular/monolithic gap in good runs only (§5.1).
+    This study re-measures both stacks while a scripted fault hits the
+    measurement window, asking whether modularity costs {e more} when
+    things go wrong:
+
+    - [none] — fault-free baseline, but under the same live heartbeat
+      failure detector as the faulty runs, so the comparison isolates the
+      fault itself rather than detector overhead;
+    - [crash-coord] — the round-1 coordinator p1 crashes 1 s into the
+      window (the §3.3/§4 worst-case victim);
+    - [loss-2pct] — a 2% message-loss window lasting 2 s (runs over the
+      {!Params.Lossy} transport so {!Repro_net.Rchannel} retransmits);
+    - [partition-heal] — a majority/minority partition held for 1 s, then
+      healed.
+
+    Each scenario runs through {!Experiment.run} with the fault installed
+    by a {!Nemesis} before warm-up, timed to strike inside the measurement
+    window. *)
+
+type row = {
+  kind : Replica.kind;
+  scenario : string;
+  result : Experiment.result;
+}
+
+val scenarios : warmup_s:float -> n:int -> (string * Schedule.t) list
+(** The four scenarios above, with timestamps placed [1 s] past the end of
+    the warm-up. *)
+
+val run :
+  ?kinds:Replica.kind list ->
+  ?offered_load:float ->
+  ?size:int ->
+  ?warmup_s:float ->
+  ?measure_s:float ->
+  ?obs:Repro_obs.Obs.t ->
+  ?on_row:(row -> unit) ->
+  n:int ->
+  unit ->
+  row list
+(** Run every scenario for every stack in [kinds] (default modular and
+    monolithic). Defaults: 1000 msgs/s offered load, 1 KiB messages, 1 s
+    warm-up, 4 s measurement. When [obs] is enabled, each row additionally
+    sets the gauges [study.<stack>.<scenario>.latency_ms] and
+    [study.<stack>.<scenario>.throughput] — the degradation metrics the
+    JSONL export carries. [on_row] observes rows as they complete. *)
+
+val baseline : row list -> Replica.kind -> row option
+(** The same-stack [none] row, if present. *)
+
+val degradation : row list -> row -> (float * float) option
+(** [(latency_ratio, throughput_ratio)] of a row against its same-stack
+    baseline ([latency / baseline latency], [throughput / baseline
+    throughput]); [None] for the baseline itself or when no baseline row
+    exists. *)
+
+val row_json : row -> Repro_obs.Jsonl.json
+(** One Obs-JSONL object: [{"type":"study","stack":…,"scenario":…,"n":…,
+    "latency_ms":…,"ci95_ms":…,"throughput":…,"cpu":…}]. *)
+
+val pp_row : row Fmt.t

@@ -5,6 +5,7 @@ type config = {
   period : Time.span;
   initial_timeout : Time.span;
   timeout_increment : Time.span;
+  timeout_decay : Time.span;
 }
 
 let default_config =
@@ -12,6 +13,7 @@ let default_config =
     period = Time.span_ms 10;
     initial_timeout = Time.span_ms 50;
     timeout_increment = Time.span_ms 50;
+    timeout_decay = Time.span_ms 1;
   }
 
 type peer = {
@@ -50,6 +52,16 @@ and heartbeat_received t peer =
     (* False suspicion: be more patient with this peer from now on. *)
     peer.suspected <- false;
     peer.timeout <- Time.span_add peer.timeout t.config.timeout_increment
+  end
+  else begin
+    (* Healthy heartbeat: decay a grown timeout back toward the configured
+       floor, so a transient partition does not permanently inflate
+       crash-detection latency. *)
+    let floor_ns = Time.span_to_ns t.config.initial_timeout in
+    let cur_ns = Time.span_to_ns peer.timeout in
+    if cur_ns > floor_ns then
+      peer.timeout <-
+        Time.span_ns (max floor_ns (cur_ns - Time.span_to_ns t.config.timeout_decay))
   end;
   arm_watchdog t peer
 
@@ -85,6 +97,8 @@ let fd t =
 
 let on_heartbeat t ~src = if not t.stopped && src <> t.me then heartbeat_received t t.peers.(src)
 let stop t = t.stopped <- true
+
+let current_timeout t p = t.peers.(p).timeout
 
 let suspects t =
   Array.to_list t.peers

@@ -22,11 +22,18 @@ type config = {
   initial_timeout : Time.span;  (** Starting silence threshold per peer. *)
   timeout_increment : Time.span;
       (** Added to a peer's threshold after each false suspicion. *)
+  timeout_decay : Time.span;
+      (** Subtracted from a grown threshold on each healthy heartbeat,
+          never below [initial_timeout]. Makes the detector recover its
+          detection latency after a transient partition instead of staying
+          permanently pessimistic. [span_zero] disables decay. *)
 }
 
 val default_config : config
-(** 10 ms period, 50 ms initial timeout, 50 ms increment — snappy enough
-    for tests, far above any good-run message delay. *)
+(** 10 ms period, 50 ms initial timeout, 50 ms increment, 1 ms decay —
+    snappy enough for tests, far above any good-run message delay; a
+    timeout grown by one false suspicion decays back to the floor after
+    half a second of healthy heartbeats. *)
 
 val create :
   Engine.t ->
@@ -50,3 +57,7 @@ val stop : t -> unit
 
 val suspects : t -> Pid.t list
 (** Current suspect list, ascending (for tests and introspection). *)
+
+val current_timeout : t -> Pid.t -> Time.span
+(** The silence threshold currently applied to one peer (for tests and
+    introspection). *)

@@ -26,6 +26,7 @@ type 'msg t = {
   stats : Net_stats.t;
   mutable cut_links : (Pid.t * Pid.t) list;
   mutable loss_rate : float;
+  mutable extra_delay : Time.span;
 }
 
 let create engine ?(wire = Wire.default) ?topology ?(kind_of = fun _ -> "msg")
@@ -58,6 +59,7 @@ let create engine ?(wire = Wire.default) ?topology ?(kind_of = fun _ -> "msg")
     stats = Net_stats.create ~n;
     cut_links = [];
     loss_rate = 0.0;
+    extra_delay = Time.span_zero;
   }
 
 let n t = Array.length t.nodes
@@ -82,7 +84,35 @@ let cut t ~src ~dst = t.cut_links <- (src, dst) :: t.cut_links
 let heal t ~src ~dst =
   t.cut_links <- List.filter (fun link -> link <> (src, dst)) t.cut_links
 
+let heal_all t = t.cut_links <- []
+
+let partition t blocks =
+  let n = Array.length t.nodes in
+  let listed = List.concat blocks in
+  List.iter
+    (fun p ->
+      if p < 0 || p >= n then
+        invalid_arg (Printf.sprintf "Network.partition: pid %d out of range" p))
+    listed;
+  if List.length (List.sort_uniq compare listed) <> List.length listed then
+    invalid_arg "Network.partition: a pid appears in two blocks";
+  (* Processes not listed in any block form implicit singleton blocks. *)
+  let block_of = Array.make n (-1) in
+  List.iteri (fun i block -> List.iter (fun p -> block_of.(p) <- n + i) block) blocks;
+  List.iter (fun p -> if block_of.(p) < 0 then block_of.(p) <- p)
+    (List.init n (fun p -> p));
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst && block_of.(src) <> block_of.(dst)
+         && not (List.mem (src, dst) t.cut_links)
+      then t.cut_links <- (src, dst) :: t.cut_links
+    done
+  done
+
 let link_cut t ~src ~dst = List.mem (src, dst) t.cut_links
+
+let set_extra_delay t d = t.extra_delay <- d
+let extra_delay t = t.extra_delay
 
 let deliver t ~src ~dst msg =
   let node = t.nodes.(dst) in
@@ -176,7 +206,9 @@ let transmit t ~src ~dsts msg =
               if bound = 0 then Time.span_zero
               else Time.span_ns (Repro_sim.Rng.int t.rng (bound + 1))
             in
-            let arrival = Time.add (Time.add tx_end latency) jitter in
+            let arrival =
+              Time.add (Time.add (Time.add tx_end latency) jitter) t.extra_delay
+            in
             (* FIFO clamp: never overtake an earlier message on this link. *)
             let arrival = Time.max arrival t.last_arrival.(src).(dst) in
             t.last_arrival.(src).(dst) <- arrival;

@@ -115,5 +115,26 @@ val cut : _ t -> src:Pid.t -> dst:Pid.t -> unit
 val heal : _ t -> src:Pid.t -> dst:Pid.t -> unit
 (** Undo {!cut} for the directed link. *)
 
+val partition : _ t -> Pid.t list list -> unit
+(** [partition t blocks] cuts, in both directions, every link between
+    processes in different blocks (a symmetric group partition built from
+    the directed {!cut} primitive). Processes absent from every block form
+    implicit singleton blocks. Links inside a block are untouched, as are
+    links already cut. Undo with {!heal_all}.
+    @raise Invalid_argument on an out-of-range pid or a pid listed twice. *)
+
+val heal_all : _ t -> unit
+(** Heal every cut link (whether cut directly or via {!partition}). *)
+
+val set_extra_delay : _ t -> Time.span -> unit
+(** Add a fixed extra propagation delay to every copy transmitted from now
+    on (a delay spike). Zero by default; set back to {!Time.span_zero} to
+    end the spike. Per-link FIFO is preserved. In force, message delays
+    exceed the good-run bounds, so failure detectors may wrongly suspect —
+    which is the point. *)
+
+val extra_delay : _ t -> Time.span
+(** The delay spike currently in force. *)
+
 val stats : _ t -> Net_stats.t
 (** Live traffic counters (see {!Net_stats}). *)

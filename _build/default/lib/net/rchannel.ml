@@ -3,10 +3,19 @@ module Obs = Repro_obs.Obs
 
 type 'msg wire = Data of { seq : int; payload : 'msg } | Ack of { cumulative : int }
 
+type 'msg frame = {
+  seq : int;
+  payload : 'msg;
+  sent_at : Time.t; (* first transmission, for RTT sampling *)
+  mutable retransmitted : bool;
+}
+
 type 'msg link_out = {
   mutable next_seq : int;
-  mutable unacked : (int * 'msg) list; (* ascending seq, awaiting ack *)
+  mutable unacked : 'msg frame list; (* ascending seq, awaiting ack *)
   mutable timer : Engine.timer option;
+  mutable backoff : int; (* consecutive timeouts without ack progress *)
+  mutable srtt : Time.span option; (* smoothed RTT, queueing included *)
 }
 
 type 'msg link_in = {
@@ -20,6 +29,7 @@ type 'msg t = {
   send_raw : dst:Pid.t -> 'msg wire -> unit;
   deliver : src:Pid.t -> 'msg -> unit;
   rto : Time.span;
+  burst : int;
   obs : Obs.t;
   outgoing : 'msg link_out array;
   incoming : 'msg link_in array;
@@ -27,15 +37,20 @@ type 'msg t = {
   mutable halted : bool;
 }
 
-let create engine ~me ~n ~send_raw ~deliver ?(rto = Time.span_ms 20) ?(obs = Obs.noop) () =
+let create engine ~me ~n ~send_raw ~deliver ?(rto = Time.span_ms 20) ?(burst = 32)
+    ?(obs = Obs.noop) () =
+  if burst < 1 then invalid_arg "Rchannel.create: burst must be >= 1";
   {
     engine;
     me;
     send_raw;
     deliver;
     rto;
+    burst;
     obs;
-    outgoing = Array.init n (fun _ -> { next_seq = 0; unacked = []; timer = None });
+    outgoing =
+      Array.init n (fun _ ->
+          { next_seq = 0; unacked = []; timer = None; backoff = 0; srtt = None });
     incoming = Array.init n (fun _ -> { expected = 0; buffered = [] });
     retransmissions = 0;
     halted = false;
@@ -48,26 +63,51 @@ let cancel_timer t link =
     link.timer <- None
   | None -> ()
 
-(* Go-back-N style: on timeout, re-send everything unacknowledged. *)
+let rec take k = function
+  | x :: rest when k > 0 -> x :: take (k - 1) rest
+  | _ -> []
+
+(* The effective timeout adapts to the measured round-trip time (which
+   includes the receiver's CPU queueing delay): a receiver digging out of a
+   post-partition backlog acks seconds late, and retransmitting on a fixed
+   short timer floods it with duplicates faster than it can process them —
+   a metastable collapse where the duplicates themselves keep the queue
+   long. [2 * srtt] keeps at most one retransmission per true round trip. *)
+let base_timeout t link =
+  match link.srtt with
+  | None -> t.rto
+  | Some srtt -> Time.span_max t.rto (Time.span_scale 2 srtt)
+
+(* On timeout, re-send only the oldest [burst] unacknowledged frames (the
+   receiver buffers out of order, so cumulative acks advance burst by
+   burst), and back the timer off exponentially while no ack makes
+   progress. An unbounded re-send of the whole backlog every fixed rto —
+   what a long partition leaves behind — injects frames faster than the
+   NIC drains them and congestion-collapses the healed network; the fault
+   campaign's partition/heal schedules catch exactly that. *)
 let rec arm_timer t ~dst link =
   cancel_timer t link;
-  if link.unacked <> [] then
+  if link.unacked <> [] then begin
+    let delay = Time.span_scale (1 lsl min link.backoff 4) (base_timeout t link) in
     link.timer <-
       Some
-        (Engine.schedule_after t.engine t.rto (fun () ->
+        (Engine.schedule_after t.engine delay (fun () ->
              if (not t.halted) && link.unacked <> [] then begin
+               link.backoff <- link.backoff + 1;
                List.iter
-                 (fun (seq, payload) ->
+                 (fun frame ->
+                   frame.retransmitted <- true;
                    t.retransmissions <- t.retransmissions + 1;
                    Obs.incr t.obs "rchannel.retransmissions";
                    if Obs.enabled t.obs then
                      Obs.event t.obs ~pid:t.me ~layer:`Net ~phase:"retransmit"
-                       ~detail:(Printf.sprintf "seq %d -> p%d" seq (dst + 1))
+                       ~detail:(Printf.sprintf "seq %d -> p%d" frame.seq (dst + 1))
                        ();
-                   t.send_raw ~dst (Data { seq; payload }))
-                 link.unacked;
+                   t.send_raw ~dst (Data { seq = frame.seq; payload = frame.payload }))
+                 (take t.burst link.unacked);
                arm_timer t ~dst link
              end))
+  end
 
 let send t ~dst payload =
   if dst = t.me then t.deliver ~src:t.me payload
@@ -75,19 +115,47 @@ let send t ~dst payload =
     let link = t.outgoing.(dst) in
     let seq = link.next_seq in
     link.next_seq <- seq + 1;
-    link.unacked <- link.unacked @ [ (seq, payload) ];
+    link.unacked <-
+      link.unacked
+      @ [ { seq; payload; sent_at = Engine.now t.engine; retransmitted = false } ];
     t.send_raw ~dst (Data { seq; payload });
     if link.timer = None then arm_timer t ~dst link
   end
 
+(* Karn's rule: sample the round trip only from frames acked on their first
+   transmission — a retransmitted frame's ack is ambiguous. EWMA with the
+   classic 1/8 gain. *)
+let sample_rtt t link acked =
+  List.iter
+    (fun frame ->
+      if not frame.retransmitted then begin
+        let rtt = Time.diff (Engine.now t.engine) frame.sent_at in
+        link.srtt <-
+          Some
+            (match link.srtt with
+            | None -> rtt
+            | Some srtt ->
+              Time.span_ns
+                (((7 * Time.span_to_ns srtt) + Time.span_to_ns rtt) / 8))
+      end)
+    acked
+
 let handle_ack t ~src ~cumulative =
   let link = t.outgoing.(src) in
-  let before = link.unacked in
-  link.unacked <- List.filter (fun (seq, _) -> seq > cumulative) before;
-  if link.unacked = [] then cancel_timer t link
-  else if List.length link.unacked < List.length before then
-    (* Progress: give the remainder a fresh timeout. *)
+  let acked, remaining =
+    List.partition (fun frame -> frame.seq <= cumulative) link.unacked
+  in
+  link.unacked <- remaining;
+  sample_rtt t link acked;
+  if remaining = [] then begin
+    cancel_timer t link;
+    link.backoff <- 0
+  end
+  else if acked <> [] then begin
+    (* Progress: reset the backoff and give the remainder a fresh timeout. *)
+    link.backoff <- 0;
     arm_timer t ~dst:src link
+  end
 
 let rec drain_in_order t ~src link =
   match link.buffered with
@@ -118,6 +186,7 @@ let receive_raw t ~src frame =
 
 let retransmissions t = t.retransmissions
 let unacked t ~dst = List.length t.outgoing.(dst).unacked
+let srtt t ~dst = t.outgoing.(dst).srtt
 
 let halt t =
   t.halted <- true;

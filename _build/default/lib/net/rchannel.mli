@@ -37,14 +37,27 @@ val create :
   send_raw:(dst:Pid.t -> 'msg wire -> unit) ->
   deliver:(src:Pid.t -> 'msg -> unit) ->
   ?rto:Time.span ->
+  ?burst:int ->
   ?obs:Repro_obs.Obs.t ->
   unit ->
   'msg t
-(** [rto] is the retransmission timeout (default 20 ms). [deliver] is
-    invoked exactly once per payload, in per-link FIFO order. [obs]
-    (default: no-op) counts [rchannel.retransmissions] and
-    [rchannel.duplicates] and traces each retransmission (layer [`Net],
-    phase [retransmit]). *)
+(** [rto] is the {e floor} of the retransmission timeout (default 20 ms).
+    The effective timeout per link is [max rto (2 * srtt)] where [srtt] is
+    a smoothed round-trip estimate sampled per Karn's rule (only frames
+    acked on their first transmission, EWMA gain 1/8); while no ack makes
+    progress it additionally doubles per expiry, up to 16×, and the
+    doubling resets on progress. Tracking the measured RTT matters because
+    it includes the receiver's CPU queueing delay: retransmitting into a
+    backlogged receiver on a fixed short timer floods it with duplicates
+    faster than it can process them, and the duplicates themselves then
+    keep its queue long (metastable receive-side collapse). [burst]
+    (default 32) bounds how many of the oldest unacknowledged frames one
+    expiry re-sends — re-sending an {e entire} partition backlog every rto
+    injects frames faster than the NIC drains them and
+    congestion-collapses the healed network. [deliver] is invoked exactly
+    once per payload, in per-link FIFO order. [obs] (default: no-op)
+    counts [rchannel.retransmissions] and [rchannel.duplicates] and traces
+    each retransmission (layer [`Net], phase [retransmit]). *)
 
 val send : 'msg t -> dst:Pid.t -> 'msg -> unit
 (** Queue a payload for reliable delivery to [dst]. A self-send is
@@ -58,6 +71,10 @@ val retransmissions : 'msg t -> int
 
 val unacked : 'msg t -> dst:Pid.t -> int
 (** Frames awaiting acknowledgment towards one peer. *)
+
+val srtt : 'msg t -> dst:Pid.t -> Time.span option
+(** Smoothed round-trip estimate towards one peer; [None] before the
+    first sample. *)
 
 val halt : 'msg t -> unit
 (** Stop all retransmission timers (when the owner crashes). *)

@@ -1,1 +1,1 @@
-lib/workload/experiment.ml: Array Cpu Engine Fmt Generator Group List Net_stats Network Params Pid Replica Repro_core Repro_framework Repro_net Repro_obs Repro_sim Stats Time
+lib/workload/experiment.ml: Array Cpu Engine Fmt Generator Group List Net_stats Network Option Params Pid Replica Repro_core Repro_framework Repro_net Repro_obs Repro_sim Stats Time

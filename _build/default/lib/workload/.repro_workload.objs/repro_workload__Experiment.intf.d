@@ -1,1 +1,1 @@
-lib/workload/experiment.mli: Fmt Params Replica Repro_core Repro_obs Stats
+lib/workload/experiment.mli: Fmt Group Params Replica Repro_core Repro_obs Stats

@@ -12,12 +12,13 @@ type config = {
   measure_s : float;
   seed : int;
   params : Params.t;
+  fd_mode : Replica.fd_mode;
 }
 
 let config ~kind ~n ~offered_load ~size ?(warmup_s = 2.0) ?(measure_s = 8.0) ?(seed = 0)
-    ?params () =
+    ?params ?(fd_mode = `Good_run) () =
   let params = match params with Some p -> { p with Params.n } | None -> Params.default ~n in
-  { kind; n; offered_load; size; warmup_s; measure_s; seed; params }
+  { kind; n; offered_load; size; warmup_s; measure_s; seed; params; fd_mode }
 
 type result = {
   config : config;
@@ -57,11 +58,13 @@ let total_crossings group =
     0
     (Pid.all ~n:params.Params.n)
 
-let run_raw ?(obs = Obs.noop) config =
+let run_raw ?(obs = Obs.noop) ?on_group config =
   let params = { config.params with Params.n = config.n; seed = config.seed } in
   let group =
-    Group.create ~kind:config.kind ~params ~record_deliveries:false ~obs ()
+    Group.create ~kind:config.kind ~params ~fd_mode:config.fd_mode
+      ~record_deliveries:false ~obs ()
   in
+  Option.iter (fun f -> f group) on_group;
   let generator =
     Generator.start group ~offered_load:config.offered_load ~size:config.size ()
   in
@@ -136,12 +139,13 @@ let run_raw ?(obs = Obs.noop) config =
         /. float_of_int (max 1 (List.fold_left ( + ) 0 delivered_window));
     } )
 
-let run ?obs config = snd (run_raw ?obs config)
+let run ?obs ?on_group config = snd (run_raw ?obs ?on_group config)
 
-let run_repeated ?(repeats = 3) ?obs config =
+let run_repeated ?(repeats = 3) ?obs ?on_group config =
   if repeats < 1 then invalid_arg "Experiment.run_repeated: repeats must be >= 1";
   let runs =
-    List.init repeats (fun i -> run_raw ?obs { config with seed = config.seed + i })
+    List.init repeats (fun i ->
+        run_raw ?obs ?on_group { config with seed = config.seed + i })
   in
   let pooled_latencies = List.concat_map fst runs in
   let results = List.map snd runs in

@@ -18,6 +18,10 @@ type config = {
   measure_s : float;  (** Virtual seconds measured. *)
   seed : int;
   params : Params.t;  (** Base parameters; [n] and [seed] above override. *)
+  fd_mode : Replica.fd_mode;
+      (** Failure detection during the run. [`Good_run] (the default)
+          reproduces §5.1's good-run benchmarks; fault studies mount a live
+          detector (e.g. [`Heartbeat]) so crashes are actually detected. *)
 }
 
 val config :
@@ -29,9 +33,11 @@ val config :
   ?measure_s:float ->
   ?seed:int ->
   ?params:Params.t ->
+  ?fd_mode:Replica.fd_mode ->
   unit ->
   config
-(** Defaults: 2 s warm-up, 8 s measurement, seed 0, {!Params.default}. *)
+(** Defaults: 2 s warm-up, 8 s measurement, seed 0, {!Params.default},
+    [`Good_run] failure detection. *)
 
 type result = {
   config : config;
@@ -56,21 +62,34 @@ type result = {
       (** Framework events per adelivered message (modularity diagnostic). *)
 }
 
-val run : ?obs:Repro_obs.Obs.t -> config -> result
+val run : ?obs:Repro_obs.Obs.t -> ?on_group:(Group.t -> unit) -> config -> result
 (** Execute the run in virtual time and summarize the window. [obs]
     (default: no-op) observes the whole run — see {!Group.create} — and
     additionally receives window-normalized run gauges: [run.instances],
     [run.window_s], [run.mean_batch], [run.throughput],
     [run.msgs_per_instance]. Counters in [obs] are cumulative over the
-    whole execution, warm-up included. *)
+    whole execution, warm-up included.
 
-val run_repeated : ?repeats:int -> ?obs:Repro_obs.Obs.t -> config -> result
+    [on_group] is called with the freshly built group before the workload
+    starts — the hook fault studies use to install a nemesis schedule
+    against the run (timestamps then count from the start of warm-up). *)
+
+val run_repeated :
+  ?repeats:int ->
+  ?obs:Repro_obs.Obs.t ->
+  ?on_group:(Group.t -> unit) ->
+  config ->
+  result
 (** Run the same configuration [repeats] times (default 3) with seeds
     [seed, seed+1, …] and combine: latency samples are pooled across the
     executions (the paper computes means "over many messages and for
     several executions", §5.1); scalar metrics are averaged. With
     [repeats = 1] this is {!run}. A shared [obs] accumulates counters and
     histograms across all repeats; gauges keep the last run's values. *)
+
+val kind_name : Replica.kind -> string
+(** ["modular"], ["monolithic"] or ["indirect"] — the spelling used in
+    metric tags and reports. *)
 
 val pp_result : result Fmt.t
 (** One human-readable line: load, latency, throughput, M, CPU. *)

@@ -1,1 +1,1 @@
-test/test_faults.ml: Alcotest App_msg Engine Fmt Group Heartbeat_fd List Network Params Pid QCheck QCheck_alcotest Replica Repro_core Repro_fd Repro_net Repro_sim Time
+test/test_faults.ml: Alcotest App_msg Engine Fmt Group Heartbeat_fd Int64 List Network Params Pid QCheck QCheck_alcotest Replica Repro_core Repro_fault Repro_fd Repro_net Repro_sim Rng Time

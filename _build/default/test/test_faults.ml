@@ -172,6 +172,171 @@ let prop_random_minority_crashes kind name =
         && List.length first > 0
         && List.length (List.sort_uniq compare first) = List.length first)
 
+(* ---- Fault-injection campaign (lib/fault) ---- *)
+
+module Schedule = Repro_fault.Schedule
+module Campaign = Repro_fault.Campaign
+module Monitor = Repro_fault.Monitor
+
+(* Generated fault plans round-trip through the concrete file syntax
+   exactly, so a campaign verdict's schedule re-runs bit-for-bit from the
+   printed form. *)
+let prop_schedule_roundtrip =
+  QCheck.Test.make ~name:"random schedules round-trip through the plan syntax" ~count:100
+    QCheck.(pair (int_bound 9999) (oneofl [ 3; 5; 7 ]))
+    (fun (seed, n) ->
+      let s = Campaign.random_schedule (Rng.create ~seed) ~n ~horizon:(Time.span_s 2) in
+      (match Schedule.validate ~n s with Ok _ -> () | Error e -> QCheck.Test.fail_report e);
+      match Schedule.of_string (Schedule.to_string s) with
+      | Ok s' -> Schedule.equal s s'
+      | Error e -> QCheck.Test.fail_report e)
+
+(* The shrinker's contract, against an arbitrary "violation" that needs a
+   random subset of the steps to reproduce: the result is a subsequence of
+   the input, still fails, and is 1-minimal. *)
+let prop_shrink_minimal =
+  QCheck.Test.make ~name:"shrunk schedule is a failing 1-minimal subsequence" ~count:100
+    QCheck.(pair (int_bound 9999) (int_bound 9999))
+    (fun (seed, pseed) ->
+      let s = Campaign.random_schedule (Rng.create ~seed) ~n:5 ~horizon:(Time.span_s 2) in
+      QCheck.assume (s <> []);
+      let prng = Rng.create ~seed:pseed in
+      let required = List.filter (fun _ -> Rng.bool prng) s in
+      let required = if required = [] then [ List.hd s ] else required in
+      (* Physical membership: shrinking only removes steps, never rebuilds
+         them, so the surviving steps are the very same values. *)
+      let fails sched = List.for_all (fun st -> List.memq st sched) required in
+      let minimal = Campaign.shrink ~fails s in
+      Schedule.is_subsequence minimal ~of_:s
+      && fails minimal
+      && List.for_all
+           (fun st -> not (fails (List.filter (fun x -> x != st) minimal)))
+           minimal)
+
+let test_monitor_catches_seeded_violation () =
+  (* Integrity: a replayed log that delivers the same id twice. *)
+  let m = Monitor.create ~n:3 () in
+  Monitor.observe m 0 (id ~origin:0 ~seq:0);
+  Monitor.observe m 0 (id ~origin:0 ~seq:0);
+  (match Monitor.first_violation m with
+  | Some v ->
+    Alcotest.(check string) "duplicate delivery flagged" "integrity"
+      (Monitor.invariant_name v.Monitor.invariant)
+  | None -> Alcotest.fail "expected an integrity violation");
+  (* Total order: two processes that swap two messages. *)
+  let m = Monitor.create ~n:3 () in
+  Monitor.observe m 0 (id ~origin:0 ~seq:0);
+  Monitor.observe m 0 (id ~origin:1 ~seq:0);
+  Monitor.observe m 1 (id ~origin:1 ~seq:0);
+  Monitor.observe m 1 (id ~origin:0 ~seq:0);
+  (match Monitor.first_violation m with
+  | Some v ->
+    Alcotest.(check string) "order swap flagged" "total-order"
+      (Monitor.invariant_name v.Monitor.invariant);
+    Alcotest.(check int) "at the diverging process" 1 v.Monitor.at_process
+  | None -> Alcotest.fail "expected a total-order violation")
+
+let test_seeded_violation_shrinks () =
+  (* Seed a violation into a replay harness: p2's log diverges from p1's
+     iff the plan both crashes someone and opens a loss window. Shrinking
+     the six-step plan must keep exactly those two steps, still reproduce,
+     and survive a round-trip through the file syntax. *)
+  let step at action = { Schedule.at = Time.span_ms at; action } in
+  let noisy =
+    [
+      step 10 (Schedule.Delay_spike (Time.span_ms 2));
+      step 20 (Schedule.Cut (0, 1));
+      step 30 (Schedule.Crash 0);
+      step 40 Schedule.Heal_all;
+      step 50 (Schedule.Loss_rate 0.02);
+      step 60 (Schedule.Loss_rate 0.);
+    ]
+  in
+  let triggers sched =
+    List.exists
+      (fun s -> match s.Schedule.action with Schedule.Crash _ -> true | _ -> false)
+      sched
+    && List.exists
+         (fun s -> match s.Schedule.action with Schedule.Loss_rate r -> r > 0. | _ -> false)
+         sched
+  in
+  let fails sched =
+    let m = Monitor.create ~schedule:sched ~n:3 () in
+    Monitor.observe m 0 (id ~origin:0 ~seq:0);
+    Monitor.observe m 0 (id ~origin:1 ~seq:0);
+    if triggers sched then begin
+      Monitor.observe m 1 (id ~origin:1 ~seq:0);
+      Monitor.observe m 1 (id ~origin:0 ~seq:0)
+    end
+    else begin
+      Monitor.observe m 1 (id ~origin:0 ~seq:0);
+      Monitor.observe m 1 (id ~origin:1 ~seq:0)
+    end;
+    Monitor.first_violation m <> None
+  in
+  Alcotest.(check bool) "seeded violation is caught" true (fails noisy);
+  let minimal = Campaign.shrink ~fails noisy in
+  Alcotest.(check bool) "minimal is a subsequence of the original" true
+    (Schedule.is_subsequence minimal ~of_:noisy);
+  Alcotest.(check bool) "minimal still reproduces the violation" true (fails minimal);
+  Alcotest.(check int) "only the two triggering steps survive" 2 (List.length minimal);
+  match Schedule.of_string (Schedule.to_string minimal) with
+  | Error e -> Alcotest.failf "minimal plan does not round-trip: %s" e
+  | Ok reparsed ->
+    Alcotest.(check bool) "round-tripped plan is identical" true
+      (Schedule.equal minimal reparsed);
+    Alcotest.(check bool) "round-tripped plan reproduces" true (fails reparsed)
+
+let test_run_one_deterministic () =
+  (* The reproduction contract: the same (stack, n, seed, schedule) yields
+     the same verdict, field for field. *)
+  let seed = 42 in
+  let schedule = Campaign.random_schedule (Rng.create ~seed) ~n:3 ~horizon:(Time.span_s 2) in
+  let run () = Campaign.run_one ~kind:Replica.Modular ~n:3 ~seed ~schedule () in
+  let v1 = run () and v2 = run () in
+  Alcotest.(check bool) "same outcome" true (v1.Campaign.outcome = v2.Campaign.outcome);
+  Alcotest.(check int) "same deliveries" v1.Campaign.delivered v2.Campaign.delivered;
+  Alcotest.(check int) "same admissions" v1.Campaign.admitted v2.Campaign.admitted;
+  Alcotest.(check bool) "same latency, bit for bit" true
+    (Int64.bits_of_float v1.Campaign.mean_latency_ms
+    = Int64.bits_of_float v2.Campaign.mean_latency_ms);
+  Alcotest.(check bool) "same schedule" true
+    (Schedule.equal v1.Campaign.schedule v2.Campaign.schedule)
+
+(* Total order + agreement under random crash / partition / heal schedules,
+   on a live group with heartbeat failure detection — the campaign's
+   invariants must hold on every stack, the indirect one included. *)
+let prop_campaign_random_schedule kind name =
+  QCheck.Test.make ~name ~count:5
+    QCheck.(int_bound 9999)
+    (fun seed ->
+      let schedule = Campaign.random_schedule (Rng.create ~seed) ~n:3 ~horizon:(Time.span_s 2) in
+      let v = Campaign.run_one ~kind ~n:3 ~seed ~schedule () in
+      match v.Campaign.outcome with
+      | Campaign.Pass -> true
+      | Campaign.Fail viol ->
+        QCheck.Test.fail_reportf "%a" Monitor.pp_violation viol)
+
+let campaign_cases =
+  [
+    Alcotest.test_case "monitor catches seeded violations" `Quick
+      test_monitor_catches_seeded_violation;
+    Alcotest.test_case "seeded violation shrinks to a minimal reproducer" `Quick
+      test_seeded_violation_shrinks;
+    Alcotest.test_case "verdicts reproduce bit-for-bit" `Slow test_run_one_deterministic;
+    QCheck_alcotest.to_alcotest prop_schedule_roundtrip;
+    QCheck_alcotest.to_alcotest prop_shrink_minimal;
+    QCheck_alcotest.to_alcotest ~long:true
+      (prop_campaign_random_schedule Replica.Modular
+         "modular passes random fault schedules");
+    QCheck_alcotest.to_alcotest ~long:true
+      (prop_campaign_random_schedule Replica.Monolithic
+         "monolithic passes random fault schedules");
+    QCheck_alcotest.to_alcotest ~long:true
+      (prop_campaign_random_schedule Replica.Indirect
+         "indirect passes random fault schedules");
+  ]
+
 let cases kind tag =
   [
     Alcotest.test_case "non-coordinator crash" `Quick (test_non_coordinator_crash kind);
@@ -189,4 +354,5 @@ let () =
     [
       ("modular", cases Replica.Modular "modular");
       ("monolithic", cases Replica.Monolithic "monolithic");
+      ("campaign", campaign_cases);
     ]

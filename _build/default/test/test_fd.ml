@@ -98,6 +98,34 @@ let test_heartbeat_recovers_from_false_suspicion () =
     (Heartbeat_fd.suspects w.detectors.(0));
   Network.heal w.net ~src:1 ~dst:0
 
+let test_heartbeat_timeout_decays () =
+  (* Regression for adaptive timeout decay: a false suspicion inflates the
+     per-peer timeout (eventual accuracy), but a long healthy stretch must
+     decay it back to the configured floor so a transient partition does not
+     permanently slow crash detection. *)
+  let w = make_world () in
+  run_for w (Time.span_ms 100);
+  let hb = w.detectors.(0) in
+  let initial = Time.span_to_ns (Heartbeat_fd.current_timeout hb 1) in
+  Alcotest.(check int) "starts at the configured timeout"
+    (Time.span_to_ns Heartbeat_fd.default_config.initial_timeout)
+    initial;
+  (* Silence p2 long enough for a false suspicion, then heal. *)
+  Network.cut w.net ~src:1 ~dst:0;
+  run_for w (Time.span_ms 200);
+  Network.heal w.net ~src:1 ~dst:0;
+  run_for w (Time.span_ms 50);
+  let grown = Time.span_to_ns (Heartbeat_fd.current_timeout hb 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "timeout grew after false suspicion (%d > %d)" grown initial)
+    true (grown > initial);
+  (* Healthy heartbeats every 10 ms, decaying 1 ms each: 2 s is ample to walk
+     a 50 ms increment all the way back down, and the floor must hold. *)
+  run_for w (Time.span_s 2);
+  let decayed = Time.span_to_ns (Heartbeat_fd.current_timeout hb 1) in
+  Alcotest.(check int) "decayed back to the floor, not below it" initial decayed;
+  Alcotest.(check (list int)) "no suspicion while decaying" [] (Heartbeat_fd.suspects hb)
+
 let test_heartbeat_stop_quiesces () =
   let w = make_world () in
   Array.iter Heartbeat_fd.stop w.detectors;
@@ -212,6 +240,8 @@ let () =
           Alcotest.test_case "edge notification" `Quick test_heartbeat_suspicion_notification;
           Alcotest.test_case "retracts false suspicion (accuracy)" `Quick
             test_heartbeat_recovers_from_false_suspicion;
+          Alcotest.test_case "timeout decays after false suspicion" `Quick
+            test_heartbeat_timeout_decays;
           Alcotest.test_case "stop quiesces" `Quick test_heartbeat_stop_quiesces;
         ] );
       ( "chen",

@@ -1,0 +1,94 @@
+(* The @nemesis-smoke alias: end-to-end check of the fault-injection
+   pipeline through the public CLI. Runs one scripted nemesis plan, checks
+   that invalid plans are rejected before any simulation starts (nonzero
+   exit, diagnostic on stderr), and runs a tiny deterministic campaign
+   whose JSONL verdicts must all be passes. Wired into `dune runtest`. *)
+
+module Jsonl = Repro_obs.Jsonl
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("nemesis-smoke: FAIL: " ^ s);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let command bin args =
+  let cmd = String.concat " " (List.map Filename.quote (bin :: args)) in
+  Sys.command (cmd ^ " > /dev/null 2> /dev/null")
+
+let run_cli bin args =
+  let code = command bin args in
+  if code <> 0 then
+    fail "%s exited with %d" (String.concat " " (bin :: args)) code
+
+let expect_rejection bin args ~what =
+  let code = command bin args in
+  if code = 0 then fail "%s was accepted (exit 0), expected a rejection" what
+
+let str_field name j = Jsonl.(to_string_opt (member name j))
+
+let () =
+  let bin = if Array.length Sys.argv > 1 then Sys.argv.(1) else "repro" in
+  let tmp = Filename.temp_file "nemesis_smoke" "" in
+  Sys.remove tmp;
+  (* a fresh path prefix *)
+  let plan = tmp ^ ".plan" and bad = tmp ^ ".bad" and out = tmp ^ ".jsonl" in
+
+  (* A scripted run: coordinator crash plus a healed loss window must still
+     yield a passing verdict on both full stacks. *)
+  write_file plan
+    "# nemesis-smoke plan\nat 100ms loss 0.02\nat 400ms loss 0\nat 500ms crash p1\n";
+  List.iter
+    (fun stack ->
+      run_cli bin [ "nemesis"; "--fault-plan"; plan; "--stack"; stack; "-n"; "3" ])
+    [ "modular"; "monolithic" ];
+
+  (* Invalid plans fail fast — before any simulation — with nonzero exit:
+     a pid out of range, a syntax error, and a missing file. *)
+  write_file bad "at 100ms crash p9\n";
+  expect_rejection bin
+    [ "nemesis"; "--fault-plan"; bad; "-n"; "3" ]
+    ~what:"plan with out-of-range pid";
+  write_file bad "at 100ms explode p1\n";
+  expect_rejection bin
+    [ "nemesis"; "--fault-plan"; bad; "-n"; "3" ]
+    ~what:"plan with unknown action";
+  expect_rejection bin
+    [ "nemesis"; "--fault-plan"; tmp ^ ".does-not-exist"; "-n"; "3" ]
+    ~what:"missing plan file";
+
+  (* A tiny deterministic campaign: every verdict in the JSONL is a pass. *)
+  run_cli bin [ "campaign"; "-n"; "3"; "--campaign-seeds"; "2"; "--out"; out ];
+  let lines =
+    match Jsonl.parse_lines (read_file out) with
+    | Ok [] -> fail "campaign JSONL has no lines (%s)" out
+    | Ok lines -> lines
+    | Error e -> fail "campaign JSONL unparsable: %s" e
+  in
+  let verdicts = List.filter (fun j -> str_field "type" j = Some "verdict") lines in
+  if List.length verdicts <> 6 then
+    fail "expected 6 verdicts (2 seeds x 3 stacks), got %d" (List.length verdicts);
+  List.iter
+    (fun j ->
+      match str_field "result" j with
+      | Some "pass" -> ()
+      | r ->
+        fail "seed %s stack %s: result %s"
+          (Option.value ~default:"?" (str_field "seed" j))
+          (Option.value ~default:"?" (str_field "stack" j))
+          (Option.value ~default:"none" r))
+    verdicts;
+  List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ plan; bad; out ];
+  print_endline "nemesis-smoke: OK"

@@ -184,6 +184,58 @@ let test_cut_is_directional () =
   Alcotest.(check bool) "forward cut" true (!log1 = []);
   Alcotest.(check int) "reverse open" 1 (List.length !log0)
 
+let test_partition_and_heal_all () =
+  let engine, net = make_net () in
+  let logs = Array.init 3 (fun _ -> ref []) in
+  List.iter (fun p -> collect net p logs.(p)) (Pid.all ~n:3);
+  Network.partition net [ [ 0 ]; [ 1; 2 ] ];
+  Network.send net ~src:0 ~dst:1 { label = "cross-fwd"; bytes = 10 };
+  Network.send net ~src:2 ~dst:0 { label = "cross-rev"; bytes = 10 };
+  Network.send net ~src:1 ~dst:2 { label = "intra"; bytes = 10 };
+  Engine.run engine;
+  Alcotest.(check bool) "cross-block 0->1 dropped" true (!(logs.(1)) = []);
+  Alcotest.(check bool) "cross-block 2->0 dropped" true (!(logs.(0)) = []);
+  Alcotest.(check int) "intra-block 1->2 delivered" 1 (List.length !(logs.(2)));
+  Network.heal_all net;
+  Network.send net ~src:0 ~dst:1 { label = "after-fwd"; bytes = 10 };
+  Network.send net ~src:2 ~dst:0 { label = "after-rev"; bytes = 10 };
+  Engine.run engine;
+  Alcotest.(check int) "healed 0->1 delivers" 1 (List.length !(logs.(1)));
+  Alcotest.(check int) "healed 2->0 delivers" 1 (List.length !(logs.(0)))
+
+let test_extra_delay () =
+  let engine, net = make_net () in
+  let log = ref [] in
+  collect net 1 log;
+  Network.send net ~src:0 ~dst:1 { label = "base"; bytes = 100 };
+  Engine.run engine;
+  let base_latency =
+    match !log with [ (_, _, at) ] -> at | _ -> Alcotest.fail "expected one delivery"
+  in
+  (* Same message, same (idle) CPUs, plus a 5 ms spike: arrival must shift by
+     exactly the configured extra delay. *)
+  let sent_at = Time.to_ns (Engine.now engine) in
+  Network.set_extra_delay net (Time.span_ms 5);
+  log := [];
+  Network.send net ~src:0 ~dst:1 { label = "slow"; bytes = 100 };
+  Engine.run engine;
+  let slow_latency =
+    match !log with [ (_, _, at) ] -> at - sent_at | _ -> Alcotest.fail "expected one delivery"
+  in
+  Alcotest.(check int) "delay spike shifts arrival by exactly 5 ms"
+    (base_latency + Time.span_to_ns (Time.span_ms 5))
+    slow_latency;
+  (* Resetting to zero restores the baseline. *)
+  let sent_at = Time.to_ns (Engine.now engine) in
+  Network.set_extra_delay net Time.span_zero;
+  log := [];
+  Network.send net ~src:0 ~dst:1 { label = "back"; bytes = 100 };
+  Engine.run engine;
+  let back_latency =
+    match !log with [ (_, _, at) ] -> at - sent_at | _ -> Alcotest.fail "expected one delivery"
+  in
+  Alcotest.(check int) "clearing the spike restores baseline latency" base_latency back_latency
+
 (* ---- Topology ---- *)
 
 let test_topology_uniform () =
@@ -354,6 +406,8 @@ let () =
         [
           Alcotest.test_case "cut and heal" `Quick test_cut_and_heal;
           Alcotest.test_case "cut is directional" `Quick test_cut_is_directional;
+          Alcotest.test_case "partition and heal_all" `Quick test_partition_and_heal_all;
+          Alcotest.test_case "extra delay spike" `Quick test_extra_delay;
         ] );
       ( "topology",
         [
