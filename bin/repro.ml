@@ -61,10 +61,21 @@ let trace_out_arg =
           "Write the run's phase-tagged protocol trace as JSONL to $(docv), one event \
            per line, stamped with the simulated clock.")
 
+let trace_max_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trace-max-events" ] ~docv:"N"
+        ~doc:
+          "Retain at most $(docv) trace events (and $(docv) spans) in memory; \
+           later records are counted but dropped, and the JSONL export ends \
+           with a $(i,trace_truncated) marker carrying the drop count. \
+           Bounds the footprint of tracing long runs.")
+
 (* Build a sink iff an output file was requested, observe [f] through it,
    then flush the requested files. With no trace file the sink retains no
    events, so long metric-only runs stay cheap. *)
-let with_obs ~metrics_out ~trace_out ~tags f =
+let with_obs ?trace_max_events ~metrics_out ~trace_out ~tags f =
   match (metrics_out, trace_out) with
   | None, None -> f Repro_obs.Obs.noop
   | _ ->
@@ -75,7 +86,7 @@ let with_obs ~metrics_out ~trace_out ~tags f =
     let obs =
       match trace_out with
       | None -> Repro_obs.Obs.create ~max_events:0 ()
-      | Some _ -> Repro_obs.Obs.create ()
+      | Some _ -> Repro_obs.Obs.create ?max_events:trace_max_events ()
     in
     let result = f obs in
     Option.iter
@@ -162,7 +173,7 @@ let run_cmd =
             "Per-copy message loss probability; > 0 mounts the reliable-channel              transport over fair-lossy links.")
   in
   let run kind n load size warmup measure seed csv classic repeats loss metrics_out
-      trace_out =
+      trace_out trace_max_events =
     let params =
       let p = Params.default ~n in
       let p =
@@ -181,7 +192,7 @@ let run_cmd =
         ~measure_s:measure ~seed ~params ()
     in
     let result =
-      with_obs ~metrics_out ~trace_out
+      with_obs ?trace_max_events ~metrics_out ~trace_out
         ~tags:[ ("stack", kind_name kind); ("n", string_of_int n) ]
         (fun obs -> Experiment.run_repeated ~repeats ~obs config)
     in
@@ -192,7 +203,7 @@ let run_cmd =
     Term.(
       const run $ kind_arg $ n_arg $ load_arg $ size_arg $ warmup_arg $ measure_arg
       $ seed_arg $ csv_arg $ classic_arg $ repeats_arg $ loss_arg $ metrics_out_arg
-      $ trace_out_arg)
+      $ trace_out_arg $ trace_max_arg)
 
 (* ---- figures ---- *)
 
@@ -664,6 +675,110 @@ let study_cmd =
           modularity-cost-under-faults study (EXPERIMENTS.md S-faults).")
     Term.(ret (const run $ n_arg $ csv_arg))
 
+(* ---- compare: regression gate over two benchmark reports ---- *)
+
+let compare_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD.json" ~doc:"Baseline report written by bench --json-out.")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW.json" ~doc:"Candidate report to compare against the baseline.")
+  in
+  let run old_path new_path =
+    match
+      ( Repro_analysis.Bench_report.read_file old_path,
+        Repro_analysis.Bench_report.read_file new_path )
+    with
+    | Error e, _ -> `Error (false, Printf.sprintf "%s: %s" old_path e)
+    | _, Error e -> `Error (false, Printf.sprintf "%s: %s" new_path e)
+    | Ok old_report, Ok new_report -> (
+      let verdicts =
+        Repro_analysis.Bench_report.compare_reports ~old_report ~new_report
+      in
+      if verdicts = [] then
+        `Error (false, "the reports share no benchmark entries")
+      else begin
+        List.iter
+          (fun v -> Fmt.pr "%a@." Repro_analysis.Bench_report.pp_verdict v)
+          verdicts;
+        match Repro_analysis.Bench_report.regressions verdicts with
+        | [] ->
+          Fmt.pr "%d entries compared, no regressions.@." (List.length verdicts);
+          `Ok ()
+        | regs ->
+          `Error
+            ( false,
+              Printf.sprintf "%d of %d entries regressed" (List.length regs)
+                (List.length verdicts) )
+      end)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Compare two benchmark reports (bench --json-out) and exit nonzero when a \
+          metric regressed beyond both its noise band (larger IQR of the two runs) \
+          and a 3% relative threshold.")
+    Term.(ret (const run $ old_arg $ new_arg))
+
+(* ---- critical-path: latency attribution from a span trace ---- *)
+
+let critical_path_cmd =
+  let trace_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE.jsonl"
+          ~doc:"Span trace written by --trace-out (run or bench).")
+  in
+  let pid_arg =
+    Arg.(
+      value
+      & opt (some int) (Some 0)
+      & info [ "pid" ] ~docv:"P"
+          ~doc:
+            "Attribute deliveries observed at process $(docv) (0-based; default 0). \
+             Pass a negative value to pool all processes.")
+  in
+  let run trace_path pid =
+    match In_channel.with_open_text trace_path In_channel.input_all with
+    | exception Sys_error e -> `Error (false, e)
+    | contents -> (
+      match Repro_obs.Jsonl.parse_lines contents with
+      | Error e -> `Error (false, Printf.sprintf "%s: %s" trace_path e)
+      | Ok lines -> (
+        let spans = Repro_obs.Jsonl.spans_of_lines lines in
+        if spans = [] then
+          `Error
+            ( false,
+              Printf.sprintf
+                "%s contains no span lines (was the run traced with --trace-out?)"
+                trace_path )
+        else
+          let pid = match pid with Some p when p >= 0 -> Some p | _ -> None in
+          match Repro_analysis.Critical_path.of_spans ?pid spans with
+          | b when b.Repro_analysis.Critical_path.deliveries = 0 ->
+            `Error (false, "no complete delivery chains in the trace")
+          | b ->
+            Fmt.pr "%a" Repro_analysis.Critical_path.pp_breakdown b;
+            Fmt.pr "@.by layer:@.";
+            List.iter
+              (fun (layer, ms) -> Fmt.pr "  %-12s %10.3f ms@." layer ms)
+              (Repro_analysis.Critical_path.by_layer b);
+            `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "critical-path"
+       ~doc:
+         "Reconstruct per-delivery causal chains from a span trace and attribute \
+          end-to-end latency to protocol layer/phase and wire segments.")
+    Term.(ret (const run $ trace_arg $ pid_arg))
+
 (* ---- all ---- *)
 
 let all_cmd =
@@ -705,6 +820,8 @@ let main_cmd =
       nemesis_cmd;
       campaign_cmd;
       study_cmd;
+      compare_cmd;
+      critical_path_cmd;
       all_cmd;
     ]
 

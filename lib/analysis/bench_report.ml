@@ -1,0 +1,222 @@
+module Jsonl = Repro_obs.Jsonl
+
+(* ---- Robust summary over repeated seeded runs ---- *)
+
+type summary = { median : float; iqr : float }
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else if n = 1 then sorted.(0)
+  else begin
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize samples =
+  let sorted = Array.of_list samples in
+  Array.sort Float.compare sorted;
+  {
+    median = percentile sorted 0.5;
+    iqr = percentile sorted 0.75 -. percentile sorted 0.25;
+  }
+
+(* ---- Report schema ---- *)
+
+type entry = {
+  name : string;  (* e.g. "modular/n3/latency_ms" *)
+  median : float;
+  iqr : float;
+  unit_ : string;
+  higher_is_better : bool;
+}
+
+type breakdown_row = {
+  stack : string;
+  label : string;  (* "wire" or "<layer>/<phase>" *)
+  mean_ms : float;  (* per delivery *)
+  share : float;
+}
+
+type t = {
+  meta : (string * string) list;
+  entries : entry list;
+  breakdown : breakdown_row list;
+}
+
+let entry ~name ~unit_ ~higher_is_better samples =
+  let s = summarize samples in
+  { name; median = s.median; iqr = s.iqr; unit_; higher_is_better }
+
+(* ---- JSONL encoding ---- *)
+
+let meta_line meta =
+  Jsonl.to_string
+    (Jsonl.Obj
+       (("type", Jsonl.String "bench_meta")
+       :: List.map (fun (k, v) -> (k, Jsonl.String v)) meta))
+
+let entry_line e =
+  Jsonl.to_string
+    (Jsonl.Obj
+       [
+         ("type", Jsonl.String "bench_entry");
+         ("name", Jsonl.String e.name);
+         ("median", Jsonl.Float e.median);
+         ("iqr", Jsonl.Float e.iqr);
+         ("unit", Jsonl.String e.unit_);
+         ("higher_is_better", Jsonl.Bool e.higher_is_better);
+       ])
+
+let breakdown_line (b : breakdown_row) =
+  Jsonl.to_string
+    (Jsonl.Obj
+       [
+         ("type", Jsonl.String "bench_breakdown");
+         ("stack", Jsonl.String b.stack);
+         ("label", Jsonl.String b.label);
+         ("mean_ms", Jsonl.Float b.mean_ms);
+         ("share", Jsonl.Float b.share);
+       ])
+
+let to_lines t =
+  (meta_line t.meta :: List.map entry_line t.entries)
+  @ List.map breakdown_line t.breakdown
+
+let write_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (to_lines t))
+
+(* ---- Decoding ---- *)
+
+let decode_entry json =
+  match
+    ( Jsonl.to_string_opt (Jsonl.member "name" json),
+      Jsonl.to_float_opt (Jsonl.member "median" json),
+      Jsonl.to_float_opt (Jsonl.member "iqr" json),
+      Jsonl.to_string_opt (Jsonl.member "unit" json),
+      Jsonl.member "higher_is_better" json )
+  with
+  | Some name, Some median, Some iqr, Some unit_, Some (Jsonl.Bool hib) ->
+    Some { name; median; iqr; unit_; higher_is_better = hib }
+  | _ -> None
+
+let decode_breakdown json =
+  match
+    ( Jsonl.to_string_opt (Jsonl.member "stack" json),
+      Jsonl.to_string_opt (Jsonl.member "label" json),
+      Jsonl.to_float_opt (Jsonl.member "mean_ms" json),
+      Jsonl.to_float_opt (Jsonl.member "share" json) )
+  with
+  | Some stack, Some label, Some mean_ms, Some share ->
+    Some { stack; label; mean_ms; share }
+  | _ -> None
+
+let of_lines lines =
+  let meta = ref [] and entries = ref [] and breakdown = ref [] in
+  let bad = ref None in
+  List.iter
+    (fun json ->
+      if !bad = None then
+        match Jsonl.to_string_opt (Jsonl.member "type" json) with
+        | Some "bench_meta" ->
+          (match json with
+          | Jsonl.Obj fields ->
+            meta :=
+              !meta
+              @ List.filter_map
+                  (fun (k, v) ->
+                    match v with
+                    | Jsonl.String s when k <> "type" -> Some (k, s)
+                    | _ -> None)
+                  fields
+          | _ -> ())
+        | Some "bench_entry" -> (
+          match decode_entry json with
+          | Some e -> entries := e :: !entries
+          | None -> bad := Some "malformed bench_entry line")
+        | Some "bench_breakdown" -> (
+          match decode_breakdown json with
+          | Some b -> breakdown := b :: !breakdown
+          | None -> bad := Some "malformed bench_breakdown line")
+        | Some _ | None -> () (* foreign lines are allowed, and ignored *))
+    lines;
+  match !bad with
+  | Some e -> Error e
+  | None ->
+    Ok { meta = !meta; entries = List.rev !entries; breakdown = List.rev !breakdown }
+
+let read_file path =
+  match
+    In_channel.with_open_text path (fun ic -> In_channel.input_all ic)
+  with
+  | exception Sys_error e -> Error e
+  | contents -> (
+    match Jsonl.parse_lines contents with
+    | Error e -> Error e
+    | Ok lines -> of_lines lines)
+
+(* ---- Comparison ---- *)
+
+type verdict = {
+  entry_name : string;
+  old_median : float;
+  new_median : float;
+  delta_pct : float;  (* signed; positive = metric value went up *)
+  regression : bool;
+}
+
+(* A change only counts as a regression when it is (a) outside the noise
+   band of either report — worse by more than the larger of the two IQRs —
+   and (b) practically meaningful, i.e. more than [rel_threshold] relative.
+   Both gates matter: IQR alone flags microscopic shifts on very stable
+   metrics; a percentage alone flags noise on jittery ones. *)
+let rel_threshold = 0.03
+
+let verdict (old_e : entry) (new_e : entry) =
+  let worse_by =
+    if old_e.higher_is_better then old_e.median -. new_e.median
+    else new_e.median -. old_e.median
+  in
+  let noise = Float.max old_e.iqr new_e.iqr in
+  let delta_pct =
+    if old_e.median = 0.0 then 0.0
+    else 100.0 *. (new_e.median -. old_e.median) /. Float.abs old_e.median
+  in
+  let rel =
+    if old_e.median = 0.0 then 0.0 else worse_by /. Float.abs old_e.median
+  in
+  {
+    entry_name = old_e.name;
+    old_median = old_e.median;
+    new_median = new_e.median;
+    delta_pct;
+    regression = worse_by > noise && rel > rel_threshold;
+  }
+
+let compare_reports ~old_report ~new_report =
+  List.filter_map
+    (fun (old_e : entry) ->
+      match
+        List.find_opt (fun (e : entry) -> e.name = old_e.name) new_report.entries
+      with
+      | Some new_e -> Some (verdict old_e new_e)
+      | None -> None)
+    old_report.entries
+
+let regressions verdicts = List.filter (fun v -> v.regression) verdicts
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "%-34s %12.4f -> %12.4f  %+6.1f%%  %s" v.entry_name v.old_median
+    v.new_median v.delta_pct
+    (if v.regression then "REGRESSION" else "ok")

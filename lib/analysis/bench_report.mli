@@ -1,0 +1,74 @@
+(** Machine-readable benchmark reports and regression comparison.
+
+    [bench/main.exe --json-out FILE] summarizes repeated seeded runs as a
+    JSONL report — median and interquartile range per (stack, metric), plus
+    the per-stack critical-path breakdown — and [repro compare OLD NEW]
+    replays the comparison, flagging statistically meaningful regressions
+    with a nonzero exit. Medians and IQRs (not means and CIs) because a
+    handful of repeats is all a CI run affords, and one outlier seed must
+    not move the verdict. *)
+
+type summary = { median : float; iqr : float }
+
+val summarize : float list -> summary
+(** Median and interquartile range (linear interpolation between order
+    statistics). [nan]s for an empty list. *)
+
+type entry = {
+  name : string;  (** e.g. ["modular/n3/latency_ms"] *)
+  median : float;
+  iqr : float;
+  unit_ : string;  (** ["ms"], ["msgs/s"], … (reporting only) *)
+  higher_is_better : bool;  (** direction of improvement for this metric *)
+}
+
+type breakdown_row = {
+  stack : string;
+  label : string;  (** ["wire"] or ["<layer>/<phase>"] *)
+  mean_ms : float;  (** per delivery *)
+  share : float;  (** of end-to-end latency *)
+}
+
+type t = {
+  meta : (string * string) list;  (** free-form provenance, e.g. repeats *)
+  entries : entry list;
+  breakdown : breakdown_row list;
+}
+
+val entry :
+  name:string -> unit_:string -> higher_is_better:bool -> float list -> entry
+(** Summarize one metric's per-run samples into an entry. *)
+
+val to_lines : t -> string list
+(** JSONL rendering: one [bench_meta] line, then [bench_entry] lines, then
+    [bench_breakdown] lines. *)
+
+val of_lines : Repro_obs.Jsonl.json list -> (t, string) result
+(** Rebuild a report from parsed JSONL. Lines of other types are ignored,
+    so a report can share a file with metrics or trace lines. *)
+
+val write_file : string -> t -> unit
+
+val read_file : string -> (t, string) result
+(** Parse [path]; [Error] on an unreadable file or malformed line. *)
+
+type verdict = {
+  entry_name : string;
+  old_median : float;
+  new_median : float;
+  delta_pct : float;  (** signed; positive = the metric's value went up *)
+  regression : bool;
+}
+
+val compare_reports : old_report:t -> new_report:t -> verdict list
+(** One verdict per entry present in both reports (matched by name, in the
+    old report's order). An entry regressed when it moved in the worse
+    direction by more than the larger of the two IQRs AND by more than 3%
+    relative — both gates, so stable metrics don't alarm on microscopic
+    shifts and noisy ones don't alarm on jitter. *)
+
+val regressions : verdict list -> verdict list
+(** The verdicts with [regression = true]. *)
+
+val pp_verdict : verdict Fmt.t
+(** One aligned line: name, old -> new, signed %, ok/REGRESSION. *)

@@ -1,0 +1,144 @@
+open Repro_sim
+module Span = Repro_obs.Span
+
+(* One hop of a causal chain: the time between a span and its parent,
+   attributed to what the child represents. A hop whose endpoints sit on
+   different processes is wire time (transmit -> receive of one message
+   copy: NIC serialisation, propagation, jitter, FIFO queueing); a
+   same-process hop is the receive-side CPU and queueing spent reaching
+   that protocol step. *)
+type segment = { label : string; layer : string; ns : int }
+
+type path = {
+  delivery : Span.t;
+  root : Span.t;
+  segments : segment list;  (* oldest hop first *)
+  total_ns : int;
+}
+
+let wire_label = "wire"
+
+let hop_label (child : Span.t) ~(parent : Span.t) =
+  if child.Span.pid <> parent.Span.pid then (wire_label, wire_label)
+  else
+    let layer = Span.layer_name child.Span.layer in
+    (layer ^ "/" ^ child.Span.phase, layer)
+
+(* The chain telescopes: segment durations are differences of consecutive
+   span timestamps, so their sum is exactly [delivery.at - root.at]. *)
+let path_of_chain chain =
+  match chain with
+  | [] -> None
+  | root :: _ ->
+    let delivery = List.nth chain (List.length chain - 1) in
+    let rec hops acc = function
+      | parent :: (child :: _ as rest) ->
+        let label, layer = hop_label child ~parent in
+        let ns = Time.span_to_ns (Time.diff child.Span.at parent.Span.at) in
+        hops ({ label; layer; ns } :: acc) rest
+      | _ -> List.rev acc
+    in
+    Some
+      {
+        delivery;
+        root;
+        segments = hops [] chain;
+        total_ns = Time.span_to_ns (Time.diff delivery.Span.at root.Span.at);
+      }
+
+let is_delivery (s : Span.t) = s.Span.layer = `App && s.Span.phase = "adeliver"
+
+let paths ?pid spans =
+  let tbl = Span.index spans in
+  List.filter_map
+    (fun s ->
+      if is_delivery s && (match pid with None -> true | Some p -> s.Span.pid = p)
+      then path_of_chain (Span.chain tbl s)
+      else None)
+    spans
+
+(* ---- Aggregation ---- *)
+
+type breakdown_row = {
+  row_label : string;
+  row_layer : string;
+  hops : int;  (* total hops with this label across all paths *)
+  total_ms : float;
+  mean_ms : float;  (* per delivery: total / #paths *)
+  share : float;  (* of the summed end-to-end time *)
+}
+
+type breakdown = {
+  deliveries : int;
+  end_to_end_ms : float;  (* summed over deliveries *)
+  mean_end_to_end_ms : float;
+  rows : breakdown_row list;  (* sorted by total time, largest first *)
+}
+
+let ns_to_ms ns = float_of_int ns /. 1e6
+
+let breakdown paths =
+  let tbl = Hashtbl.create 32 in
+  let total_ns = ref 0 in
+  List.iter
+    (fun p ->
+      total_ns := !total_ns + p.total_ns;
+      List.iter
+        (fun seg ->
+          let hops, ns =
+            match Hashtbl.find_opt tbl seg.label with
+            | Some (h, n, _) -> (h, n)
+            | None -> (0, 0)
+          in
+          Hashtbl.replace tbl seg.label (hops + 1, ns + seg.ns, seg.layer))
+        p.segments)
+    paths;
+  let deliveries = List.length paths in
+  let rows =
+    Hashtbl.fold
+      (fun label (hops, ns, layer) acc ->
+        {
+          row_label = label;
+          row_layer = layer;
+          hops;
+          total_ms = ns_to_ms ns;
+          mean_ms = (if deliveries = 0 then 0.0 else ns_to_ms ns /. float_of_int deliveries);
+          share = (if !total_ns = 0 then 0.0 else float_of_int ns /. float_of_int !total_ns);
+        }
+        :: acc)
+      tbl []
+    |> List.sort (fun a b ->
+           match compare b.total_ms a.total_ms with
+           | 0 -> compare a.row_label b.row_label
+           | c -> c)
+  in
+  {
+    deliveries;
+    end_to_end_ms = ns_to_ms !total_ns;
+    mean_end_to_end_ms =
+      (if deliveries = 0 then 0.0 else ns_to_ms !total_ns /. float_of_int deliveries);
+    rows;
+  }
+
+let by_layer b =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let ms = match Hashtbl.find_opt tbl r.row_layer with Some m -> m | None -> 0.0 in
+      Hashtbl.replace tbl r.row_layer (ms +. r.total_ms))
+    b.rows;
+  Hashtbl.fold (fun layer ms acc -> (layer, ms) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let of_spans ?pid spans = breakdown (paths ?pid spans)
+
+let pp_breakdown ppf b =
+  Fmt.pf ppf "%d deliveries, mean end-to-end %.3f ms@." b.deliveries
+    b.mean_end_to_end_ms;
+  Fmt.pf ppf "%-22s %8s %10s %10s %7s@." "segment" "hops" "total ms" "ms/deliv"
+    "share";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-22s %8d %10.3f %10.4f %6.1f%%@." r.row_label r.hops r.total_ms
+        r.mean_ms (100.0 *. r.share))
+    b.rows

@@ -1,0 +1,71 @@
+(** Critical-path reconstruction over a causal span trace.
+
+    Every application delivery (an [`App]/"adeliver" span) terminates a
+    single-parent chain that leads back, across module and process
+    boundaries, to the root span of the message's lifetime (normally the
+    App/"publish" at the sender). Each hop of the chain is a latency
+    segment: time spent on the wire when the endpoints are on different
+    processes, or time spent reaching a protocol step when they are on the
+    same process. Because segment durations are differences of consecutive
+    span timestamps, they telescope — per path, the segments sum exactly to
+    the end-to-end latency. Aggregated over a run, the breakdown attributes
+    every nanosecond of delivery latency to a layer/phase or to the wire,
+    which is how the §4 optimization effects of the paper (piggybacked
+    decisions, coordinator-directed acks, cheap decision diffusion) show up
+    as measured time rather than message counts. *)
+
+module Span = Repro_obs.Span
+
+type segment = {
+  label : string;  (** ["wire"] or ["<layer>/<phase>"] of the hop's child *)
+  layer : string;  (** ["wire"] or the child span's layer name *)
+  ns : int;  (** duration of the hop *)
+}
+
+type path = {
+  delivery : Span.t;  (** the [`App]/"adeliver" terminus *)
+  root : Span.t;  (** origin of the chain (normally App/"publish") *)
+  segments : segment list;  (** oldest hop first *)
+  total_ns : int;  (** [delivery.at - root.at]; equals the segment sum *)
+}
+
+val wire_label : string
+(** ["wire"] — the label given to cross-process hops. *)
+
+val is_delivery : Span.t -> bool
+(** Recognises the [`App]/"adeliver" spans that terminate paths. *)
+
+val paths : ?pid:int -> Span.t list -> path list
+(** All critical paths in a trace, one per application delivery, in trace
+    order. [?pid] restricts to deliveries at one process (useful because
+    every delivery occurs at [n] processes and would otherwise be counted
+    [n] times). *)
+
+type breakdown_row = {
+  row_label : string;
+  row_layer : string;
+  hops : int;  (** hops bearing this label, across all paths *)
+  total_ms : float;
+  mean_ms : float;  (** per delivery *)
+  share : float;  (** fraction of summed end-to-end time *)
+}
+
+type breakdown = {
+  deliveries : int;
+  end_to_end_ms : float;  (** summed over deliveries *)
+  mean_end_to_end_ms : float;
+  rows : breakdown_row list;  (** largest total first *)
+}
+
+val breakdown : path list -> breakdown
+(** Aggregate segments by label. The row totals sum to [end_to_end_ms]
+    exactly (same telescoping argument as per-path). *)
+
+val of_spans : ?pid:int -> Span.t list -> breakdown
+(** [breakdown (paths ?pid spans)]. *)
+
+val by_layer : breakdown -> (string * float) list
+(** Collapse rows to (layer, total ms), ["wire"] included, largest first. *)
+
+val pp_breakdown : breakdown Fmt.t
+(** Human-readable table: one row per segment label. *)

@@ -73,7 +73,15 @@ let maybe_propose t =
     L.debug (fun m ->
         m "%a propose instance %d (%d ids, indirect)" Pid.pp t.me t.next_decide
           (List.length ids));
-    t.consensus.propose ~inst:t.next_decide (Batch.of_list (List.map id_only ids))
+    let sp =
+      if Obs.enabled t.obs then
+        Obs.span t.obs ~pid:t.me ~layer:`Abcast ~phase:"propose"
+          ~detail:(Printf.sprintf "i%d (%d ids)" t.next_decide (List.length ids))
+          ()
+      else Obs.Span.no_parent
+    in
+    Obs.with_span_ctx t.obs sp (fun () ->
+        t.consensus.propose ~inst:t.next_decide (Batch.of_list (List.map id_only ids)))
   end
 
 let missing_payloads t batch =
@@ -146,11 +154,18 @@ let rec drain t =
       L.debug (fun m ->
           m "%a adeliver instance %d (%d msgs, indirect)" Pid.pp t.me t.next_decide
             (Batch.size batch));
-      if Obs.enabled t.obs then
-        Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"adeliver"
-          ~detail:(Printf.sprintf "i%d (%d msgs)" t.next_decide (Batch.size batch))
-          ();
-      adeliver_batch t batch;
+      let sp =
+        if Obs.enabled t.obs then begin
+          Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"adeliver"
+            ~detail:(Printf.sprintf "i%d (%d msgs)" t.next_decide (Batch.size batch))
+            ();
+          Obs.span t.obs ~pid:t.me ~layer:`Abcast ~phase:"adeliver"
+            ~detail:(Printf.sprintf "i%d (%d msgs)" t.next_decide (Batch.size batch))
+            ()
+        end
+        else Obs.Span.no_parent
+      in
+      Obs.with_span_ctx t.obs sp (fun () -> adeliver_batch t batch);
       t.next_decide <- t.next_decide + 1;
       drain t
     | missing -> if t.fetch_timer = None then arm_fetch t missing)
@@ -170,12 +185,21 @@ let note_payload t (m : App_msg.t) =
 let abcast t m =
   if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
     Obs.incr t.obs "abcast.abcasts";
-    if Obs.enabled t.obs then
-      Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"abcast"
-        ~detail:
-          (Printf.sprintf "m %d/%d" (m.App_msg.id.App_msg.origin + 1)
-             m.App_msg.id.App_msg.seq)
-        ();
+    let sp =
+      if Obs.enabled t.obs then begin
+        Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"abcast"
+          ~detail:
+            (Printf.sprintf "m %d/%d" (m.App_msg.id.App_msg.origin + 1)
+               m.App_msg.id.App_msg.seq)
+          ();
+        Obs.span t.obs ~pid:t.me ~layer:`Abcast ~phase:"abcast"
+          ~detail:
+            (Printf.sprintf "m %d/%d" (m.App_msg.id.App_msg.origin + 1)
+               m.App_msg.id.App_msg.seq)
+          ()
+      end
+      else Obs.Span.no_parent
+    in
     (* Diffuse strictly before [note_payload], whose embedded
        [maybe_propose] may put the identifier into a consensus proposal.
        Channels are FIFO per link, so any process that sees a proposal
@@ -184,9 +208,10 @@ let abcast t m =
        a decided identifier whose payload died with it, blocking every
        correct process (the §3.3 hazard; [12] diffuses before proposing
        for exactly this reason). *)
-    t.diffuse m;
-    note_payload t m;
-    maybe_propose t
+    Obs.with_span_ctx t.obs sp (fun () ->
+        t.diffuse m;
+        note_payload t m;
+        maybe_propose t)
   end
 
 let on_diffuse t m = note_payload t m

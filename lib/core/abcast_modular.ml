@@ -51,7 +51,14 @@ let maybe_propose t =
     L.debug (fun m ->
         m "%a propose instance %d (%d msgs, %d pending)" Repro_net.Pid.pp t.me
           t.next_decide (Batch.size batch) (Batch.size t.pending));
-    t.consensus.propose ~inst:t.next_decide batch
+    let sp =
+      if Obs.enabled t.obs then
+        Obs.span t.obs ~pid:t.me ~layer:`Abcast ~phase:"propose"
+          ~detail:(Printf.sprintf "i%d (%d msgs)" t.next_decide (Batch.size batch))
+          ()
+      else Obs.Span.no_parent
+    in
+    Obs.with_span_ctx t.obs sp (fun () -> t.consensus.propose ~inst:t.next_decide batch)
   end
 
 let adeliver_batch t batch =
@@ -76,11 +83,18 @@ let rec drain t =
     L.debug (fun m ->
         m "%a adeliver instance %d (%d msgs)" Repro_net.Pid.pp t.me t.next_decide
           (Batch.size batch));
-    if Obs.enabled t.obs then
-      Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"adeliver"
-        ~detail:(Printf.sprintf "i%d (%d msgs)" t.next_decide (Batch.size batch))
-        ();
-    adeliver_batch t batch;
+    let sp =
+      if Obs.enabled t.obs then begin
+        Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"adeliver"
+          ~detail:(Printf.sprintf "i%d (%d msgs)" t.next_decide (Batch.size batch))
+          ();
+        Obs.span t.obs ~pid:t.me ~layer:`Abcast ~phase:"adeliver"
+          ~detail:(Printf.sprintf "i%d (%d msgs)" t.next_decide (Batch.size batch))
+          ()
+      end
+      else Obs.Span.no_parent
+    in
+    Obs.with_span_ctx t.obs sp (fun () -> adeliver_batch t batch);
     t.next_decide <- t.next_decide + 1;
     drain t
   | None -> ()
@@ -89,12 +103,20 @@ let abcast t m =
   if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
     t.pending <- Batch.add t.pending m;
     Obs.incr t.obs "abcast.abcasts";
-    if Obs.enabled t.obs then
-      Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"abcast"
-        ~detail:(Printf.sprintf "m %d/%d" (m.App_msg.id.App_msg.origin + 1) m.App_msg.id.App_msg.seq)
-        ();
-    t.diffuse m;
-    maybe_propose t
+    let sp =
+      if Obs.enabled t.obs then begin
+        Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"abcast"
+          ~detail:(Printf.sprintf "m %d/%d" (m.App_msg.id.App_msg.origin + 1) m.App_msg.id.App_msg.seq)
+          ();
+        Obs.span t.obs ~pid:t.me ~layer:`Abcast ~phase:"abcast"
+          ~detail:(Printf.sprintf "m %d/%d" (m.App_msg.id.App_msg.origin + 1) m.App_msg.id.App_msg.seq)
+          ()
+      end
+      else Obs.Span.no_parent
+    in
+    Obs.with_span_ctx t.obs sp (fun () ->
+        t.diffuse m;
+        maybe_propose t)
   end
 
 let on_diffuse t m =

@@ -139,11 +139,18 @@ let rec drain t =
   match Hashtbl.find_opt t.decisions_buf t.next_deliver with
   | Some batch ->
     Hashtbl.remove t.decisions_buf t.next_deliver;
-    if Obs.enabled t.obs then
-      Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"adeliver"
-        ~detail:(Printf.sprintf "i%d (%d msgs)" t.next_deliver (Batch.size batch))
-        ();
-    adeliver_batch t batch;
+    let sp =
+      if Obs.enabled t.obs then begin
+        Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"adeliver"
+          ~detail:(Printf.sprintf "i%d (%d msgs)" t.next_deliver (Batch.size batch))
+          ();
+        Obs.span t.obs ~pid:t.me ~layer:`Abcast ~phase:"adeliver"
+          ~detail:(Printf.sprintf "i%d (%d msgs)" t.next_deliver (Batch.size batch))
+          ()
+      end
+      else Obs.Span.no_parent
+    in
+    Obs.with_span_ctx t.obs sp (fun () -> adeliver_batch t batch);
     t.next_deliver <- t.next_deliver + 1;
     drain t
   | None -> ()
@@ -232,12 +239,19 @@ and mono_decide t s value ~here_round =
     s.pending_requesters <- [];
     L.debug (fun m -> m "%a decide i%d %a" Pid.pp t.me s.inst Batch.pp value);
     Obs.incr t.obs "abcast.decisions";
-    if Obs.enabled t.obs then
-      Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"decide"
-        ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst s.round (Batch.size value))
-        ();
+    let sp =
+      if Obs.enabled t.obs then begin
+        Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"decide"
+          ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst s.round (Batch.size value))
+          ();
+        Obs.span t.obs ~pid:t.me ~layer:`Abcast ~phase:"decide"
+          ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst s.round (Batch.size value))
+          ()
+      end
+      else Obs.Span.no_parent
+    in
     Hashtbl.replace t.decisions_buf s.inst value;
-    drain t;
+    Obs.with_span_ctx t.obs sp (fun () -> drain t);
     arm_catchup t;
     (* Idle transition: the last instance just decided and nothing else is
        running — any held own messages must reach the coordinator now. *)
@@ -298,9 +312,17 @@ and maybe_launch t =
             (match decided with
             | Some (d, _) -> Printf.sprintf ", +decision i%d" d
             | None -> ""));
-      send_to_others t (Msg.Prop_dec { inst = k; round = 1; proposal; decided });
-      arm_progress_timer t s;
-      check_majority t s ~round:1
+      let sp =
+        if Obs.enabled t.obs then
+          Obs.span t.obs ~pid:t.me ~layer:`Abcast ~phase:"propose"
+            ~detail:(Printf.sprintf "i%d r1 (%d msgs)" k (Batch.size proposal))
+            ()
+        else Obs.Span.no_parent
+      in
+      Obs.with_span_ctx t.obs sp (fun () ->
+          send_to_others t (Msg.Prop_dec { inst = k; round = 1; proposal; decided });
+          arm_progress_timer t s;
+          check_majority t s ~round:1)
     end
   end
 
@@ -382,9 +404,17 @@ and maybe_propose_recovery t s ~round =
         s.estimate <- Some value;
         s.ts <- round;
         Hashtbl.replace s.acks round (ref [ t.me ]);
-        send_to_others t (Msg.Prop_dec { inst = s.inst; round; proposal = value; decided = None });
-        arm_progress_timer t s;
-        check_majority t s ~round
+        let sp =
+          if Obs.enabled t.obs then
+            Obs.span t.obs ~pid:t.me ~layer:`Abcast ~phase:"propose"
+              ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst round (Batch.size value))
+              ()
+          else Obs.Span.no_parent
+        in
+        Obs.with_span_ctx t.obs sp (fun () ->
+            send_to_others t (Msg.Prop_dec { inst = s.inst; round; proposal = value; decided = None });
+            arm_progress_timer t s;
+            check_majority t s ~round)
     end
   end
 
@@ -443,28 +473,38 @@ let rec arm_kick t =
 let abcast t m =
   if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
     Obs.incr t.obs "abcast.abcasts";
-    if Obs.enabled t.obs then
-      Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"abcast"
-        ~detail:
-          (Printf.sprintf "m %d/%d" (m.App_msg.id.App_msg.origin + 1)
-             m.App_msg.id.App_msg.seq)
-        ();
-    t.own_outstanding <- Batch.add t.own_outstanding m;
-    arm_kick t;
-    if am_steward t then begin
-      pool_add t m;
-      maybe_launch t
-    end
-    else if t.params.Params.mono.Params.piggyback_on_ack && pipeline_active t then
-      (* §4.2: hold for the next ack to the coordinator. *)
-      t.own_unsent <- t.own_unsent @ [ m ]
-    else if t.params.Params.mono.Params.piggyback_on_ack then
-      (* Idle system: straight to the coordinator, and only to it. *)
-      t.send ~dst:(steward t) (Msg.To_coord m)
-    else
-      (* Ablation §4.2 off: diffuse to everyone like the modular stack;
-         the steward will pick it up below via [receive]. *)
-      send_to_others t (Msg.To_coord m)
+    let sp =
+      if Obs.enabled t.obs then begin
+        Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"abcast"
+          ~detail:
+            (Printf.sprintf "m %d/%d" (m.App_msg.id.App_msg.origin + 1)
+               m.App_msg.id.App_msg.seq)
+          ();
+        Obs.span t.obs ~pid:t.me ~layer:`Abcast ~phase:"abcast"
+          ~detail:
+            (Printf.sprintf "m %d/%d" (m.App_msg.id.App_msg.origin + 1)
+               m.App_msg.id.App_msg.seq)
+          ()
+      end
+      else Obs.Span.no_parent
+    in
+    Obs.with_span_ctx t.obs sp (fun () ->
+        t.own_outstanding <- Batch.add t.own_outstanding m;
+        arm_kick t;
+        if am_steward t then begin
+          pool_add t m;
+          maybe_launch t
+        end
+        else if t.params.Params.mono.Params.piggyback_on_ack && pipeline_active t then
+          (* §4.2: hold for the next ack to the coordinator. *)
+          t.own_unsent <- t.own_unsent @ [ m ]
+        else if t.params.Params.mono.Params.piggyback_on_ack then
+          (* Idle system: straight to the coordinator, and only to it. *)
+          t.send ~dst:(steward t) (Msg.To_coord m)
+        else
+          (* Ablation §4.2 off: diffuse to everyone like the modular stack;
+             the steward will pick it up below via [receive]. *)
+          send_to_others t (Msg.To_coord m))
   end
 
 (* ---- Receive ---- *)
@@ -506,7 +546,15 @@ let handle_prop_dec t ~src ~inst ~round ~proposal ~decided =
       let piggyback =
         if t.params.Params.mono.Params.piggyback_on_ack then take_own_unsent t else []
       in
-      t.send ~dst:src (Msg.Ack_diff { inst; round; piggyback });
+      let sp =
+        if Obs.enabled t.obs then
+          Obs.span t.obs ~pid:t.me ~layer:`Abcast ~phase:"ack"
+            ~detail:(Printf.sprintf "i%d r%d" inst round)
+            ()
+        else Obs.Span.no_parent
+      in
+      Obs.with_span_ctx t.obs sp (fun () ->
+          t.send ~dst:src (Msg.Ack_diff { inst; round; piggyback }));
       arm_progress_timer t s
     end
   end

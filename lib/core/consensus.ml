@@ -100,13 +100,19 @@ let decide t s value =
     L.debug (fun m ->
         m "%a decide i%d %a" Pid.pp t.me s.inst Batch.pp value);
     Obs.incr t.obs "consensus.decisions";
-    if Obs.enabled t.obs then begin
-      Obs.observe_since t.obs "consensus.decide_ms" s.created_at;
-      Obs.event t.obs ~pid:t.me ~layer:`Consensus ~phase:"decide"
-        ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst s.round (Batch.size value))
-        ()
-    end;
-    t.on_decide ~inst:s.inst value
+    let sp =
+      if Obs.enabled t.obs then begin
+        Obs.observe_since t.obs "consensus.decide_ms" s.created_at;
+        Obs.event t.obs ~pid:t.me ~layer:`Consensus ~phase:"decide"
+          ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst s.round (Batch.size value))
+          ();
+        Obs.span t.obs ~pid:t.me ~layer:`Consensus ~phase:"decide"
+          ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst s.round (Batch.size value))
+          ()
+      end
+      else Obs.Span.no_parent
+    in
+    Obs.with_span_ctx t.obs sp (fun () -> t.on_decide ~inst:s.inst value)
 
 let reply_decision t s ~dst =
   match s.decided with
@@ -183,13 +189,21 @@ and maybe_propose t s ~round =
       L.debug (fun m ->
           m "%a propose i%d r%d (%d msgs)" Pid.pp t.me s.inst round (Batch.size value));
       Obs.incr t.obs "consensus.proposals";
-      if Obs.enabled t.obs then
-        Obs.event t.obs ~pid:t.me ~layer:`Consensus ~phase:"propose"
-          ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst round (Batch.size value))
-          ();
-      send_to_others t (Msg.Propose { inst = s.inst; round; value });
-      arm_progress_timer t s;
-      check_majority t s ~round
+      let sp =
+        if Obs.enabled t.obs then begin
+          Obs.event t.obs ~pid:t.me ~layer:`Consensus ~phase:"propose"
+            ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst round (Batch.size value))
+            ();
+          Obs.span t.obs ~pid:t.me ~layer:`Consensus ~phase:"propose"
+            ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst round (Batch.size value))
+            ()
+        end
+        else Obs.Span.no_parent
+      in
+      Obs.with_span_ctx t.obs sp (fun () ->
+          send_to_others t (Msg.Propose { inst = s.inst; round; value });
+          arm_progress_timer t s;
+          check_majority t s ~round)
 
 and check_majority t s ~round =
   if s.decided = None && coord t ~round = t.me then
@@ -223,8 +237,16 @@ and send_estimate t s ~round =
   | Some value when not (List.mem round s.estimate_sent) ->
     s.estimate_sent <- round :: s.estimate_sent;
     Obs.incr t.obs "consensus.estimates";
-    t.send ~dst:(coord t ~round)
-      (Msg.Estimate { inst = s.inst; round; value; ts = s.ts })
+    let sp =
+      if Obs.enabled t.obs then
+        Obs.span t.obs ~pid:t.me ~layer:`Consensus ~phase:"estimate"
+          ~detail:(Printf.sprintf "i%d r%d" s.inst round)
+          ()
+      else Obs.Span.no_parent
+    in
+    Obs.with_span_ctx t.obs sp (fun () ->
+        t.send ~dst:(coord t ~round)
+          (Msg.Estimate { inst = s.inst; round; value; ts = s.ts }))
   | Some _ | None -> ()
 
 and advance_round t s ~target =
@@ -306,7 +328,15 @@ let handle_propose t s ~src ~round ~value =
       s.estimate <- Some value;
       s.ts <- round;
       Obs.incr t.obs "consensus.acks";
-      t.send ~dst:src (Msg.Ack { inst = s.inst; round });
+      let sp =
+        if Obs.enabled t.obs then
+          Obs.span t.obs ~pid:t.me ~layer:`Consensus ~phase:"ack"
+            ~detail:(Printf.sprintf "i%d r%d" s.inst round)
+            ()
+        else Obs.Span.no_parent
+      in
+      Obs.with_span_ctx t.obs sp (fun () ->
+          t.send ~dst:src (Msg.Ack { inst = s.inst; round }));
       arm_progress_timer t s
     end
   end

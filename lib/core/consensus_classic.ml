@@ -83,13 +83,19 @@ let decide t s value =
       s.pending_requesters;
     s.pending_requesters <- [];
     Obs.incr t.obs "consensus.decisions";
-    if Obs.enabled t.obs then begin
-      Obs.observe_since t.obs "consensus.decide_ms" s.created_at;
-      Obs.event t.obs ~pid:t.me ~layer:`Consensus ~phase:"decide"
-        ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst s.round (Batch.size value))
-        ()
-    end;
-    t.on_decide ~inst:s.inst value
+    let sp =
+      if Obs.enabled t.obs then begin
+        Obs.observe_since t.obs "consensus.decide_ms" s.created_at;
+        Obs.event t.obs ~pid:t.me ~layer:`Consensus ~phase:"decide"
+          ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst s.round (Batch.size value))
+          ();
+        Obs.span t.obs ~pid:t.me ~layer:`Consensus ~phase:"decide"
+          ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst s.round (Batch.size value))
+          ()
+      end
+      else Obs.Span.no_parent
+    in
+    Obs.with_span_ctx t.obs sp (fun () -> t.on_decide ~inst:s.inst value)
 
 let reply_decision t s ~dst =
   match s.decided with
@@ -136,12 +142,20 @@ let rec try_propose t s ~round =
         s.ts <- round;
         Hashtbl.replace s.acks round (ref [ t.me ]);
         Obs.incr t.obs "consensus.proposals";
-        if Obs.enabled t.obs then
-          Obs.event t.obs ~pid:t.me ~layer:`Consensus ~phase:"propose"
-            ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst round (Batch.size value))
-            ();
-        t.broadcast (Msg.Propose { inst = s.inst; round; value });
-        check_majority t s ~round
+        let sp =
+          if Obs.enabled t.obs then begin
+            Obs.event t.obs ~pid:t.me ~layer:`Consensus ~phase:"propose"
+              ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst round (Batch.size value))
+              ();
+            Obs.span t.obs ~pid:t.me ~layer:`Consensus ~phase:"propose"
+              ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst round (Batch.size value))
+              ()
+          end
+          else Obs.Span.no_parent
+        in
+        Obs.with_span_ctx t.obs sp (fun () ->
+            t.broadcast (Msg.Propose { inst = s.inst; round; value });
+            check_majority t s ~round)
   end
 
 and check_majority t s ~round =
@@ -169,7 +183,15 @@ and enter_round t s ~round =
       record_estimate s ~round ~src:t.me ~ts:s.ts ~value;
       if c <> t.me then begin
         Obs.incr t.obs "consensus.estimates";
-        t.send ~dst:c (Msg.Estimate { inst = s.inst; round; value; ts = s.ts })
+        let sp =
+          if Obs.enabled t.obs then
+            Obs.span t.obs ~pid:t.me ~layer:`Consensus ~phase:"estimate"
+              ~detail:(Printf.sprintf "i%d r%d" s.inst round)
+              ()
+          else Obs.Span.no_parent
+        in
+        Obs.with_span_ctx t.obs sp (fun () ->
+            t.send ~dst:c (Msg.Estimate { inst = s.inst; round; value; ts = s.ts }))
       end
       else try_propose t s ~round
     | None -> ());
@@ -229,7 +251,15 @@ let handle_propose t s ~src ~round ~value =
       s.estimate <- Some value;
       s.ts <- round;
       Obs.incr t.obs "consensus.acks";
-      t.send ~dst:src (Msg.Ack { inst = s.inst; round });
+      let sp =
+        if Obs.enabled t.obs then
+          Obs.span t.obs ~pid:t.me ~layer:`Consensus ~phase:"ack"
+            ~detail:(Printf.sprintf "i%d r%d" s.inst round)
+            ()
+        else Obs.Span.no_parent
+      in
+      Obs.with_span_ctx t.obs sp (fun () ->
+          t.send ~dst:src (Msg.Ack { inst = s.inst; round }));
       (* Classical cycling: the next round starts immediately. *)
       enter_round t s ~round:(round + 1)
     end

@@ -38,12 +38,20 @@ let rbcast t payload =
   t.seen <- Seen.add (meta.rb_origin, meta.rb_seq) t.seen;
   Obs.incr t.obs "rbcast.broadcasts";
   Obs.incr t.obs "rbcast.delivers";
-  if Obs.enabled t.obs then
-    Obs.event t.obs ~pid:t.me ~layer:`Rbcast ~phase:"rbcast"
-      ~detail:(Printf.sprintf "rb %d/%d" (meta.rb_origin + 1) meta.rb_seq)
-      ();
-  t.deliver ~meta payload;
-  send_to_others t ~meta payload
+  let sp =
+    if Obs.enabled t.obs then begin
+      Obs.event t.obs ~pid:t.me ~layer:`Rbcast ~phase:"rbcast"
+        ~detail:(Printf.sprintf "rb %d/%d" (meta.rb_origin + 1) meta.rb_seq)
+        ();
+      Obs.span t.obs ~pid:t.me ~layer:`Rbcast ~phase:"rbcast"
+        ~detail:(Printf.sprintf "rb %d/%d" (meta.rb_origin + 1) meta.rb_seq)
+        ()
+    end
+    else Obs.Span.no_parent
+  in
+  Obs.with_span_ctx t.obs sp (fun () ->
+      t.deliver ~meta payload;
+      send_to_others t ~meta payload)
 
 let should_relay t ~origin =
   match t.variant with
@@ -55,13 +63,21 @@ let receive t ~src:_ ~meta payload =
   if not (Seen.mem key t.seen) then begin
     t.seen <- Seen.add key t.seen;
     Obs.incr t.obs "rbcast.delivers";
-    if Obs.enabled t.obs then
-      Obs.event t.obs ~pid:t.me ~layer:`Rbcast ~phase:"rdeliver"
-        ~detail:(Printf.sprintf "rb %d/%d" (meta.Msg.rb_origin + 1) meta.Msg.rb_seq)
-        ();
-    t.deliver ~meta payload;
-    if should_relay t ~origin:meta.Msg.rb_origin then begin
-      Obs.incr t.obs "rbcast.relays";
-      send_to_others t ~meta payload
-    end
+    let sp =
+      if Obs.enabled t.obs then begin
+        Obs.event t.obs ~pid:t.me ~layer:`Rbcast ~phase:"rdeliver"
+          ~detail:(Printf.sprintf "rb %d/%d" (meta.Msg.rb_origin + 1) meta.Msg.rb_seq)
+          ();
+        Obs.span t.obs ~pid:t.me ~layer:`Rbcast ~phase:"rdeliver"
+          ~detail:(Printf.sprintf "rb %d/%d" (meta.Msg.rb_origin + 1) meta.Msg.rb_seq)
+          ()
+      end
+      else Obs.Span.no_parent
+    in
+    Obs.with_span_ctx t.obs sp (fun () ->
+        t.deliver ~meta payload;
+        if should_relay t ~origin:meta.Msg.rb_origin then begin
+          Obs.incr t.obs "rbcast.relays";
+          send_to_others t ~meta payload
+        end)
   end

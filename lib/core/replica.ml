@@ -87,14 +87,27 @@ let engine t = Network.engine t.net
 let handle_adeliver t m =
   t.delivered_count <- t.delivered_count + 1;
   if t.record_deliveries then t.rev_deliveries <- m.App_msg.id :: t.rev_deliveries;
-  if Obs.enabled t.obs then
-    Obs.event t.obs ~pid:t.me ~layer:`App ~phase:"adeliver"
-      ~detail:
-        (Printf.sprintf "m %d/%d (%d B)" (m.App_msg.id.App_msg.origin + 1)
-           m.App_msg.id.App_msg.seq m.App_msg.size)
-      ();
-  if Pid.equal m.App_msg.id.App_msg.origin t.me then Flow_control.release t.flow;
-  t.on_adeliver m
+  (* The App/adeliver span is the chain terminus the critical-path
+     analysis looks for: one per delivered message, parented to the
+     instance adeliver that released it. *)
+  let sp =
+    if Obs.enabled t.obs then begin
+      Obs.event t.obs ~pid:t.me ~layer:`App ~phase:"adeliver"
+        ~detail:
+          (Printf.sprintf "m %d/%d (%d B)" (m.App_msg.id.App_msg.origin + 1)
+             m.App_msg.id.App_msg.seq m.App_msg.size)
+        ();
+      Obs.span t.obs ~pid:t.me ~layer:`App ~phase:"adeliver"
+        ~detail:
+          (Printf.sprintf "m %d/%d" (m.App_msg.id.App_msg.origin + 1)
+             m.App_msg.id.App_msg.seq)
+        ()
+    end
+    else Obs.Span.no_parent
+  in
+  Obs.with_span_ctx t.obs sp (fun () ->
+      if Pid.equal m.App_msg.id.App_msg.origin t.me then Flow_control.release t.flow;
+      t.on_adeliver m)
 
 let stack_abcast t m =
   match t.impl with
@@ -113,7 +126,17 @@ let rec admit_offers t =
     in
     t.next_seq <- t.next_seq + 1;
     t.admitted <- t.admitted + 1;
-    stack_abcast t m;
+    (* Root (in an idle system) of the message's causal chain; when the
+       admission was unblocked by a delivery freeing a window slot, the
+       chain truthfully extends that delivery's. *)
+    let sp =
+      if Obs.enabled t.obs then
+        Obs.span t.obs ~pid:t.me ~layer:`App ~phase:"publish"
+          ~detail:(Printf.sprintf "m %d/%d (%d B)" (t.me + 1) m.App_msg.id.App_msg.seq size)
+          ()
+      else Obs.Span.no_parent
+    in
+    Obs.with_span_ctx t.obs sp (fun () -> stack_abcast t m);
     admit_offers t
   end
 

@@ -1,31 +1,52 @@
+module Obs = Repro_obs.Obs
+
 type snapshot = { messages : int; payload_bytes : int; wire_bytes : int }
 
-type t = {
-  mutable totals : snapshot;
-  per_sender : int array;
-  kinds : (string, int) Hashtbl.t;
-}
+(* The counters live in a private, always-enabled [Obs.t] with no trace
+   buffer: [Net_stats] is now a thin compatibility shim over the same
+   counter machinery every other module uses. The namespace mirrors the
+   per-run observability counters ([net.msgs], [net.payload_bytes],
+   [net.wire_bytes], [net.sent_by.<pid>], [net.kind_msgs.<kind>]). *)
+type t = { obs : Obs.t }
+
+let k_msgs = "net.msgs"
+let k_payload = "net.payload_bytes"
+let k_wire = "net.wire_bytes"
+let k_sent_by p = Printf.sprintf "net.sent_by.%d" p
+let k_kind kind = "net.kind_msgs." ^ kind
 
 let zero = { messages = 0; payload_bytes = 0; wire_bytes = 0 }
-let create ~n = { totals = zero; per_sender = Array.make n 0; kinds = Hashtbl.create 16 }
+let create ~n:_ = { obs = Obs.create ~max_events:0 () }
 
 let record_send t ~src ~kind ~payload_bytes ~wire_bytes =
-  t.totals <-
-    {
-      messages = t.totals.messages + 1;
-      payload_bytes = t.totals.payload_bytes + payload_bytes;
-      wire_bytes = t.totals.wire_bytes + wire_bytes;
-    };
-  t.per_sender.(src) <- t.per_sender.(src) + 1;
-  let count = match Hashtbl.find_opt t.kinds kind with Some c -> c | None -> 0 in
-  Hashtbl.replace t.kinds kind (count + 1)
+  Obs.incr t.obs k_msgs;
+  Obs.incr t.obs ~by:payload_bytes k_payload;
+  Obs.incr t.obs ~by:wire_bytes k_wire;
+  Obs.incr t.obs (k_sent_by src);
+  Obs.incr t.obs (k_kind kind)
+
+let kind_prefix = "net.kind_msgs."
 
 let by_kind t =
-  Hashtbl.fold (fun kind count acc -> (kind, count) :: acc) t.kinds []
+  List.filter_map
+    (fun (name, count) ->
+      if String.starts_with ~prefix:kind_prefix name then
+        Some
+          ( String.sub name (String.length kind_prefix)
+              (String.length name - String.length kind_prefix),
+            count )
+      else None)
+    (Obs.counters t.obs)
   |> List.sort compare
 
-let snapshot t = t.totals
-let sent_by t p = t.per_sender.(p)
+let snapshot t =
+  {
+    messages = Obs.counter_value t.obs k_msgs;
+    payload_bytes = Obs.counter_value t.obs k_payload;
+    wire_bytes = Obs.counter_value t.obs k_wire;
+  }
+
+let sent_by t p = Obs.counter_value t.obs (k_sent_by p)
 
 let diff later earlier =
   {

@@ -114,27 +114,44 @@ let link_cut t ~src ~dst = List.mem (src, dst) t.cut_links
 let set_extra_delay t d = t.extra_delay <- d
 let extra_delay t = t.extra_delay
 
-let deliver t ~src ~dst msg =
+(* [sid] is the transmit span of the copy being delivered, so the receive
+   span parents across the wire hop. The receive span is stamped at the
+   arrival instant (now), while the handler — and the ambient span context
+   pointing at the receive span — runs after the receive CPU charge, so
+   wire time and receive processing separate cleanly in the causal
+   chain. *)
+let deliver t ~src ~dst ~sid msg =
   let node = t.nodes.(dst) in
   if not node.crashed then begin
+    let rx =
+      if Obs.enabled t.obs then
+        Obs.span t.obs ~parent:sid ~pid:dst ~layer:(t.layer_of msg) ~phase:"rx"
+          ~detail:(t.kind_of msg) ()
+      else Obs.Span.no_parent
+    in
     let cost = Wire.recv_cpu_cost t.wire ~payload_bytes:(t.payload_bytes msg) in
     Cpu.submit node.cpu ~cost (fun () ->
         if not node.crashed then
           match node.handler with
           | Some handler ->
-            if Obs.enabled t.obs then
+            if Obs.enabled t.obs then begin
               Obs.event t.obs ~pid:dst ~layer:(t.layer_of msg) ~phase:"rx"
                 ~detail:
                   (Printf.sprintf "%s <- p%d" (t.kind_of msg) (src + 1))
                 ();
-            handler ~src msg
+              Obs.set_span_ctx t.obs rx
+            end;
+            handler ~src msg;
+            Obs.set_span_ctx t.obs Obs.Span.no_parent
           | None -> ())
   end
 
 (* Layer-attributed traffic accounting: the [Net_stats] totals split by
    the protocol layer that produced each message — the measured side of
-   the paper's per-layer message/byte argument (§5.2). *)
-let record_tx t ~src ~dst msg ~payload_bytes =
+   the paper's per-layer message/byte argument (§5.2). Returns the
+   transmit span (a child of [parent], the span context captured when the
+   sender handed the message to the network). *)
+let record_tx t ~parent ~src ~dst msg ~payload_bytes =
   let layer = t.layer_of msg in
   let lname = Obs.layer_name layer in
   Obs.incr t.obs ("net.msgs." ^ lname);
@@ -144,6 +161,9 @@ let record_tx t ~src ~dst msg ~payload_bytes =
     ("net.wire_bytes." ^ lname);
   Obs.incr t.obs ("net.kind_msgs." ^ t.kind_of msg);
   Obs.event t.obs ~pid:src ~layer ~phase:"tx"
+    ~detail:(Printf.sprintf "%s -> p%d" (t.kind_of msg) (dst + 1))
+    ();
+  Obs.span t.obs ~parent ~pid:src ~layer ~phase:"tx"
     ~detail:(Printf.sprintf "%s -> p%d" (t.kind_of msg) (dst + 1))
     ()
 
@@ -163,12 +183,24 @@ let sender_alive node =
 
 let deliver_local t ~src msg =
   let sender = t.nodes.(src) in
+  (* The span context is captured now, at hand-off, because the handler
+     runs from the scheduler where the ambient context is already gone. *)
+  let parent = Obs.span_ctx t.obs in
   if not sender.crashed then
     ignore
       (Engine.schedule_after t.engine Time.span_zero (fun () ->
            if not sender.crashed then
              match sender.handler with
-             | Some handler -> handler ~src msg
+             | Some handler ->
+               if Obs.enabled t.obs then begin
+                 let local =
+                   Obs.span t.obs ~parent ~pid:src ~layer:(t.layer_of msg)
+                     ~phase:"local" ~detail:(t.kind_of msg) ()
+                 in
+                 Obs.set_span_ctx t.obs local
+               end;
+               handler ~src msg;
+               Obs.set_span_ctx t.obs Obs.Span.no_parent
              | None -> ()))
 
 (* Push admitted copies through the NIC after one marshalling charge on the
@@ -178,6 +210,7 @@ let deliver_local t ~src msg =
 let transmit t ~src ~dsts msg =
   let sender = t.nodes.(src) in
   let payload_bytes = t.payload_bytes msg in
+  let parent = Obs.span_ctx t.obs in
   let copies = List.length dsts in
   let marshal_cost =
     Time.span_add
@@ -195,7 +228,10 @@ let transmit t ~src ~dsts msg =
           sender.nic_busy_ns <- sender.nic_busy_ns + Time.span_to_ns tx_time;
           Net_stats.record_send t.stats ~src ~kind:(t.kind_of msg) ~payload_bytes
             ~wire_bytes:(Wire.on_wire_bytes t.wire ~payload_bytes);
-          if Obs.enabled t.obs then record_tx t ~src ~dst msg ~payload_bytes;
+          let tx_sid =
+            if Obs.enabled t.obs then record_tx t ~parent ~src ~dst msg ~payload_bytes
+            else Obs.Span.no_parent
+          in
           let dropped =
             t.loss_rate > 0.0 && Repro_sim.Rng.float t.rng 1.0 < t.loss_rate
           in
@@ -213,12 +249,16 @@ let transmit t ~src ~dsts msg =
             let arrival = Time.max arrival t.last_arrival.(src).(dst) in
             t.last_arrival.(src).(dst) <- arrival;
             ignore
-              (Engine.schedule_at t.engine arrival (fun () -> deliver t ~src ~dst msg))
+              (Engine.schedule_at t.engine arrival (fun () ->
+                   deliver t ~src ~dst ~sid:tx_sid msg))
           end
           else if Obs.enabled t.obs then begin
             Obs.incr t.obs "net.dropped_msgs";
             Obs.event t.obs ~pid:src ~layer:(t.layer_of msg) ~phase:"drop"
-              ~detail:(t.kind_of msg) ()
+              ~detail:(t.kind_of msg) ();
+            ignore
+              (Obs.span t.obs ~parent:tx_sid ~pid:src ~layer:(t.layer_of msg)
+                 ~phase:"drop" ~detail:(t.kind_of msg) ())
           end)
         dsts)
 

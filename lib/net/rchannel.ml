@@ -7,6 +7,7 @@ type 'msg frame = {
   seq : int;
   payload : 'msg;
   sent_at : Time.t; (* first transmission, for RTT sampling *)
+  ctx : int; (* span context at first transmission, to root retransmits *)
   mutable retransmitted : bool;
 }
 
@@ -99,11 +100,24 @@ let rec arm_timer t ~dst link =
                    frame.retransmitted <- true;
                    t.retransmissions <- t.retransmissions + 1;
                    Obs.incr t.obs "rchannel.retransmissions";
-                   if Obs.enabled t.obs then
-                     Obs.event t.obs ~pid:t.me ~layer:`Net ~phase:"retransmit"
-                       ~detail:(Printf.sprintf "seq %d -> p%d" frame.seq (dst + 1))
-                       ();
-                   t.send_raw ~dst (Data { seq = frame.seq; payload = frame.payload }))
+                   (* The timer fires with no ambient context; parent the
+                      retransmit to the span that caused the original send
+                      so the copy that finally gets through keeps a chain
+                      back to the message's origin. *)
+                   let sp =
+                     if Obs.enabled t.obs then begin
+                       Obs.event t.obs ~pid:t.me ~layer:`Net ~phase:"retransmit"
+                         ~detail:(Printf.sprintf "seq %d -> p%d" frame.seq (dst + 1))
+                         ();
+                       Obs.span t.obs ~parent:frame.ctx ~pid:t.me ~layer:`Net
+                         ~phase:"retransmit"
+                         ~detail:(Printf.sprintf "seq %d -> p%d" frame.seq (dst + 1))
+                         ()
+                     end
+                     else Obs.Span.no_parent
+                   in
+                   Obs.with_span_ctx t.obs sp (fun () ->
+                       t.send_raw ~dst (Data { seq = frame.seq; payload = frame.payload })))
                  (take t.burst link.unacked);
                arm_timer t ~dst link
              end))
@@ -117,7 +131,15 @@ let send t ~dst payload =
     link.next_seq <- seq + 1;
     link.unacked <-
       link.unacked
-      @ [ { seq; payload; sent_at = Engine.now t.engine; retransmitted = false } ];
+      @ [
+          {
+            seq;
+            payload;
+            sent_at = Engine.now t.engine;
+            ctx = Obs.span_ctx t.obs;
+            retransmitted = false;
+          };
+        ];
     t.send_raw ~dst (Data { seq; payload });
     if link.timer = None then arm_timer t ~dst link
   end

@@ -256,6 +256,22 @@ let metric_lines ?(tags = []) obs =
   @ List.map histogram (Obs.histograms obs)
   |> List.map to_string
 
+(* A single marker line flags a stream hitting the [max_events] cap, so a
+   truncated export can never be mistaken for a complete one. *)
+let truncation_line tags ~stream ~dropped =
+  if dropped = 0 then []
+  else
+    [
+      to_string
+        (Obj
+           (tags
+           @ [
+               ("type", String "trace_truncated");
+               ("stream", String stream);
+               ("dropped", Int dropped);
+             ]));
+    ]
+
 let trace_lines ?(tags = []) obs =
   let tags = tag_fields tags in
   List.map
@@ -272,10 +288,61 @@ let trace_lines ?(tags = []) obs =
                ("detail", String e.Obs.detail);
              ])))
     (Obs.events obs)
+  @ truncation_line tags ~stream:"events" ~dropped:(Obs.dropped_events obs)
+
+let span_lines ?(tags = []) obs =
+  let tags = tag_fields tags in
+  List.map
+    (fun (s : Span.t) ->
+      to_string
+        (Obj
+           (tags
+           @ [
+               ("type", String "span");
+               ("sid", Int s.Span.sid);
+               ("parent", Int s.Span.parent);
+               ("at_ns", Int (Time.to_ns s.Span.at));
+               ("pid", Int s.Span.pid);
+               ("layer", String (Span.layer_name s.Span.layer));
+               ("phase", String s.Span.phase);
+               ("detail", String s.Span.detail);
+             ])))
+    (Obs.spans obs)
+  @ truncation_line tags ~stream:"spans" ~dropped:(Obs.dropped_spans obs)
+
+(* Read spans back out of a parsed JSONL trace (lines of any other type
+   are ignored), for offline critical-path analysis. *)
+let span_of_json j =
+  match member "type" j with
+  | Some (String "span") -> (
+    match
+      ( to_int_opt (member "sid" j),
+        to_int_opt (member "parent" j),
+        to_int_opt (member "at_ns" j),
+        to_int_opt (member "pid" j),
+        Option.bind (to_string_opt (member "layer" j)) Span.layer_of_name,
+        to_string_opt (member "phase" j) )
+    with
+    | Some sid, Some parent, Some at_ns, Some pid, Some layer, Some phase ->
+      Some
+        {
+          Span.sid;
+          parent;
+          at = Time.of_ns at_ns;
+          pid;
+          layer;
+          phase;
+          detail =
+            (match to_string_opt (member "detail" j) with Some d -> d | None -> "");
+        }
+    | _ -> None)
+  | _ -> None
+
+let spans_of_lines lines = List.filter_map span_of_json lines
 
 let write oc lines = List.iter (fun l -> output_string oc l; output_char oc '\n') lines
 let write_metrics ?tags oc obs = write oc (metric_lines ?tags obs)
-let write_trace ?tags oc obs = write oc (trace_lines ?tags obs)
+let write_trace ?tags oc obs = write oc (trace_lines ?tags obs @ span_lines ?tags obs)
 
 let write_metrics_file ?tags path obs =
   let oc = open_out path in

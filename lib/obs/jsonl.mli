@@ -15,10 +15,15 @@
     Histogram buckets are [[upper_edge, count]] pairs, per-bucket (not
     cumulative) counts, with [null] as the +inf overflow edge.
 
-    Trace ({!write_trace}) — one line per {!Obs.event}:
+    Trace ({!write_trace}) — one line per {!Obs.event}, followed by one
+    line per causal {!Span.t}:
     {v
 {"type":"trace","at_ns":2514836,"pid":0,"layer":"consensus","phase":"propose","detail":"i3 r1"}
+{"type":"span","sid":17,"parent":12,"at_ns":2514836,"pid":0,"layer":"consensus","phase":"propose","detail":"i3 r1"}
     v}
+    If either stream hit the sink's [max_events] cap, a single marker line
+    [{"type":"trace_truncated","stream":"events"|"spans","dropped":K}]
+    closes it, so a truncated export is self-describing.
 
     The parser accepts general JSON (objects, arrays, scalars), enough for
     the round-trip tests and the [@obs-smoke] checker without an external
@@ -57,7 +62,19 @@ val metric_lines : ?tags:(string * string) list -> Obs.t -> string list
     histogram (counters first, each family sorted by name). *)
 
 val trace_lines : ?tags:(string * string) list -> Obs.t -> string list
-(** The trace schema, one rendered line per event, oldest first. *)
+(** The trace schema, one rendered line per event, oldest first, plus the
+    truncation marker when events were dropped. *)
+
+val span_lines : ?tags:(string * string) list -> Obs.t -> string list
+(** One rendered line per causal span, oldest first, plus the truncation
+    marker when spans were dropped. *)
+
+val span_of_json : json -> Span.t option
+(** Decode one parsed line back into a span; [None] for lines of any
+    other type (metrics, flat trace events, markers). *)
+
+val spans_of_lines : json list -> Span.t list
+(** All spans in a parsed JSONL document, in file order. *)
 
 val write_metrics : ?tags:(string * string) list -> out_channel -> Obs.t -> unit
 val write_trace : ?tags:(string * string) list -> out_channel -> Obs.t -> unit

@@ -1,15 +1,10 @@
 open Repro_sim
+module Span = Span
 
 type layer = [ `Abcast | `Consensus | `Rbcast | `Net | `App ]
 
-let layer_name = function
-  | `Abcast -> "abcast"
-  | `Consensus -> "consensus"
-  | `Rbcast -> "rbcast"
-  | `Net -> "net"
-  | `App -> "app"
-
-let all_layers : layer list = [ `Abcast; `Consensus; `Rbcast; `Net; `App ]
+let layer_name = Span.layer_name
+let all_layers : layer list = Span.all_layers
 
 type event = { at : Time.t; pid : int; layer : layer; phase : string; detail : string }
 
@@ -20,8 +15,12 @@ type t = {
   gauges : (string, float ref) Hashtbl.t;
   histograms : (string, Histogram.t) Hashtbl.t;
   trace : event Trace.t;
+  spans : Span.t Trace.t;
   max_events : int;
   mutable dropped_events : int;
+  mutable dropped_spans : int;
+  mutable next_sid : int;
+  mutable ctx : int;
 }
 
 let make ~enabled ~max_events =
@@ -33,8 +32,12 @@ let make ~enabled ~max_events =
     gauges = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
     trace = Trace.create_with_clock (fun () -> !now ());
+    spans = Trace.create_with_clock (fun () -> !now ());
     max_events;
     dropped_events = 0;
+    dropped_spans = 0;
+    next_sid = 0;
+    ctx = Span.no_parent;
   }
 
 (* The shared no-op sink: disabled forever, so every instrumentation call
@@ -47,7 +50,8 @@ let create ?(max_events = 2_000_000) () = make ~enabled:true ~max_events
 let set_clock t now =
   if t.enabled then begin
     t.now <- now;
-    Trace.set_clock t.trace now
+    Trace.set_clock t.trace now;
+    Trace.set_clock t.spans now
   end
 
 let of_engine engine =
@@ -129,6 +133,39 @@ let events t = Trace.events t.trace
 let event_count t = Trace.length t.trace
 let dropped_events t = t.dropped_events
 let trace t = t.trace
+
+(* ---- Causal spans ----
+
+   Ids count up from 1 whether or not the record is retained, so a trace
+   truncated by [max_events] still has globally consistent parent links
+   (children of a dropped span reference an id that is simply absent). *)
+
+let span t ?parent ~pid ~layer ~phase ?(detail = "") () =
+  if not t.enabled then Span.no_parent
+  else begin
+    let parent = match parent with Some p -> p | None -> t.ctx in
+    let sid = t.next_sid + 1 in
+    t.next_sid <- sid;
+    if Trace.length t.spans < t.max_events then
+      Trace.record t.spans { Span.sid; parent; at = t.now (); pid; layer; phase; detail }
+    else t.dropped_spans <- t.dropped_spans + 1;
+    sid
+  end
+
+let span_ctx t = if t.enabled then t.ctx else Span.no_parent
+let set_span_ctx t sid = if t.enabled then t.ctx <- sid
+
+let with_span_ctx t sid f =
+  if not t.enabled then f ()
+  else begin
+    let saved = t.ctx in
+    t.ctx <- sid;
+    Fun.protect ~finally:(fun () -> t.ctx <- saved) f
+  end
+
+let spans t = Trace.events t.spans
+let span_count t = Trace.length t.spans
+let dropped_spans t = t.dropped_spans
 
 let pp_event ppf e =
   Fmt.pf ppf "p%d %s/%s%s" (e.pid + 1) (layer_name e.layer) e.phase

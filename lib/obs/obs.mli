@@ -25,7 +25,15 @@ open Repro_sim
     closure wired by {!set_clock} (done by [Group.create]); recording never
     schedules events, charges CPU cost, or consumes randomness, so an
     instrumented run is event-for-event identical to an uninstrumented
-    one. *)
+    one.
+
+    PR 3 adds a fourth stream: {e causal spans} ({!Span}) — timestamped
+    protocol steps with parent links that follow one application message
+    across module boundaries, recorded with {!span} and stitched together
+    by the ambient context ({!span_ctx}/{!set_span_ctx}) that the network
+    layer maintains around each message handler. *)
+
+module Span = Span
 
 type layer = [ `Abcast | `Consensus | `Rbcast | `Net | `App ]
 (** The protocol layer an event or message belongs to: the three
@@ -119,6 +127,51 @@ val dropped_events : t -> int
 val trace : t -> event Trace.t
 (** The underlying {!Trace} recorder (the generic [Sim.Trace] generalised
     by these structured events), for [Trace.find_last]-style assertions. *)
+
+(** {1 Causal spans}
+
+    See {!Span} for the data model. The protocol rule: record a span at
+    each step of interest; its parent defaults to the sink's current
+    context, which the network layer sets to the receive-span around each
+    delivered message handler (and resets afterwards), so within-handler
+    steps chain to their trigger automatically. Asynchronous hand-offs
+    (CPU submissions, scheduled deliveries) capture the context
+    explicitly and pass it as [?parent]. *)
+
+val span :
+  t ->
+  ?parent:int ->
+  pid:int ->
+  layer:layer ->
+  phase:string ->
+  ?detail:string ->
+  unit ->
+  int
+(** Record one causal span at the current instant and return its fresh
+    [sid] ([Span.no_parent] on a disabled sink). [parent] defaults to
+    {!span_ctx}. Ids keep advancing after the [max_events] cap so parent
+    links stay globally consistent; capped-out records are counted in
+    {!dropped_spans} instead of retained. *)
+
+val span_ctx : t -> int
+(** The ambient "current span" used as default parent; [Span.no_parent]
+    when no handler is executing (or on a disabled sink). *)
+
+val set_span_ctx : t -> int -> unit
+(** Set the ambient context (no-op on a disabled sink). The network layer
+    brackets handler invocations with this; protocol code normally never
+    calls it. *)
+
+val with_span_ctx : t -> int -> (unit -> 'a) -> 'a
+(** Run a thunk with the ambient context set, restoring it afterwards. *)
+
+val spans : t -> Span.t list
+(** All retained spans, oldest first. *)
+
+val span_count : t -> int
+
+val dropped_spans : t -> int
+(** Spans discarded after [max_events] was reached. *)
 
 val pp_event : event Fmt.t
 (** Prints [p<pid+1> <layer>/<phase> <detail>], e.g. [p1 consensus/propose i0 r1]. *)

@@ -1,0 +1,70 @@
+(* The @bench-smoke alias: end-to-end check of the benchmark regression
+   pipeline through the public executables. Runs the tiny seeded benchmark
+   (bench --smoke --json-out), validates the report, then drives
+   `repro compare` twice: against the identical report (must exit 0) and
+   against a synthetically regressed copy (must exit nonzero). Wired into
+   `dune runtest`. *)
+
+module Br = Repro_analysis.Bench_report
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("bench-smoke: FAIL: " ^ s);
+      exit 1)
+    fmt
+
+let command bin args =
+  let cmd = String.concat " " (List.map Filename.quote (bin :: args)) in
+  Sys.command (cmd ^ " > /dev/null")
+
+let run_cli bin args =
+  let code = command bin args in
+  if code <> 0 then fail "%s %s exited with %d" bin (String.concat " " args) code
+
+let () =
+  let bench_exe, repro_bin =
+    match Sys.argv with
+    | [| _; bench; repro |] -> (bench, repro)
+    | _ -> fail "usage: bench_smoke BENCH_EXE REPRO_BIN"
+  in
+  let report_path = "bench_smoke.json" in
+  run_cli bench_exe [ "--smoke"; "--json-out"; report_path ];
+  let report =
+    match Br.read_file report_path with
+    | Ok r -> r
+    | Error e -> fail "report unreadable: %s" e
+  in
+  if report.Br.entries = [] then fail "report has no bench_entry lines";
+  if report.Br.breakdown = [] then fail "report has no critical-path breakdown";
+  List.iter
+    (fun (e : Br.entry) ->
+      if Float.is_nan e.Br.median || e.Br.median <= 0.0 then
+        fail "entry %s has a degenerate median %g" e.Br.name e.Br.median)
+    report.Br.entries;
+  (* Identical inputs: the gate must pass. *)
+  run_cli repro_bin [ "compare"; report_path; report_path ];
+  (* Inject a synthetic regression — worse in each metric's own bad
+     direction, far beyond IQR and the 3% threshold — and require the gate
+     to fail. *)
+  let regressed_path = "bench_smoke_regressed.json" in
+  let regressed =
+    {
+      report with
+      Br.entries =
+        List.map
+          (fun (e : Br.entry) ->
+            {
+              e with
+              Br.median =
+                (if e.Br.higher_is_better then e.Br.median *. 0.5
+                 else e.Br.median *. 1.5);
+            })
+          report.Br.entries;
+    }
+  in
+  Br.write_file regressed_path regressed;
+  (match command repro_bin [ "compare"; report_path; regressed_path ] with
+  | 0 -> fail "compare accepted a 50%% synthetic regression"
+  | _ -> ());
+  print_endline "bench-smoke: OK"

@@ -1,0 +1,282 @@
+(* Tests for causal spans (Obs.Span), critical-path reconstruction
+   (Analysis.Critical_path), and benchmark reports (Analysis.Bench_report).
+
+   The load-bearing properties, per stack: a deterministic 3-process run
+   produces a trace with no orphan parents; every application delivery
+   terminates a chain rooted at an App/publish; and the critical-path
+   segments telescope — their sum is exactly the measured end-to-end
+   latency, so the breakdown accounts for every nanosecond. *)
+
+open Repro_sim
+open Repro_core
+module Obs = Repro_obs.Obs
+module Span = Repro_obs.Span
+module Jsonl = Repro_obs.Jsonl
+module Cp = Repro_analysis.Critical_path
+module Br = Repro_analysis.Bench_report
+
+let stacks =
+  [
+    ("modular", Replica.Modular);
+    ("indirect", Replica.Indirect);
+    ("monolithic", Replica.Monolithic);
+  ]
+
+let msgs = 10
+
+let run_stack ~kind ~obs =
+  let params = Params.default ~n:3 in
+  let group = Group.create ~kind ~params ~obs () in
+  for i = 0 to msgs - 1 do
+    Group.abcast group (i mod 3) ~size:(256 * (i + 1))
+  done;
+  ignore (Group.run_until_quiescent group ~limit:(Time.span_s 2) ());
+  group
+
+let traced kind =
+  let obs = Obs.create () in
+  ignore (run_stack ~kind ~obs);
+  obs
+
+(* ---- Chain integrity ---- *)
+
+let test_no_orphans (name, kind) () =
+  let obs = traced kind in
+  let spans = Obs.spans obs in
+  Alcotest.(check bool) (name ^ ": spans recorded") true (List.length spans > 0);
+  Alcotest.(check int) (name ^ ": nothing dropped") 0 (Obs.dropped_spans obs);
+  Alcotest.(check (list int))
+    (name ^ ": no span references a missing parent")
+    []
+    (List.map (fun (s : Span.t) -> s.Span.sid) (Span.orphans spans))
+
+let test_complete_chains (name, kind) () =
+  let obs = traced kind in
+  let spans = Obs.spans obs in
+  let tbl = Span.index spans in
+  let deliveries = List.filter Cp.is_delivery spans in
+  (* Every message is adelivered at each of the 3 processes. *)
+  Alcotest.(check int) (name ^ ": one delivery span per message per process")
+    (3 * msgs) (List.length deliveries);
+  List.iter
+    (fun (d : Span.t) ->
+      let chain = Span.chain tbl d in
+      let root = List.hd chain in
+      Alcotest.(check bool) (name ^ ": chain rooted (no truncation)") true
+        (Span.is_root root);
+      Alcotest.(check string) (name ^ ": root is an application publish")
+        "app/publish"
+        (Span.layer_name root.Span.layer ^ "/" ^ root.Span.phase);
+      Alcotest.(check bool) (name ^ ": chain crosses module boundaries") true
+        (List.length chain >= 4);
+      (* A delivery at a process other than the publisher must have crossed
+         the wire at least once. *)
+      if d.Span.pid <> root.Span.pid then
+        Alcotest.(check bool) (name ^ ": remote delivery crossed the wire") true
+          (List.exists2
+             (fun (a : Span.t) (b : Span.t) -> a.Span.pid <> b.Span.pid)
+             (List.filteri (fun i _ -> i < List.length chain - 1) chain)
+             (List.tl chain)))
+    deliveries
+
+let test_telescoping (name, kind) () =
+  let obs = traced kind in
+  let paths = Cp.paths ~pid:0 (Obs.spans obs) in
+  Alcotest.(check int) (name ^ ": one path per delivery at p1") msgs
+    (List.length paths);
+  List.iter
+    (fun (p : Cp.path) ->
+      let sum = List.fold_left (fun acc (s : Cp.segment) -> acc + s.Cp.ns) 0 p.Cp.segments in
+      Alcotest.(check int) (name ^ ": segments sum to end-to-end latency")
+        p.Cp.total_ns sum;
+      Alcotest.(check int) (name ^ ": total is delivery - root")
+        (Time.to_ns p.Cp.delivery.Span.at - Time.to_ns p.Cp.root.Span.at)
+        p.Cp.total_ns)
+    paths;
+  (* And so does the aggregate: row totals sum to the summed latency. *)
+  let b = Cp.breakdown paths in
+  let row_sum = List.fold_left (fun acc (r : Cp.breakdown_row) -> acc +. r.Cp.total_ms) 0.0 b.Cp.rows in
+  Alcotest.(check (float 1e-6)) (name ^ ": breakdown rows partition the total")
+    b.Cp.end_to_end_ms row_sum
+
+(* ---- Instrumentation does not perturb the run ---- *)
+
+let test_spans_do_not_perturb (name, kind) () =
+  let plain = run_stack ~kind ~obs:Obs.noop in
+  let obs = Obs.create () in
+  let observed = run_stack ~kind ~obs in
+  Alcotest.(check bool) (name ^ ": spans were recorded") true
+    (Obs.span_count obs > 0);
+  let ids g =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun (id : App_msg.id) -> (id.App_msg.origin, id.App_msg.seq))
+          (Group.deliveries g p))
+      [ 0; 1; 2 ]
+  in
+  Alcotest.(check (list (pair int int)))
+    (name ^ ": same delivery order at every process")
+    (ids plain) (ids observed);
+  Alcotest.(check int) (name ^ ": same final virtual time")
+    (Time.to_ns (Engine.now (Group.engine plain)))
+    (Time.to_ns (Engine.now (Group.engine observed)))
+
+(* ---- JSONL round-trip ---- *)
+
+let test_span_jsonl_roundtrip () =
+  let obs = traced Replica.Modular in
+  let spans = Obs.spans obs in
+  let lines = Jsonl.span_lines obs in
+  Alcotest.(check int) "one line per span" (List.length spans) (List.length lines);
+  let parsed =
+    match Jsonl.parse_lines (String.concat "\n" lines) with
+    | Ok l -> l
+    | Error e -> Alcotest.failf "unparsable span JSONL: %s" e
+  in
+  let decoded = Jsonl.spans_of_lines parsed in
+  Alcotest.(check int) "every line decodes" (List.length spans)
+    (List.length decoded);
+  List.iter2
+    (fun (a : Span.t) (b : Span.t) ->
+      Alcotest.(check int) "sid" a.Span.sid b.Span.sid;
+      Alcotest.(check int) "parent" a.Span.parent b.Span.parent;
+      Alcotest.(check int) "at" (Time.to_ns a.Span.at) (Time.to_ns b.Span.at);
+      Alcotest.(check int) "pid" a.Span.pid b.Span.pid;
+      Alcotest.(check string) "layer" (Span.layer_name a.Span.layer)
+        (Span.layer_name b.Span.layer);
+      Alcotest.(check string) "phase" a.Span.phase b.Span.phase;
+      Alcotest.(check string) "detail" a.Span.detail b.Span.detail)
+    spans decoded
+
+let test_span_cap_and_drop_counter () =
+  let obs = Obs.create ~max_events:25 () in
+  ignore (run_stack ~kind:Replica.Modular ~obs);
+  Alcotest.(check int) "retained exactly the cap" 25 (Obs.span_count obs);
+  Alcotest.(check bool) "dropped the rest" true (Obs.dropped_spans obs > 0);
+  (* Sids keep advancing past the cap, so the retained prefix stays
+     globally consistent: parents of retained spans are retained. *)
+  Alcotest.(check (list int)) "truncated trace has no orphans" []
+    (List.map (fun (s : Span.t) -> s.Span.sid) (Span.orphans (Obs.spans obs)));
+  let lines = Jsonl.span_lines obs in
+  Alcotest.(check int) "cap lines + truncation marker" 26 (List.length lines);
+  match Jsonl.parse (List.nth lines 25) with
+  | Ok j ->
+    Alcotest.(check (option string)) "marker type" (Some "trace_truncated")
+      Jsonl.(to_string_opt (member "type" j));
+    Alcotest.(check (option string)) "marker stream" (Some "spans")
+      Jsonl.(to_string_opt (member "stream" j));
+    Alcotest.(check (option int)) "marker count" (Some (Obs.dropped_spans obs))
+      Jsonl.(to_int_opt (member "dropped" j))
+  | Error e -> Alcotest.failf "unparsable truncation marker: %s" e
+
+(* ---- Bench reports ---- *)
+
+let test_summarize () =
+  let s = Br.summarize [ 4.0; 1.0; 3.0; 2.0; 5.0 ] in
+  Alcotest.(check (float 1e-9)) "median" 3.0 s.Br.median;
+  Alcotest.(check (float 1e-9)) "iqr" 2.0 s.Br.iqr;
+  let one = Br.summarize [ 7.5 ] in
+  Alcotest.(check (float 1e-9)) "singleton median" 7.5 one.Br.median;
+  Alcotest.(check (float 1e-9)) "singleton iqr" 0.0 one.Br.iqr
+
+let report entries =
+  { Br.meta = [ ("mode", "test") ]; entries; breakdown = [] }
+
+let lat ?(iqr = 0.02) median =
+  { Br.name = "modular/n3/latency_ms"; median; iqr; unit_ = "ms"; higher_is_better = false }
+
+let tput ?(iqr = 10.0) median =
+  { Br.name = "modular/n3/throughput"; median; iqr; unit_ = "msgs/s"; higher_is_better = true }
+
+let test_compare_identical () =
+  let r = report [ lat 1.0; tput 500.0 ] in
+  let verdicts = Br.compare_reports ~old_report:r ~new_report:r in
+  Alcotest.(check int) "both entries compared" 2 (List.length verdicts);
+  Alcotest.(check int) "no regressions" 0 (List.length (Br.regressions verdicts))
+
+let test_compare_flags_regression () =
+  let old_report = report [ lat 1.0; tput 500.0 ] in
+  (* +50% latency: far outside both the IQR band and the 3% threshold. *)
+  let worse = report [ lat 1.5; tput 500.0 ] in
+  (match Br.regressions (Br.compare_reports ~old_report ~new_report:worse) with
+  | [ v ] ->
+    Alcotest.(check string) "the latency entry" "modular/n3/latency_ms" v.Br.entry_name;
+    Alcotest.(check (float 1e-6)) "delta" 50.0 v.Br.delta_pct
+  | other -> Alcotest.failf "expected 1 regression, got %d" (List.length other));
+  (* A throughput drop regresses in the other direction. *)
+  let slower = report [ lat 1.0; tput 400.0 ] in
+  match Br.regressions (Br.compare_reports ~old_report ~new_report:slower) with
+  | [ v ] ->
+    Alcotest.(check string) "the throughput entry" "modular/n3/throughput" v.Br.entry_name
+  | other -> Alcotest.failf "expected 1 regression, got %d" (List.length other)
+
+let test_compare_tolerates_noise_and_improvement () =
+  let old_report = report [ lat 1.0; tput 500.0 ] in
+  (* Within the IQR noise band: not a regression even though > 3%. *)
+  let noisy = report [ lat ~iqr:0.2 1.08; tput 500.0 ] in
+  Alcotest.(check int) "noise-band change tolerated" 0
+    (List.length (Br.regressions (Br.compare_reports ~old_report ~new_report:noisy)));
+  (* Outside the band but under the relative threshold: also tolerated. *)
+  let tiny = report [ lat 1.0; tput ~iqr:1.0 495.0 ] in
+  Alcotest.(check int) "sub-threshold change tolerated" 0
+    (List.length (Br.regressions (Br.compare_reports ~old_report ~new_report:tiny)));
+  (* Improvements are never regressions. *)
+  let better = report [ lat 0.5; tput 700.0 ] in
+  Alcotest.(check int) "improvement tolerated" 0
+    (List.length (Br.regressions (Br.compare_reports ~old_report ~new_report:better)))
+
+let test_report_file_roundtrip () =
+  let r =
+    {
+      Br.meta = [ ("mode", "test"); ("repeats", "2") ];
+      entries = [ lat 1.25; tput 512.0 ];
+      breakdown =
+        [ { Br.stack = "modular"; label = "wire"; mean_ms = 0.15; share = 0.2 } ];
+    }
+  in
+  let path = Filename.temp_file "bench_report" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Br.write_file path r;
+      match Br.read_file path with
+      | Error e -> Alcotest.failf "read back failed: %s" e
+      | Ok r' ->
+        Alcotest.(check (list (pair string string))) "meta" r.Br.meta r'.Br.meta;
+        Alcotest.(check int) "entries" 2 (List.length r'.Br.entries);
+        let e = List.hd r'.Br.entries in
+        Alcotest.(check string) "entry name" "modular/n3/latency_ms" e.Br.name;
+        Alcotest.(check (float 1e-9)) "entry median" 1.25 e.Br.median;
+        Alcotest.(check bool) "direction preserved" false e.Br.higher_is_better;
+        match r'.Br.breakdown with
+        | [ b ] ->
+          Alcotest.(check string) "breakdown label" "wire" b.Br.label;
+          Alcotest.(check (float 1e-9)) "breakdown share" 0.2 b.Br.share
+        | other -> Alcotest.failf "expected 1 breakdown row, got %d" (List.length other))
+
+let per_stack name f = List.map (fun s -> Alcotest.test_case (fst s) `Quick (f s)) stacks |> fun cases -> (name, cases)
+
+let () =
+  Alcotest.run "spans"
+    [
+      per_stack "no orphans" test_no_orphans;
+      per_stack "complete chains" test_complete_chains;
+      per_stack "telescoping" test_telescoping;
+      per_stack "non-perturbation" test_spans_do_not_perturb;
+      ( "jsonl",
+        [
+          Alcotest.test_case "span round-trip" `Quick test_span_jsonl_roundtrip;
+          Alcotest.test_case "cap and drop counter" `Quick
+            test_span_cap_and_drop_counter;
+        ] );
+      ( "bench-report",
+        [
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "identical inputs ok" `Quick test_compare_identical;
+          Alcotest.test_case "regression flagged" `Quick test_compare_flags_regression;
+          Alcotest.test_case "noise and improvement tolerated" `Quick
+            test_compare_tolerates_noise_and_improvement;
+          Alcotest.test_case "file round-trip" `Quick test_report_file_roundtrip;
+        ] );
+    ]
