@@ -779,6 +779,117 @@ let critical_path_cmd =
           end-to-end latency to protocol layer/phase and wire segments.")
     Term.(ret (const run $ trace_arg $ pid_arg))
 
+(* ---- lint: determinism & modularity-boundary static analysis ---- *)
+
+let lint_cmd =
+  let build_root_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "build-root" ] ~docv:"DIR"
+          ~doc:
+            "Directory holding the compiled .cmt files (dune's context root, normally \
+             $(i,_build/default)). Default: search upward from the current directory.")
+  in
+  let src_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "src" ] ~docv:"DIR"
+          ~doc:"Subdirectory of the build root to lint (repeatable; default lib).")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:
+            "Layering spec for the boundary checker (default lint/boundaries.spec \
+             when present; pass an empty value via --no-boundaries to skip).")
+  in
+  let no_boundaries_arg =
+    Arg.(value & flag & info [ "no-boundaries" ] ~doc:"Skip the boundary checker.")
+  in
+  let waivers_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "waivers" ] ~docv:"FILE"
+          ~doc:"Waiver file (default lint/lint.waivers when present).")
+  in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:
+            "Also export the cross-module reference graph as a Graphviz digraph to \
+             $(docv) ($(b,-) for stdout), one cluster per library.")
+  in
+  (* `dune runtest` passes --build-root explicitly; a developer run from a
+     checkout finds _build/default (or a parent's) on its own. *)
+  let detect_build_root () =
+    let rec up dir n =
+      if n = 0 then None
+      else
+        let candidate = Filename.concat dir (Filename.concat "_build" "default") in
+        if Sys.file_exists candidate && Sys.is_directory candidate then Some candidate
+        else
+          let parent = Filename.dirname dir in
+          if parent = dir then None else up parent (n - 1)
+    in
+    up (Sys.getcwd ()) 6
+  in
+  let default_file path = if Sys.file_exists path then Some path else None in
+  let run build_root srcs spec no_boundaries waivers dot =
+    match
+      match build_root with Some r -> Some r | None -> detect_build_root ()
+    with
+    | None ->
+      `Error
+        (false, "cannot find _build/default; run `dune build` or pass --build-root")
+    | Some build_root -> (
+      let spec_file =
+        if no_boundaries then None
+        else
+          match spec with
+          | Some f -> Some f
+          | None -> default_file "lint/boundaries.spec"
+      in
+      let waivers_file =
+        match waivers with Some f -> Some f | None -> default_file "lint/lint.waivers"
+      in
+      let src_dirs = if srcs = [] then None else Some srcs in
+      match Repro_lint.Lint.run ~build_root ?src_dirs ?spec_file ?waivers_file () with
+      | Error e -> `Error (false, e)
+      | Ok report ->
+        Option.iter
+          (fun path ->
+            let dot = Repro_lint.Boundaries.to_dot report.Repro_lint.Lint.edges in
+            if path = "-" then print_string dot
+            else Out_channel.with_open_text path (fun oc -> output_string oc dot))
+          dot;
+        List.iter
+          (fun w -> Fmt.epr "warning: unused waiver: %a@." Repro_lint.Waivers.pp w)
+          report.Repro_lint.Lint.unused_waivers;
+        List.iter
+          (fun v -> Fmt.pr "%a@." Repro_lint.Violation.pp v)
+          report.Repro_lint.Lint.violations;
+        Fmt.pr "%a@." Repro_lint.Lint.pp_summary report;
+        if report.Repro_lint.Lint.violations = [] then `Ok ()
+        else `Error (false, "lint violations found (fix, or waive with a justification)"))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check the two reproduction invariants against the compiled .cmt \
+          ASTs: determinism (no stdlib Random / wall clock, no hash-order escapes, no \
+          representation-dependent comparison) and the declared modularity boundaries \
+          (protocol modules compose only through Framework.Event_bus / Stack).")
+    Term.(
+      ret
+        (const run $ build_root_arg $ src_arg $ spec_arg $ no_boundaries_arg
+       $ waivers_arg $ dot_arg))
+
 (* ---- all ---- *)
 
 let all_cmd =
@@ -807,8 +918,30 @@ let main_cmd =
     "Reproduction of 'On the Cost of Modularity in Atomic Broadcast' (DSN 2007): \
      modular vs monolithic atomic broadcast over a simulated cluster."
   in
+  (* One line per subcommand so `repro --help` is a complete quick
+     reference without opening each command's own page. *)
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Subcommands, one line each:";
+      `I ("$(b,run)", "one benchmark configuration (stack, n, load, size).");
+      `I ("$(b,figure)", "regenerate the data of paper figure 8, 9, 10 or 11.");
+      `I ("$(b,plot)", "figure data as gnuplot-ready .dat files plus a .gp script.");
+      `I ("$(b,tables)", "the \xc2\xa75.2 analytical evaluation, analytical vs measured.");
+      `I ("$(b,ablation)", "contribution of each monolithic optimization (\xc2\xa74.1-\xc2\xa74.3).");
+      `I ("$(b,dispatch)", "sweep the framework's per-boundary dispatch cost.");
+      `I ("$(b,window)", "sweep the flow-control window that sets the batch size M.");
+      `I ("$(b,nemesis)", "one run under a declarative fault plan, invariants monitored.");
+      `I ("$(b,campaign)", "randomized fault campaign with shrinking reproducers.");
+      `I ("$(b,study)", "the modularity-cost-under-faults study (S-faults table).");
+      `I ("$(b,compare)", "regression gate over two bench --json-out reports.");
+      `I ("$(b,critical-path)", "per-delivery latency attribution from a span trace.");
+      `I ("$(b,lint)", "determinism & modularity-boundary static analysis (.cmt based).");
+      `I ("$(b,all)", "regenerate every figure of the paper in one go.");
+    ]
+  in
   Cmd.group
-    (Cmd.info "repro" ~version:"1.0.0" ~doc)
+    (Cmd.info "repro" ~version:"1.0.0" ~doc ~man)
     [
       run_cmd;
       figure_cmd;
@@ -822,6 +955,7 @@ let main_cmd =
       study_cmd;
       compare_cmd;
       critical_path_cmd;
+      lint_cmd;
       all_cmd;
     ]
 

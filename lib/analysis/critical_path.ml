@@ -128,7 +128,10 @@ let by_layer b =
       Hashtbl.replace tbl r.row_layer (ms +. r.total_ms))
     b.rows;
   Hashtbl.fold (fun layer ms acc -> (layer, ms) :: acc) tbl []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  (* Tie-break equal totals by layer name so the JSONL/report order is a
+     function of the data, not of the table's hash order. *)
+  |> List.sort (fun (la, a) (lb, b) ->
+         match compare b a with 0 -> compare la lb | c -> c)
 
 let of_spans ?pid spans = breakdown (paths ?pid spans)
 

@@ -617,23 +617,30 @@ let handle_decision_request t ~src ~inst =
       s.pending_requesters <- src :: s.pending_requesters
 
 let on_suspicion t suspect =
+  (* Advance in instance order: the table's hash order must not decide
+     which instance's round change (and its sends) is scheduled first. *)
   let affected =
     Hashtbl.fold
       (fun _ s acc ->
         if s.decided = None && (s.estimate <> None || s.acked_rounds <> []) then
           let waiting_on =
             (* The process whose silence blocks this instance: the proposer
-               we acked in the current round, or the schedule coordinator. *)
+               we acked in the current round (lowest pid when several
+               proposed, so hash order never picks), or the schedule
+               coordinator. *)
             let acked_proposer =
               Hashtbl.fold
-                (fun (r, p) _ acc -> if r = s.round then Some p else acc)
-                s.proposals None
+                (fun (r, p) _ acc -> if r = s.round then p :: acc else acc)
+                s.proposals []
+              |> List.sort compare
+              |> function p :: _ -> Some p | [] -> None
             in
             match acked_proposer with Some p -> p | None -> coord t ~round:s.round
           in
           if waiting_on = suspect then s :: acc else acc
         else acc)
       t.instances []
+    |> List.sort (fun a b -> compare a.inst b.inst)
   in
   List.iter
     (fun s -> advance_round t s ~target:(next_unsuspected_round t ~from:(s.round + 1)))

@@ -283,6 +283,8 @@ let arm_kick t s =
 (* ---- Suspicion ---- *)
 
 let on_suspicion t suspect =
+  (* Advance in instance order: the table's hash order must not decide
+     which instance's round change (and its sends) is scheduled first. *)
   let affected =
     Hashtbl.fold
       (fun _ s acc ->
@@ -291,6 +293,7 @@ let on_suspicion t suspect =
         then s :: acc
         else acc)
       t.instances []
+    |> List.sort (fun a b -> compare a.inst b.inst)
   in
   List.iter
     (fun s -> advance_round t s ~target:(next_unsuspected_round t ~from:(s.round + 1)))

@@ -281,14 +281,19 @@ let handle_decision_request t s ~src =
       s.pending_requesters <- src :: s.pending_requesters
 
 let on_suspicion t suspect =
-  Hashtbl.iter
-    (fun _ s ->
+  (* Advance in instance order: the table's hash order must not decide
+     which instance's nack (and round change) is scheduled first. *)
+  Hashtbl.fold
+    (fun _ s acc ->
       if
         s.decided = None && s.round >= 1
         && coord t ~round:s.round = suspect
         && not (List.mem s.round s.acked_rounds)
-      then nack_and_advance t s)
-    t.instances
+      then s :: acc
+      else acc)
+    t.instances []
+  |> List.sort (fun a b -> compare a.inst b.inst)
+  |> List.iter (fun s -> nack_and_advance t s)
 
 let receive t ~src msg =
   match msg with

@@ -1,0 +1,260 @@
+(* The modularity-boundary checker: reconstruct the cross-module reference
+   graph of the repro_* libraries from the .cmt typedtrees, and enforce the
+   layering declared in lint/boundaries.spec.
+
+   Units are named "lib.Module" after the dune wrapping: the compilation
+   unit Repro_core__Consensus (and any typedtree path through the library
+   entry, Repro_core.Consensus.create) both map to core.Consensus. External
+   units (Stdlib, Fmt, ...) are not part of the graph. *)
+
+type unit_id = { lib : string; m : string }
+
+let unit_name u = if u.m = "" then u.lib else u.lib ^ "." ^ u.m
+let unit_order a b = compare (unit_name a) (unit_name b)
+
+(* "Repro_core__Replica" -> core.Replica; "Repro_obs" -> the obs library
+   entry; anything else -> not a repro unit. *)
+let unit_of_modname name =
+  if not (String.starts_with ~prefix:"Repro_" name) then None
+  else begin
+    let rest = String.sub name 6 (String.length name - 6) in
+    let rec find_sep i =
+      if i + 1 >= String.length rest then None
+      else if rest.[i] = '_' && rest.[i + 1] = '_' then Some i
+      else find_sep (i + 1)
+    in
+    match find_sep 0 with
+    | Some i ->
+      Some
+        {
+          lib = String.sub rest 0 i;
+          m = String.sub rest (i + 2) (String.length rest - i - 2);
+        }
+    | None -> Some { lib = rest; m = "" }
+  end
+
+(* A typedtree path names a repro unit either directly
+   ("Repro_core__Consensus.create") or through the library entry
+   ("Repro_core.Consensus.create"); in the latter case the module is the
+   next path component. Locally bound module aliases have a non-global
+   head and are skipped — the alias binding itself records the edge. *)
+let unit_of_path p =
+  if not (Ident.global (Path.head p)) then None
+  else
+    match String.split_on_char '.' (Path.name p) with
+    | [] -> None
+    | head :: rest -> (
+      match unit_of_modname head with
+      | Some u when u.m = "" -> (
+        match rest with
+        | m :: _ when m <> "" && m.[0] >= 'A' && m.[0] <= 'Z' -> Some { u with m }
+        | _ -> Some u)
+      | u -> u)
+
+type edge = { src : unit_id; dst : unit_id; file : string; line : int }
+
+let edge_order a b =
+  compare (unit_name a.src, unit_name a.dst) (unit_name b.src, unit_name b.dst)
+
+(* ---- Reference collection ---- *)
+
+let collect ~src ~file (str : Typedtree.structure) : edge list =
+  let open Typedtree in
+  let firsts = Hashtbl.create 32 in
+  let note (loc : Location.t) = function
+    | Some dst when dst <> src ->
+      let line = loc.Location.loc_start.Lexing.pos_lnum in
+      (match Hashtbl.find_opt firsts dst with
+      | Some l0 when l0 <= line -> ()
+      | _ -> Hashtbl.replace firsts dst line)
+    | _ -> ()
+  in
+  let note_type loc ty =
+    match Types.get_desc ty with
+    | Types.Tconstr (p, _, _) -> note loc (unit_of_path p)
+    | _ -> ()
+  in
+  let default = Tast_iterator.default_iterator in
+  let expr sub (e : expression) =
+    (match e.exp_desc with
+     | Texp_ident (p, _, _) -> note e.exp_loc (unit_of_path p)
+     | Texp_construct (_, cd, _) -> note_type e.exp_loc cd.Types.cstr_res
+     | Texp_field (_, _, ld) | Texp_setfield (_, _, ld, _) ->
+       note_type e.exp_loc ld.Types.lbl_res
+     | _ -> ());
+    default.expr sub e
+  in
+  let typ sub (t : core_type) =
+    (match t.ctyp_desc with
+     | Ttyp_constr (p, _, _) -> note t.ctyp_loc (unit_of_path p)
+     | _ -> ());
+    default.typ sub t
+  in
+  let module_expr sub (m : module_expr) =
+    (match m.mod_desc with
+     | Tmod_ident (p, _) -> note m.mod_loc (unit_of_path p)
+     | _ -> ());
+    default.module_expr sub m
+  in
+  let pat : type k. _ -> k general_pattern -> unit =
+   fun sub p ->
+    (match p.pat_desc with
+     | Tpat_construct (_, cd, _, _) -> note_type p.pat_loc cd.Types.cstr_res
+     | Tpat_record (fields, _) ->
+       List.iter (fun (_, ld, _) -> note_type p.pat_loc ld.Types.lbl_res) fields
+     | _ -> ());
+    default.pat sub p
+  in
+  let it = { default with expr; typ; module_expr; pat } in
+  it.structure it str;
+  Hashtbl.fold (fun dst line acc -> { src; dst; file; line } :: acc) firsts []
+  |> List.sort edge_order
+
+(* ---- The layering spec ---- *)
+
+type pattern = Any | Lib of string | Mod of string * string
+
+let parse_pattern s =
+  if s = "*" then Ok Any
+  else
+    match String.split_on_char '.' s with
+    | [ lib ] when lib <> "" -> Ok (Lib lib)
+    | [ lib; m ] when lib <> "" && m <> "" -> Ok (Mod (lib, m))
+    | _ -> Error (Printf.sprintf "bad pattern %S (expected lib, lib.Module or *)" s)
+
+let matches pat u =
+  match pat with
+  | Any -> true
+  | Lib l -> u.lib = l
+  | Mod (l, m) -> u.lib = l && u.m = m
+
+type verdict = Only | Deny | Allow
+
+type rule = {
+  verdict : verdict;
+  src_pat : pattern;
+  dst_pats : pattern list;
+  line : int;
+  text : string;
+}
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse_rule ~line_no raw =
+  let tokens =
+    String.split_on_char ' ' (strip_comment raw) |> List.filter (fun s -> s <> "")
+  in
+  match tokens with
+  | [] -> Ok None
+  | kw :: rest -> (
+    let verdict =
+      match kw with
+      | "only" -> Ok Only
+      | "deny" -> Ok Deny
+      | "allow" -> Ok Allow
+      | other -> Error (Printf.sprintf "unknown keyword %S (only|deny|allow)" other)
+    in
+    match verdict with
+    | Error e -> Error (Printf.sprintf "line %d: %s" line_no e)
+    | Ok verdict -> (
+      match rest with
+      | src :: "->" :: (_ :: _ as dsts) when src <> "->" -> (
+        let pats = List.map parse_pattern (src :: dsts) in
+        match List.find_map (function Error e -> Some e | Ok _ -> None) pats with
+        | Some e -> Error (Printf.sprintf "line %d: %s" line_no e)
+        | None ->
+          let pats = List.filter_map Result.to_option pats in
+          Ok
+            (Some
+               {
+                 verdict;
+                 src_pat = List.hd pats;
+                 dst_pats = List.tl pats;
+                 line = line_no;
+                 text = String.concat " " tokens;
+               }))
+      | _ -> Error (Printf.sprintf "line %d: expected `%s SRC -> DST...`" line_no kw)))
+
+let parse_spec contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go acc line_no = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+      match parse_rule ~line_no l with
+      | Error e -> Error e
+      | Ok None -> go acc (line_no + 1) rest
+      | Ok (Some r) -> go (r :: acc) (line_no + 1) rest)
+  in
+  go [] 1 lines
+
+let load_spec path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents -> (
+    match parse_spec contents with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok rules -> Ok rules)
+
+(* An edge passes if an allow rule covers it; otherwise any covering deny,
+   or any only-rule on the source whose destination list misses the target,
+   is a violation. *)
+let check ?(spec_name = "boundaries.spec") rules edges : Violation.t list =
+  List.filter_map
+    (fun e ->
+      let covering v =
+        List.filter (fun r -> r.verdict = v && matches r.src_pat e.src) rules
+      in
+      let dst_hit r = List.exists (fun p -> matches p e.dst) r.dst_pats in
+      if List.exists dst_hit (covering Allow) then None
+      else
+        let violated =
+          match List.find_opt dst_hit (covering Deny) with
+          | Some r -> Some r
+          | None -> List.find_opt (fun r -> not (dst_hit r)) (covering Only)
+        in
+        Option.map
+          (fun r ->
+            {
+              Violation.rule = "boundary";
+              file = e.file;
+              line = e.line;
+              col = 0;
+              message =
+                Printf.sprintf
+                  "%s references %s, breaking `%s` (%s:%d); modules compose only \
+                   through Framework.Event_bus / Stack wiring"
+                  (unit_name e.src) (unit_name e.dst) r.text spec_name r.line;
+            })
+          violated)
+    edges
+
+(* ---- Graphviz export ---- *)
+
+let to_dot edges =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph repro_modules {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  let units =
+    List.concat_map (fun e -> [ e.src; e.dst ]) edges
+    |> List.sort_uniq unit_order
+  in
+  let libs = List.map (fun u -> u.lib) units |> List.sort_uniq compare in
+  List.iter
+    (fun lib ->
+      Buffer.add_string buf (Printf.sprintf "  subgraph \"cluster_%s\" {\n    label=\"lib/%s\";\n" lib lib);
+      List.iter
+        (fun u ->
+          if u.lib = lib then
+            Buffer.add_string buf (Printf.sprintf "    \"%s\";\n" (unit_name u)))
+        units;
+      Buffer.add_string buf "  }\n")
+    libs;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\";\n" (unit_name e.src) (unit_name e.dst)))
+    (List.sort_uniq (fun a b -> edge_order a b) edges);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,52 @@
+(** The modularity-boundary checker: the cross-module reference graph of
+    the repro_* libraries, reconstructed from .cmt typedtrees, checked
+    against the layering declared in lint/boundaries.spec, and exportable
+    as Graphviz for the modular-vs-monolithic dependency-shape figure. *)
+
+type unit_id = { lib : string; m : string }
+(** A compilation unit, e.g. [{lib="core"; m="Consensus"}]; [m = ""] is the
+    library entry module. *)
+
+val unit_name : unit_id -> string
+(** "core.Consensus", or "core" for a library entry. *)
+
+val unit_order : unit_id -> unit_id -> int
+
+val unit_of_modname : string -> unit_id option
+(** "Repro_core__Replica" -> core.Replica; non-repro units -> [None]. *)
+
+val unit_of_path : Path.t -> unit_id option
+(** The repro unit a typedtree path refers to, if any. *)
+
+type edge = { src : unit_id; dst : unit_id; file : string; line : int }
+(** One cross-unit reference; [line] is its first occurrence. *)
+
+val edge_order : edge -> edge -> int
+val collect : src:unit_id -> file:string -> Typedtree.structure -> edge list
+
+(** {2 Layering spec} *)
+
+type pattern = Any | Lib of string | Mod of string * string
+
+type verdict = Only | Deny | Allow
+
+type rule = {
+  verdict : verdict;
+  src_pat : pattern;
+  dst_pats : pattern list;
+  line : int;
+  text : string;
+}
+
+val parse_pattern : string -> (pattern, string) result
+val matches : pattern -> unit_id -> bool
+val parse_spec : string -> (rule list, string) result
+val load_spec : string -> (rule list, string) result
+
+val check : ?spec_name:string -> rule list -> edge list -> Violation.t list
+(** An edge passes if an allow rule covers it; otherwise a covering deny,
+    or an only-rule on the source missing the destination, is a violation
+    (rule id ["boundary"]). *)
+
+val to_dot : edge list -> string
+(** Graphviz digraph, one cluster per library. *)

@@ -1,0 +1,38 @@
+(** Static analysis driver for the reproduction's two load-bearing
+    invariants: runs are a deterministic function of the seed (no ambient
+    randomness or wall-clock reads, no hash-order escapes), and the modular
+    stack's protocol modules stay black boxes to each other (the declared
+    layering of lint/boundaries.spec, reconstructed from the .cmt reference
+    graph). See DESIGN.md "Boundary model and determinism rules". *)
+
+type report = {
+  violations : Violation.t list;  (** active, i.e. not waived *)
+  waived : Violation.t list;  (** silenced by the waiver file *)
+  unused_waivers : Waivers.t list;  (** waivers that matched nothing *)
+  units : Boundaries.unit_id list;  (** linted compilation units *)
+  edges : Boundaries.edge list;  (** deduplicated cross-unit references *)
+}
+
+val find_cmts : string -> string list
+(** All [*.cmt] files below a directory, sorted. *)
+
+val lint_cmt_file :
+  string ->
+  ((string * Boundaries.unit_id option * Violation.t list * Boundaries.edge list)
+   option,
+   string)
+  result
+(** Analyse one .cmt: [(source_file, unit, determinism violations, outgoing
+    references)], or [None] for generated / interface-only artifacts. *)
+
+val run :
+  build_root:string ->
+  ?src_dirs:string list ->
+  ?spec_file:string ->
+  ?waivers_file:string ->
+  unit ->
+  (report, string) result
+(** Lint every unit under [build_root]/[src_dirs] (default [["lib"]]),
+    check boundaries against [spec_file] and silence [waivers_file]. *)
+
+val pp_summary : Format.formatter -> report -> unit

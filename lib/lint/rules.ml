@@ -1,0 +1,199 @@
+(* Determinism lints over the typed AST of one compilation unit.
+
+   The reproduction's invariant is that a run is a deterministic function of
+   the seed and the initial schedule (DESIGN.md), so nothing in lib/ may
+   consult an ambient source of nondeterminism. Each rule is a syntactic /
+   type-directed approximation, checked against the .cmt typedtree:
+
+   - random        stdlib Random.* (draws must go through Sim.Rng)
+   - wall-clock    Unix.gettimeofday, Unix.time, Sys.time, ... (time must
+                   come from the virtual clock, Sim.Time / Engine.now)
+   - hashtbl-order Hashtbl.iter, and Hashtbl.fold whose result is not
+                   directly handed to List.sort* — binding order is hash
+                   order and must not escape unsorted
+   - phys-eq       (==) / (!=) at a type that is not provably immediate
+   - poly-compare  polymorphic =, <>, <, compare, min, max, ... instantiated
+                   at a type visibly containing a function or a mutable
+                   container (compare raises on closures and walks the
+                   physical bucket layout of a Hashtbl.t)
+
+   Known approximations: a Hashtbl.fold with a commutative accumulator is
+   still flagged (waive it); module aliases like `module H = Hashtbl` hide
+   the path from the rules; named record/variant types are not expanded
+   when looking for risky components (no typing env is reconstructed from
+   the .cmt), so only types visible at the use site are inspected. *)
+
+open Typedtree
+
+(* "Stdlib__Random.int" / "Stdlib.Random.int" -> "Random.int". Project
+   paths keep their "Repro_*" prefix, so Time.(>=) or a local (==) never
+   collides with the stdlib names matched below. *)
+let norm_path p =
+  let n = Path.name p in
+  let strip prefix n =
+    if String.starts_with ~prefix n then
+      Some (String.sub n (String.length prefix) (String.length n - String.length prefix))
+    else None
+  in
+  match strip "Stdlib__" n with
+  | Some rest -> rest
+  | None -> ( match strip "Stdlib." n with Some rest -> rest | None -> n)
+
+let wall_clocks =
+  [ "Unix.gettimeofday"; "Unix.time"; "Unix.gmtime"; "Unix.localtime"; "Sys.time" ]
+
+let hashtbl_iters = [ "Hashtbl.iter"; "Hashtbl.filter_map_inplace" ]
+let hashtbl_folds = [ "Hashtbl.fold" ]
+let sorters = [ "List.sort"; "List.stable_sort"; "List.fast_sort"; "List.sort_uniq" ]
+let phys_eqs = [ "=="; "!=" ]
+let poly_cmps = [ "="; "<>"; "<"; "<="; ">"; ">="; "compare"; "min"; "max" ]
+
+(* Types whose (==) is well-defined because values are unboxed. Abstract
+   types that happen to be immediate (e.g. an int-backed Pid.t) are not
+   recognized; waive those sites if they ever appear. *)
+let immediates = [ "int"; "bool"; "char"; "unit" ]
+
+let is_immediate ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [], _) -> List.mem (norm_path p) immediates
+  | _ -> false
+
+let mutable_containers =
+  [ "ref"; "array"; "bytes"; "Bytes.t"; "Hashtbl.t"; "Queue.t"; "Stack.t"; "Buffer.t";
+    "Atomic.t" ]
+
+(* Does [ty] visibly contain a component polymorphic compare chokes on?
+   Only structure visible at the use site is inspected — named types stay
+   opaque (a deliberate under-approximation, see the header). *)
+let rec risky_component ty =
+  match Types.get_desc ty with
+  | Types.Tarrow _ -> Some "a function"
+  | Types.Ttuple tys -> List.find_map risky_component tys
+  | Types.Tconstr (p, args, _) ->
+    let n = norm_path p in
+    if List.mem n mutable_containers then Some ("the mutable container " ^ n)
+    else List.find_map risky_component args
+  | _ -> None
+
+let first_arg_type ty =
+  match Types.get_desc ty with Types.Tarrow (_, a, _, _) -> Some a | _ -> None
+
+let check_structure ~file (str : structure) : Violation.t list =
+  let out = ref [] in
+  (* cnum ranges that sit under a List.sort* application: a Hashtbl.fold in
+     one of them hands its hash-ordered list straight to a sort, which
+     makes the escaping order deterministic. *)
+  let sorted_regions = ref [] in
+  (* Ident nodes already judged at an enclosing application (so the plain
+     ident visit must not double-report), keyed by cnum range. *)
+  let consumed = Hashtbl.create 16 in
+  let add loc rule message = out := Violation.make ~rule ~file ~loc message :: !out in
+  let range (loc : Location.t) =
+    (loc.Location.loc_start.Lexing.pos_cnum, loc.Location.loc_end.Lexing.pos_cnum)
+  in
+  let in_sorted loc =
+    let s, e = range loc in
+    List.exists (fun (a, b) -> a <= s && e <= b) !sorted_regions
+  in
+  let rec head_ident (e : expression) =
+    match e.exp_desc with
+    | Texp_ident (p, _, _) -> Some (p, e)
+    | Texp_apply (f, _) -> head_ident f
+    | _ -> None
+  in
+  (* Comparisons against a constant constructor (x = None, x = []) only
+     inspect the tag, so they are safe even when the full type contains
+     functions. *)
+  let is_tag_only (e : expression) =
+    match e.exp_desc with
+    | Texp_construct (_, _, []) -> true
+    | Texp_variant (_, None) -> true
+    | _ -> false
+  in
+  let flag_ident p (e : expression) =
+    let n = norm_path p in
+    let loc = e.exp_loc in
+    if String.starts_with ~prefix:"Random." n then
+      add loc "random"
+        (Printf.sprintf "stdlib %s bypasses the seeded simulation RNG; draw from Sim.Rng"
+           n)
+    else if List.mem n wall_clocks then
+      add loc "wall-clock"
+        (Printf.sprintf
+           "%s reads the host clock; simulated time must come from Sim.Time / Engine.now"
+           n)
+    else if List.mem n hashtbl_iters then
+      add loc "hashtbl-order"
+        (Printf.sprintf
+           "%s visits bindings in hash order; iterate a sorted snapshot instead (or \
+            waive with a justification)"
+           n)
+    else if List.mem n hashtbl_folds then begin
+      if not (in_sorted loc) then
+        add loc "hashtbl-order"
+          (Printf.sprintf
+             "%s accumulates in hash order and the result escapes unsorted; pipe it \
+              into List.sort (or waive a commutative fold)"
+             n)
+    end
+    else if List.mem n phys_eqs then begin
+      match first_arg_type e.exp_type with
+      | Some t when is_immediate t -> ()
+      | _ ->
+        add loc "phys-eq"
+          (Printf.sprintf
+             "(%s) at a type not provably immediate depends on sharing, not value; use \
+              structural equality or an explicit key"
+             n)
+    end
+    else if List.mem n poly_cmps then begin
+      match Option.bind (first_arg_type e.exp_type) risky_component with
+      | Some what ->
+        add loc "poly-compare"
+          (Printf.sprintf
+             "polymorphic %s instantiated at a type containing %s; supply an explicit \
+              comparison"
+             (if String.length n <= 2 then "(" ^ n ^ ")" else n)
+             what)
+      | None -> ()
+    end
+  in
+  let default = Tast_iterator.default_iterator in
+  let expr sub (e : expression) =
+    (match e.exp_desc with
+     | Texp_apply (f, args) -> (
+       match head_ident f with
+       | Some (p, fident) ->
+         let n = norm_path p in
+         if List.mem n sorters then
+           List.iter
+             (fun (_, a) ->
+               Option.iter
+                 (fun (a : expression) ->
+                   sorted_regions := range a.exp_loc :: !sorted_regions)
+                 a)
+             args;
+         if
+           List.mem n poly_cmps
+           && List.exists
+                (fun (_, a) -> match a with Some a -> is_tag_only a | None -> false)
+                args
+         then Hashtbl.replace consumed (range fident.exp_loc) ()
+       | None -> ())
+     | Texp_ident (p, _, _) ->
+       if not (Hashtbl.mem consumed (range e.exp_loc)) then flag_ident p e
+     | _ -> ());
+    default.expr sub e
+  in
+  let module_expr sub (m : module_expr) =
+    (match m.mod_desc with
+     | Tmod_ident (p, _) ->
+       let n = norm_path p in
+       if n = "Random" || String.starts_with ~prefix:"Random." n then
+         add m.mod_loc "random" "aliasing stdlib Random; draw from Sim.Rng instead"
+     | _ -> ());
+    default.module_expr sub m
+  in
+  let it = { default with expr; module_expr } in
+  it.structure it str;
+  List.sort Violation.order !out

@@ -1,0 +1,13 @@
+(** Determinism lints over one compilation unit's typed AST: stdlib
+    [Random.*] and wall-clock reads, hash-order escapes from
+    [Hashtbl.iter]/[Hashtbl.fold], physical equality at non-immediate
+    types, and polymorphic comparison at types visibly containing
+    functions or mutable containers. A [Hashtbl.fold] whose result is
+    piped straight into [List.sort*] is recognized as sanctioned. *)
+
+val norm_path : Path.t -> string
+(** "Stdlib__Random.int" / "Stdlib.Random.int" -> "Random.int"; project
+    paths are left untouched. Exposed for tests. *)
+
+val check_structure : file:string -> Typedtree.structure -> Violation.t list
+(** Violations in source-position order. *)

@@ -1,0 +1,22 @@
+(* One finding of the static analysis: a rule, a source position, and a
+   human-readable explanation. [file] is the path recorded in the .cmt,
+   relative to the build context root (e.g. "lib/core/consensus.ml"), which
+   is also the path a waiver names. *)
+
+type t = { rule : string; file : string; line : int; col : int; message : string }
+
+let make ~rule ~file ~(loc : Location.t) message =
+  let p = loc.Location.loc_start in
+  {
+    rule;
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    message;
+  }
+
+(* Stable report order: by position, then rule name for same-position hits. *)
+let order a b =
+  compare (a.file, a.line, a.col, a.rule) (b.file, b.line, b.col, b.rule)
+
+let pp ppf v = Fmt.pf ppf "%s:%d:%d: [%s] %s" v.file v.line v.col v.rule v.message

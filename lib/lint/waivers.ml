@@ -1,0 +1,64 @@
+(* The committed waiver file: acknowledged exceptions to the lint rules.
+
+   One waiver per line:
+
+     <rule> <file> -- <justification>
+
+   A waiver silences every violation of <rule> in <file>; the justification
+   is mandatory, so the file doubles as a record of *why* each exception is
+   sound. Waivers that match nothing are reported so the file cannot rot. *)
+
+type t = { rule : string; path : string; reason : string; line : int }
+
+let pp ppf w = Fmt.pf ppf "%s %s -- %s" w.rule w.path w.reason
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse_line ~line_no line =
+  let line = strip_comment line in
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [] -> Ok None
+  | rule :: path :: "--" :: (_ :: _ as reason) ->
+    Ok (Some { rule; path; reason = String.concat " " reason; line = line_no })
+  | _ ->
+    Error
+      (Printf.sprintf
+         "line %d: expected `<rule> <file> -- <justification>` (the justification is \
+          required)"
+         line_no)
+
+let parse contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go acc line_no = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+      match parse_line ~line_no l with
+      | Error e -> Error e
+      | Ok None -> go acc (line_no + 1) rest
+      | Ok (Some w) -> go (w :: acc) (line_no + 1) rest)
+  in
+  go [] 1 lines
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents -> (
+    match parse contents with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok ws -> Ok ws)
+
+let covers w (v : Violation.t) = w.rule = v.rule && w.path = v.file
+
+(* Split violations into (active, waived) and report waivers that matched
+   nothing. *)
+let apply waivers violations =
+  let active, waived =
+    List.partition (fun v -> not (List.exists (fun w -> covers w v) waivers)) violations
+  in
+  let unused =
+    List.filter (fun w -> not (List.exists (fun v -> covers w v) violations)) waivers
+  in
+  (active, waived, unused)

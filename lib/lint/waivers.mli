@@ -1,0 +1,14 @@
+(** The committed waiver file: `<rule> <file> -- <justification>` lines
+    silencing acknowledged rule violations. Justifications are mandatory,
+    and waivers matching nothing are reported so the file cannot rot. *)
+
+type t = { rule : string; path : string; reason : string; line : int }
+
+val parse : string -> (t list, string) result
+val load : string -> (t list, string) result
+val covers : t -> Violation.t -> bool
+
+val apply : t list -> Violation.t list -> Violation.t list * Violation.t list * t list
+(** [apply waivers vs] is [(active, waived, unused_waivers)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,4 @@
+(* Lint fixture: nothing here may be flagged. *)
+let add a b = a + b
+
+let sorted xs = List.sort Int.compare xs

@@ -1,0 +1,10 @@
+(* Lint fixture: hash-order escapes. [keys_sorted] is the sanctioned
+   shape (fold piped straight into a sort) and must stay clean. *)
+let visit (tbl : (int, string) Hashtbl.t) =
+  Hashtbl.iter (fun _ v -> ignore v) tbl
+
+let keys_unsorted (tbl : (int, string) Hashtbl.t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let keys_sorted (tbl : (int, string) Hashtbl.t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare

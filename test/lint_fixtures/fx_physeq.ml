@@ -1,0 +1,5 @@
+(* Lint fixture: physical equality; only the non-immediate case is
+   flagged (int is unboxed, so (==) on it is well-defined). *)
+let same_list (a : int list) (b : int list) = a == b
+
+let same_int (a : int) (b : int) = a == b

@@ -1,0 +1,10 @@
+(* Lint fixture: polymorphic compare at risky types. The int case is
+   fine, and [none_check] exercises the tag-only-comparison exemption
+   (x = None inspects a tag even when the payload holds a closure). *)
+let cmp_fns (a : int -> int) (b : int -> int) = compare a b
+
+let eq_refs (a : int ref) (b : int ref) = a = b
+
+let cmp_ints (a : int) (b : int) = compare a b
+
+let none_check (x : (int -> int) option) = x = None

@@ -1,0 +1,7 @@
+(* Lint fixture: every stdlib Random use below must be flagged. *)
+let roll () = Random.int 6
+let coin () = Random.bool ()
+
+module R = Random
+
+let reexported = R.bool

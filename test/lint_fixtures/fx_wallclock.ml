@@ -1,0 +1,3 @@
+(* Lint fixture: host-clock reads; both must be flagged. *)
+let now () = Unix.gettimeofday ()
+let cpu_seconds () = Sys.time ()

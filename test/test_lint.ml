@@ -1,0 +1,249 @@
+(* Tests for the repro-lint pass: each determinism rule against a fixture
+   with violations at known lines (test/lint_fixtures/), the boundary
+   checker's spec semantics against synthetic edges, the committed
+   lint/boundaries.spec against the references it exists to reject, and an
+   end-to-end run asserting the repo's own lib/ is violation-free modulo
+   the committed waivers.
+
+   The test binary runs in _build/default/test, so fixture .cmt files are
+   under lint_fixtures/ and the repo's under ../lib; the committed spec and
+   waiver files are declared as test deps in test/dune. *)
+
+open Repro_lint
+
+let spec_file = "../lint/boundaries.spec"
+let waivers_file = "../lint/lint.waivers"
+
+(* ---- fixtures ---- *)
+
+let fixture_report =
+  lazy
+    (match Lint.run ~build_root:"." ~src_dirs:[ "lint_fixtures" ] () with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "lint of fixtures failed: %s" e)
+
+(* (rule, line) pairs reported in one fixture file, in report order. *)
+let hits base =
+  let r = Lazy.force fixture_report in
+  List.filter_map
+    (fun (v : Violation.t) ->
+      if Filename.basename v.Violation.file = base then
+        Some (v.Violation.rule, v.Violation.line)
+      else None)
+    r.Lint.violations
+
+let rule_line = Alcotest.(pair string int)
+
+let test_fixture_random () =
+  Alcotest.(check (list rule_line))
+    "Random.int, Random.bool, module alias; R.bool not double-counted"
+    [ ("random", 2); ("random", 3); ("random", 5) ]
+    (hits "fx_random.ml")
+
+let test_fixture_wallclock () =
+  Alcotest.(check (list rule_line))
+    "Unix.gettimeofday and Sys.time"
+    [ ("wall-clock", 2); ("wall-clock", 3) ]
+    (hits "fx_wallclock.ml")
+
+let test_fixture_hashtbl () =
+  Alcotest.(check (list rule_line))
+    "iter and unsorted fold flagged; fold piped into List.sort sanctioned"
+    [ ("hashtbl-order", 4); ("hashtbl-order", 7) ]
+    (hits "fx_hashtbl.ml")
+
+let test_fixture_physeq () =
+  Alcotest.(check (list rule_line))
+    "(==) at int list flagged, at int exempt"
+    [ ("phys-eq", 3) ]
+    (hits "fx_physeq.ml")
+
+let test_fixture_polycompare () =
+  Alcotest.(check (list rule_line))
+    "compare on closures and (=) on refs flagged; int and x = None exempt"
+    [ ("poly-compare", 4); ("poly-compare", 6) ]
+    (hits "fx_polycompare.ml")
+
+let test_fixture_clean () =
+  Alcotest.(check (list rule_line)) "clean fixture stays clean" [] (hits "fx_clean.ml")
+
+(* ---- spec semantics on synthetic edges ---- *)
+
+let u lib m = { Boundaries.lib; m }
+
+let edge src dst =
+  { Boundaries.src; dst; file = "synthetic.ml"; line = 1 }
+
+let check_spec rules edges =
+  List.length (Boundaries.check ~spec_name:"test.spec" rules edges)
+
+let parse_ok spec =
+  match Boundaries.parse_spec spec with
+  | Ok rules -> rules
+  | Error e -> Alcotest.failf "spec did not parse: %s" e
+
+let test_spec_parse () =
+  let rules =
+    parse_ok
+      "# comment\n\nonly a -> a b\ndeny a.M -> b.N c # trailing\nallow * -> a\n"
+  in
+  Alcotest.(check int) "three rules" 3 (List.length rules);
+  (match Boundaries.parse_spec "frobnicate a -> b" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown keyword accepted");
+  match Boundaries.parse_spec "only a ->" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing destination accepted"
+
+let test_spec_only () =
+  let rules = parse_ok "only a -> a b" in
+  Alcotest.(check int) "in-list edge passes" 0
+    (check_spec rules [ edge (u "a" "M") (u "b" "N") ]);
+  Alcotest.(check int) "out-of-list edge violates" 1
+    (check_spec rules [ edge (u "a" "M") (u "c" "N") ]);
+  Alcotest.(check int) "other sources unconstrained" 0
+    (check_spec rules [ edge (u "z" "M") (u "c" "N") ])
+
+let test_spec_deny_allow () =
+  let rules = parse_ok "allow a.M -> b.Special\ndeny a -> b" in
+  Alcotest.(check int) "deny matches lib-wide" 1
+    (check_spec rules [ edge (u "a" "Other") (u "b" "N") ]);
+  Alcotest.(check int) "allow wins over deny" 0
+    (check_spec rules [ edge (u "a" "M") (u "b" "Special") ]);
+  Alcotest.(check int) "allow is module-precise" 1
+    (check_spec rules [ edge (u "a" "M") (u "b" "N") ])
+
+(* The committed spec must reject direct references among the protocol
+   modules (they compose only through Framework wiring in Replica), and
+   keep the one sanctioned section-4 fusion. *)
+let test_committed_spec_isolation () =
+  let rules =
+    match Boundaries.load_spec spec_file with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "committed spec did not load: %s" e
+  in
+  let violates src dst = check_spec rules [ edge src dst ] > 0 in
+  let modular = u "core" "Abcast_modular"
+  and consensus = u "core" "Consensus"
+  and rbcast = u "core" "Rbcast"
+  and monolithic = u "core" "Abcast_monolithic" in
+  Alcotest.(check bool) "abcast -> consensus rejected" true
+    (violates modular consensus);
+  Alcotest.(check bool) "consensus -> abcast rejected" true
+    (violates consensus modular);
+  Alcotest.(check bool) "consensus -> rbcast rejected" true
+    (violates consensus rbcast);
+  Alcotest.(check bool) "abcast -> rbcast rejected" true (violates modular rbcast);
+  Alcotest.(check bool) "abcast -> framework wiring rejected" true
+    (violates modular (u "framework" "Event_bus"));
+  Alcotest.(check bool) "monolithic fusion of rbcast sanctioned" false
+    (violates monolithic rbcast);
+  Alcotest.(check bool) "monolithic -> consensus still rejected" true
+    (violates monolithic consensus);
+  Alcotest.(check bool) "replica may wire consensus" false
+    (violates (u "core" "Replica") consensus);
+  Alcotest.(check bool) "obs -> core rejected" true
+    (violates (u "obs" "Obs") (u "core" "Msg"));
+  Alcotest.(check bool) "sim -> framework rejected" true
+    (violates (u "sim" "Engine") (u "framework" "Event_bus"))
+
+(* ---- waivers ---- *)
+
+let test_waiver_parse () =
+  let ws =
+    match Waivers.parse "# c\nhashtbl-order lib/x.ml -- commutative fold\n" with
+    | Ok ws -> ws
+    | Error e -> Alcotest.failf "waiver did not parse: %s" e
+  in
+  (match ws with
+  | [ w ] ->
+    Alcotest.(check string) "rule" "hashtbl-order" w.Waivers.rule;
+    Alcotest.(check string) "path" "lib/x.ml" w.Waivers.path;
+    Alcotest.(check string) "reason" "commutative fold" w.Waivers.reason
+  | _ -> Alcotest.failf "expected one waiver, got %d" (List.length ws));
+  match Waivers.parse "hashtbl-order lib/x.ml" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "waiver without justification accepted"
+
+let test_waiver_apply () =
+  let v rule file =
+    { Violation.rule; file; line = 1; col = 0; message = "m" }
+  in
+  let w rule path = { Waivers.rule; path; reason = "r"; line = 1 } in
+  let active, waived, unused =
+    Waivers.apply
+      [ w "random" "lib/a.ml"; w "phys-eq" "lib/never.ml" ]
+      [ v "random" "lib/a.ml"; v "random" "lib/b.ml" ]
+  in
+  Alcotest.(check int) "one active" 1 (List.length active);
+  Alcotest.(check int) "one waived" 1 (List.length waived);
+  (match active with
+  | [ a ] -> Alcotest.(check string) "b.ml stays active" "lib/b.ml" a.Violation.file
+  | _ -> Alcotest.fail "wrong active set");
+  match unused with
+  | [ un ] -> Alcotest.(check string) "unused reported" "phys-eq" un.Waivers.rule
+  | _ -> Alcotest.fail "expected exactly one unused waiver"
+
+(* ---- dot export ---- *)
+
+let test_dot_export () =
+  let dot =
+    Boundaries.to_dot
+      [ edge (u "core" "Replica") (u "framework" "Event_bus") ]
+  in
+  let has needle =
+    let n = String.length needle and h = String.length dot in
+    let rec go i = i + n <= h && (String.sub dot i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "digraph" true (has "digraph");
+  Alcotest.(check bool) "cluster per lib" true (has "cluster_framework");
+  Alcotest.(check bool) "edge present" true
+    (has "\"core.Replica\" -> \"framework.Event_bus\"")
+
+(* ---- end to end: the repo lints clean ---- *)
+
+let test_repo_is_clean () =
+  match
+    Lint.run ~build_root:".." ~spec_file ~waivers_file ()
+  with
+  | Error e -> Alcotest.failf "repo lint failed to run: %s" e
+  | Ok r ->
+    List.iter
+      (fun v -> Fmt.epr "unexpected: %a@." Violation.pp v)
+      r.Lint.violations;
+    Alcotest.(check int) "lib/ violation-free modulo waivers" 0
+      (List.length r.Lint.violations);
+    Alcotest.(check bool) "waiver budget respected (<= 5)" true
+      (List.length r.Lint.waived <= 5);
+    Alcotest.(check int) "no rotting waivers" 0 (List.length r.Lint.unused_waivers);
+    Alcotest.(check bool) "graph is non-trivial" true (List.length r.Lint.edges > 100)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "random" `Quick test_fixture_random;
+          Alcotest.test_case "wall-clock" `Quick test_fixture_wallclock;
+          Alcotest.test_case "hashtbl-order" `Quick test_fixture_hashtbl;
+          Alcotest.test_case "phys-eq" `Quick test_fixture_physeq;
+          Alcotest.test_case "poly-compare" `Quick test_fixture_polycompare;
+          Alcotest.test_case "clean" `Quick test_fixture_clean;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "parse" `Quick test_spec_parse;
+          Alcotest.test_case "only" `Quick test_spec_only;
+          Alcotest.test_case "deny/allow" `Quick test_spec_deny_allow;
+          Alcotest.test_case "committed isolation" `Quick
+            test_committed_spec_isolation;
+        ] );
+      ( "waivers",
+        [
+          Alcotest.test_case "parse" `Quick test_waiver_parse;
+          Alcotest.test_case "apply" `Quick test_waiver_apply;
+        ] );
+      ("dot", [ Alcotest.test_case "export" `Quick test_dot_export ]);
+      ("repo", [ Alcotest.test_case "clean" `Quick test_repo_is_clean ]);
+    ]
