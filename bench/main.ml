@@ -42,6 +42,22 @@ let trace_out = flag_value "--trace-out"
 let json_out = flag_value "--json-out"
 let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 
+(* --jobs N: run independent simulation points on a domain pool of N
+   workers (default: cores - 1, min 1). Results, printed output and JSONL
+   exports are byte-identical whatever N is — each point is a sealed
+   virtual-time simulation with a private Obs sink, collected in task
+   order ([Repro_workload.Parmap]); --jobs 1 takes the exact sequential
+   code path. *)
+let jobs =
+  match flag_value "--jobs" with
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some j when j >= 1 -> j
+    | Some _ | None ->
+      Fmt.epr "bench: --jobs expects a positive integer, got %S@." v;
+      exit 2)
+  | None -> Repro_parallel.Pool.default_jobs ()
+
 let obs =
   match (metrics_out, trace_out) with
   | None, None -> Repro_obs.Obs.noop
@@ -62,9 +78,17 @@ let both_ns = [ 3; 7 ]
 let loads = [ 250.0; 500.0; 1000.0; 2000.0; 3000.0; 4000.0; 5000.0; 7000.0 ]
 let sizes = [ 64; 128; 256; 512; 1024; 2048; 4096; 8192; 16384; 32768 ]
 
-let run_point ?params ~kind ~n ~load ~size () =
+let run_point ?params ?(obs = obs) ~kind ~n ~load ~size () =
   Experiment.run ~obs
     (Experiment.config ~kind ~n ~offered_load:load ~size ~warmup_s ~measure_s ?params ())
+
+(* Fan a list of independent points over the pool, each with a private
+   sink absorbed back into the harness-wide [obs] in point order. Every
+   sweep below builds its point list first, maps, then prints — printing
+   never runs concurrently. *)
+let map_points f points = Parmap.map ~jobs ~obs (fun ~obs x -> f ~obs x) points
+
+let product xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
 
 let section title =
   Fmt.pr "@.=======================================================================@.";
@@ -74,13 +98,9 @@ let section title =
 (* ---- Load sweep: figures 8 and 10 ---- *)
 
 let load_sweep () =
-  List.concat_map
-    (fun n ->
-      List.concat_map
-        (fun kind ->
-          List.map (fun load -> run_point ~kind ~n ~load ~size:16384 ()) loads)
-        both_kinds)
-    both_ns
+  map_points
+    (fun ~obs ((n, kind), load) -> run_point ~obs ~kind ~n ~load ~size:16384 ())
+    (product (product both_ns both_kinds) loads)
 
 let print_series ~x_label ~x_of ~y_label ~y_of results =
   List.iter
@@ -117,12 +137,9 @@ let figure_8_and_10 () =
   results
 
 let size_sweep () =
-  List.concat_map
-    (fun n ->
-      List.concat_map
-        (fun kind -> List.map (fun size -> run_point ~kind ~n ~load:2000.0 ~size ()) sizes)
-        both_kinds)
-    both_ns
+  map_points
+    (fun ~obs ((n, kind), size) -> run_point ~obs ~kind ~n ~load:2000.0 ~size ())
+    (product (product both_ns both_kinds) sizes)
 
 let figure_9_and_11 () =
   let results = size_sweep () in
@@ -151,15 +168,9 @@ let figure_9_saturated () =
   section
     "Supplementary S9: early latency (ms) vs message size, saturating load (8000 msgs/s)";
   let results =
-    List.concat_map
-      (fun n ->
-        List.concat_map
-          (fun kind ->
-            List.map
-              (fun size -> run_point ~kind ~n ~load:8000.0 ~size ())
-              [ 64; 512; 4096; 16384 ])
-          both_kinds)
-      both_ns
+    map_points
+      (fun ~obs ((n, kind), size) -> run_point ~obs ~kind ~n ~load:8000.0 ~size ())
+      (product (product both_ns both_kinds) [ 64; 512; 4096; 16384 ])
   in
   print_series ~x_label:"size"
     ~x_of:(fun r -> string_of_int r.config.Experiment.size)
@@ -231,24 +242,26 @@ let headline load_results size_results =
 (* ---- Table T1: §5.2.1 messages per consensus ---- *)
 
 let table_messages () =
+  let results =
+    map_points
+      (fun ~obs (n, kind) -> run_point ~obs ~kind ~n ~load:3000.0 ~size:1024 ())
+      (product both_ns both_kinds)
+  in
   section "Table T1 (§5.2.1): messages sent per consensus execution";
   Fmt.pr "%-4s %-11s %-8s %-12s %-10s@." "n" "stack" "M" "analytical" "measured";
   List.iter
-    (fun n ->
-      List.iter
-        (fun kind ->
-          let r = run_point ~kind ~n ~load:3000.0 ~size:1024 () in
-          let m = int_of_float (Float.round r.Experiment.mean_batch) in
-          let analytical =
-            match kind with
-            | Replica.Modular | Replica.Indirect ->
-              Repro_analysis.Model.modular_messages ~n ~m
-            | Replica.Monolithic -> Repro_analysis.Model.monolithic_messages ~n
-          in
-          Fmt.pr "%-4d %-11s %-8.2f %-12d %-10.2f@." n (kind_name kind)
-            r.Experiment.mean_batch analytical r.Experiment.msgs_per_instance)
-        both_kinds)
-    both_ns;
+    (fun (r : Experiment.result) ->
+      let n = r.config.Experiment.n and kind = r.config.Experiment.kind in
+      let m = int_of_float (Float.round r.Experiment.mean_batch) in
+      let analytical =
+        match kind with
+        | Replica.Modular | Replica.Indirect ->
+          Repro_analysis.Model.modular_messages ~n ~m
+        | Replica.Monolithic -> Repro_analysis.Model.monolithic_messages ~n
+      in
+      Fmt.pr "%-4d %-11s %-8.2f %-12d %-10.2f@." n (kind_name kind)
+        r.Experiment.mean_batch analytical r.Experiment.msgs_per_instance)
+    results;
   Fmt.pr "(worked example of §5.2.1 at n=3, M=4: modular %d vs monolithic %d)@."
     (Repro_analysis.Model.modular_messages ~n:3 ~m:4)
     (Repro_analysis.Model.monolithic_messages ~n:3)
@@ -256,15 +269,24 @@ let table_messages () =
 (* ---- Table T2: §5.2.2 data overhead ---- *)
 
 let table_data () =
+  (* Below saturation so the delivered origin mix is symmetric, the
+     assumption behind the closed form. *)
+  let results =
+    map_points
+      (fun ~obs (n, kind) ->
+        let r = run_point ~obs ~kind ~n ~load:1200.0 ~size:4096 () in
+        (n, kind, r.Experiment.bytes_per_instance /. r.Experiment.mean_batch))
+      (product both_ns both_kinds)
+  in
   section "Table T2 (§5.2.2): data overhead of the modular stack";
   Fmt.pr "%-4s %-24s %-10s@." "n" "analytical (n-1)/(n+1)" "measured";
   List.iter
     (fun n ->
-      (* Below saturation so the delivered origin mix is symmetric, the
-         assumption behind the closed form. *)
       let bytes kind =
-        let r = run_point ~kind ~n ~load:1200.0 ~size:4096 () in
-        r.Experiment.bytes_per_instance /. r.Experiment.mean_batch
+        List.find_map
+          (fun (n', k, b) -> if n' = n && k = kind then Some b else None)
+          results
+        |> Option.get
       in
       let dmod = bytes Replica.Modular and dmono = bytes Replica.Monolithic in
       Fmt.pr "%-4d %-24.3f %-10.3f@." n
@@ -275,15 +297,8 @@ let table_data () =
 (* ---- Ablation A1: which monolithic optimization buys what ---- *)
 
 let ablation_mono () =
-  section "Ablation A1: contribution of each monolithic optimization (n=3, 8 KiB)";
   let base = Params.default ~n:3 in
-  List.iter
-    (fun (name, mono) ->
-      let params = { base with Params.mono } in
-      let r = run_point ~params ~kind:Replica.Monolithic ~n:3 ~load:3000.0 ~size:8192 () in
-      Fmt.pr "%-26s | lat %7.3f ms | tput %7.1f/s | msgs/inst %5.2f | bytes/inst %8.0f@."
-        name r.early_latency_ms.Stats.mean r.throughput r.msgs_per_instance
-        r.bytes_per_instance)
+  let variants =
     [
       ("all on (paper §4)", base.Params.mono);
       ( "no §4.1 combine",
@@ -304,40 +319,61 @@ let ablation_mono () =
           cheap_decision = false;
         } );
     ]
+  in
+  let results =
+    map_points
+      (fun ~obs (name, mono) ->
+        let params = { base with Params.mono } in
+        ( name,
+          run_point ~obs ~params ~kind:Replica.Monolithic ~n:3 ~load:3000.0 ~size:8192
+            () ))
+      variants
+  in
+  section "Ablation A1: contribution of each monolithic optimization (n=3, 8 KiB)";
+  List.iter
+    (fun (name, (r : Experiment.result)) ->
+      Fmt.pr "%-26s | lat %7.3f ms | tput %7.1f/s | msgs/inst %5.2f | bytes/inst %8.0f@."
+        name r.early_latency_ms.Stats.mean r.throughput r.msgs_per_instance
+        r.bytes_per_instance)
+    results
 
 (* ---- Ablation A2: framework dispatch cost ---- *)
 
 let ablation_dispatch () =
+  let results =
+    map_points
+      (fun ~obs (us, kind) ->
+        let params =
+          { (Params.default ~n:3) with Params.dispatch_cost = Repro_sim.Time.span_us us }
+        in
+        (us, kind, run_point ~obs ~params ~kind ~n:3 ~load:3000.0 ~size:1024 ()))
+      (product [ 0; 2; 5; 10; 20; 50 ] both_kinds)
+  in
   section "Ablation A2: framework dispatch cost per module boundary (n=3, 1 KiB)";
   List.iter
-    (fun us ->
-      List.iter
-        (fun kind ->
-          let params =
-            { (Params.default ~n:3) with Params.dispatch_cost = Repro_sim.Time.span_us us }
-          in
-          let r = run_point ~params ~kind ~n:3 ~load:3000.0 ~size:1024 () in
-          Fmt.pr
-            "dispatch %3d us | %-10s | lat %7.3f ms | tput %7.1f/s | crossings/msg %5.1f@."
-            us (kind_name kind) r.early_latency_ms.Stats.mean r.throughput
-            r.boundary_crossings_per_msg)
-        both_kinds)
-    [ 0; 2; 5; 10; 20; 50 ]
+    (fun (us, kind, (r : Experiment.result)) ->
+      Fmt.pr
+        "dispatch %3d us | %-10s | lat %7.3f ms | tput %7.1f/s | crossings/msg %5.1f@."
+        us (kind_name kind) r.early_latency_ms.Stats.mean r.throughput
+        r.boundary_crossings_per_msg)
+    results
 
 (* ---- Ablation A3: flow-control window vs batch size M ---- *)
 
 let ablation_window () =
+  let results =
+    map_points
+      (fun ~obs (window, kind) ->
+        let params = { (Params.default ~n:3) with Params.window } in
+        (window, kind, run_point ~obs ~params ~kind ~n:3 ~load:3000.0 ~size:8192 ()))
+      (product [ 1; 2; 4; 8; 16 ] both_kinds)
+  in
   section "Ablation A3: flow-control window -> mean batch M (n=3, 8 KiB)";
   List.iter
-    (fun window ->
-      List.iter
-        (fun kind ->
-          let params = { (Params.default ~n:3) with Params.window } in
-          let r = run_point ~params ~kind ~n:3 ~load:3000.0 ~size:8192 () in
-          Fmt.pr "window %2d | %-10s | M %5.2f | lat %7.3f ms | tput %7.1f/s@." window
-            (kind_name kind) r.mean_batch r.early_latency_ms.Stats.mean r.throughput)
-        both_kinds)
-    [ 1; 2; 4; 8; 16 ]
+    (fun (window, kind, (r : Experiment.result)) ->
+      Fmt.pr "window %2d | %-10s | M %5.2f | lat %7.3f ms | tput %7.1f/s@." window
+        (kind_name kind) r.mean_batch r.early_latency_ms.Stats.mean r.throughput)
+    results
 
 (* ---- Supplementary: topology sensitivity ----
 
@@ -363,14 +399,19 @@ let topology_study () =
              ~far:(Time.span_us 50)) );
     ]
   in
+  let cells =
+    map_points
+      (fun ~obs ((name, topology), kind) ->
+        let params = { (Params.default ~n:4) with Params.topology } in
+        (name, kind, run_point ~obs ~params ~kind ~n:4 ~load:2000.0 ~size:4096 ()))
+      (product layouts both_kinds)
+  in
   List.iter
-    (fun (name, topology) ->
+    (fun (name, _) ->
       let results =
-        List.map
-          (fun kind ->
-            let params = { (Params.default ~n:4) with Params.topology } in
-            (kind, run_point ~params ~kind ~n:4 ~load:2000.0 ~size:4096 ()))
-          both_kinds
+        List.filter_map
+          (fun (name', kind, r) -> if name' = name then Some (kind, r) else None)
+          cells
       in
       List.iter
         (fun (kind, (r : Experiment.result)) ->
@@ -395,48 +436,57 @@ let topology_study () =
    pays proportionally more often. *)
 
 let loss_study () =
+  let results =
+    map_points
+      (fun ~obs (loss, kind) ->
+        let params =
+          {
+            (Params.default ~n:3) with
+            Params.transport =
+              (if loss = 0.0 then Params.Tcp_like else Params.Lossy loss);
+          }
+        in
+        (loss, kind, run_point ~obs ~params ~kind ~n:3 ~load:1000.0 ~size:1024 ()))
+      (product [ 0.0; 0.01; 0.05; 0.10 ] both_kinds)
+  in
   section "Supplementary S-loss: both stacks over fair-lossy links (n=3, 1 KiB)";
   List.iter
-    (fun loss ->
-      List.iter
-        (fun kind ->
-          let params =
-            {
-              (Params.default ~n:3) with
-              Params.transport =
-                (if loss = 0.0 then Params.Tcp_like else Params.Lossy loss);
-            }
-          in
-          let r = run_point ~params ~kind ~n:3 ~load:1000.0 ~size:1024 () in
-          Fmt.pr "loss %4.1f%% | %-10s | lat %7.3f ms | tput %7.1f/s | msgs/inst %6.2f@."
-            (100.0 *. loss) (kind_name kind) r.early_latency_ms.Stats.mean r.throughput
-            r.msgs_per_instance)
-        both_kinds)
-    [ 0.0; 0.01; 0.05; 0.10 ]
+    (fun (loss, kind, (r : Experiment.result)) ->
+      Fmt.pr "loss %4.1f%% | %-10s | lat %7.3f ms | tput %7.1f/s | msgs/inst %6.2f@."
+        (100.0 *. loss) (kind_name kind) r.early_latency_ms.Stats.mean r.throughput
+        r.msgs_per_instance)
+    results
 
 (* ---- Ablation A4: the §3.2 consensus optimizations themselves ---- *)
 
 let ablation_consensus () =
+  let results =
+    map_points
+      (fun ~obs (name, variant) ->
+        let base = Params.default ~n:3 in
+        let params =
+          {
+            base with
+            Params.modular =
+              { base.Params.modular with Params.consensus_variant = variant };
+          }
+        in
+        ( name,
+          run_point ~obs ~params ~kind:Replica.Modular ~n:3 ~load:3000.0 ~size:8192 ()
+        ))
+      [
+        ("optimized (paper §3.2)", Params.Ct_optimized);
+        ("classical CT [7]", Params.Ct_classic);
+      ]
+  in
   section
     "Ablation A4: optimized vs classical Chandra-Toueg in the modular stack (n=3, 8 KiB)";
   List.iter
-    (fun (name, variant) ->
-      let base = Params.default ~n:3 in
-      let params =
-        {
-          base with
-          Params.modular =
-            { base.Params.modular with Params.consensus_variant = variant };
-        }
-      in
-      let r = run_point ~params ~kind:Replica.Modular ~n:3 ~load:3000.0 ~size:8192 () in
+    (fun (name, (r : Experiment.result)) ->
       Fmt.pr "%-22s | lat %7.3f ms | tput %7.1f/s | msgs/inst %5.2f | bytes/inst %8.0f@."
         name r.early_latency_ms.Stats.mean r.throughput r.msgs_per_instance
         r.bytes_per_instance)
-    [
-      ("optimized (paper §3.2)", Params.Ct_optimized);
-      ("classical CT [7]", Params.Ct_classic);
-    ]
+    results
 
 (* ---- Supplementary: the middle ground (related work [12]) ----
 
@@ -446,19 +496,22 @@ let ablation_consensus () =
    bytes and latency while keeping the modular message count. *)
 
 let indirect_study () =
+  let results =
+    map_points
+      (fun ~obs (n, kind) -> run_point ~obs ~kind ~n ~load:3000.0 ~size:8192 ())
+      (product both_ns [ Replica.Modular; Replica.Indirect; Replica.Monolithic ])
+  in
   section
     "Supplementary S-indirect: modular vs indirect [12] vs monolithic (8 KiB, saturating)";
   List.iter
-    (fun n ->
-      List.iter
-        (fun kind ->
-          let r = run_point ~kind ~n ~load:3000.0 ~size:8192 () in
-          Fmt.pr
-            "n=%d %-10s | lat %7.3f ms | tput %7.1f/s | msgs/inst %6.2f | bytes/inst %8.0f@."
-            n (kind_name kind) r.early_latency_ms.Stats.mean r.throughput
-            r.msgs_per_instance r.bytes_per_instance)
-        [ Replica.Modular; Replica.Indirect; Replica.Monolithic ])
-    both_ns
+    (fun (r : Experiment.result) ->
+      Fmt.pr
+        "n=%d %-10s | lat %7.3f ms | tput %7.1f/s | msgs/inst %6.2f | bytes/inst %8.0f@."
+        r.config.Experiment.n
+        (kind_name r.config.Experiment.kind)
+        r.early_latency_ms.Stats.mean r.throughput r.msgs_per_instance
+        r.bytes_per_instance)
+    results
 
 (* ---- Supplementary: the cost of modularity under faults ----
 
@@ -474,7 +527,7 @@ let faults_study () =
   let open Repro_fault in
   List.iter
     (fun n ->
-      let rows = Study.run ~obs ~warmup_s ~measure_s ~n () in
+      let rows = Study.run ~obs ~warmup_s ~measure_s ~jobs ~n () in
       List.iter
         (fun row ->
           Fmt.pr "%a" Study.pp_row row;
@@ -595,16 +648,46 @@ let bench_report path =
   let load = if smoke then 500.0 else 2000.0 in
   let size = 1024 in
   let ns = if smoke then [ 3 ] else [ 3; 7 ] in
+  let breakdown_load = 500.0 in
+  let wall_start = Unix.gettimeofday () in
+  (* The report matrix, one pool task per (n, stack, seed) cell, each
+     timed individually so the meta can report the aggregate speedup
+     (sequential work / wall-clock). Entry runs use Poisson arrivals: the
+     paper's constant-rate workload consumes no randomness on the good
+     path, so uniform-arrival repeats are seed-invariant and the report's
+     IQR degenerates to 0 (see EXPERIMENTS.md) — Poisson gaps let the
+     seeds actually perturb the runs the spread is computed over. *)
+  let cells =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun kind -> List.init repeats (fun seed -> (n, kind, seed)))
+          all_kinds)
+      ns
+  in
+  let timed_runs =
+    Repro_parallel.Pool.map ~jobs
+      (fun (n, kind, seed) ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Experiment.run
+            (Experiment.config ~kind ~n ~offered_load:load ~size
+               ~warmup_s:rep_warmup ~measure_s:rep_measure ~seed
+               ~arrival:Generator.Poisson ())
+        in
+        (n, kind, r, Unix.gettimeofday () -. t0))
+      cells
+  in
   let entries =
     List.concat_map
       (fun n ->
         List.concat_map
           (fun kind ->
             let runs =
-              List.init repeats (fun seed ->
-                  Experiment.run
-                    (Experiment.config ~kind ~n ~offered_load:load ~size
-                       ~warmup_s:rep_warmup ~measure_s:rep_measure ~seed ()))
+              List.filter_map
+                (fun (n', kind', r, _) ->
+                  if n' = n && kind' = kind then Some r else None)
+                timed_runs
             in
             let name metric = Fmt.str "%s/n%d/%s" (kind_name kind) n metric in
             [
@@ -627,11 +710,12 @@ let bench_report path =
      flow-control window gates admissions, a publish causally chains to
      the delivery that freed its slot and the paths telescope across
      messages; unsaturated, each path is one message's own lifetime and
-     the mean matches the measured early latency. *)
-  let breakdown_load = 500.0 in
-  let breakdown =
-    List.concat_map
+     the mean matches the measured early latency. Each task already builds
+     a private sink, so the pool needs no extra merging here. *)
+  let timed_breakdown =
+    Repro_parallel.Pool.map ~jobs
       (fun kind ->
+        let t0 = Unix.gettimeofday () in
         let sink = Repro_obs.Obs.create () in
         ignore
           (Experiment.run ~obs:sink
@@ -640,16 +724,25 @@ let bench_report path =
         let b =
           Repro_analysis.Critical_path.of_spans ~pid:0 (Repro_obs.Obs.spans sink)
         in
-        List.map
-          (fun (r : Repro_analysis.Critical_path.breakdown_row) ->
-            {
-              Repro_analysis.Bench_report.stack = kind_name kind;
-              label = r.Repro_analysis.Critical_path.row_label;
-              mean_ms = r.Repro_analysis.Critical_path.mean_ms;
-              share = r.Repro_analysis.Critical_path.share;
-            })
-          b.Repro_analysis.Critical_path.rows)
+        let rows =
+          List.map
+            (fun (r : Repro_analysis.Critical_path.breakdown_row) ->
+              {
+                Repro_analysis.Bench_report.stack = kind_name kind;
+                label = r.Repro_analysis.Critical_path.row_label;
+                mean_ms = r.Repro_analysis.Critical_path.mean_ms;
+                share = r.Repro_analysis.Critical_path.share;
+              })
+            b.Repro_analysis.Critical_path.rows
+        in
+        (rows, Unix.gettimeofday () -. t0))
       all_kinds
+  in
+  let breakdown = List.concat_map fst timed_breakdown in
+  let wallclock_s = Unix.gettimeofday () -. wall_start in
+  let task_total_s =
+    List.fold_left (fun acc (_, _, _, dt) -> acc +. dt) 0.0 timed_runs
+    +. List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 timed_breakdown
   in
   let report =
     {
@@ -663,6 +756,12 @@ let bench_report path =
           ("breakdown_load", Fmt.str "%g" breakdown_load);
           ("size", string_of_int size);
           ("mode", (if smoke then "smoke" else "full"));
+          (* Timing triple: the only meta that varies between otherwise
+             identical runs. The jobs-equivalence check strips exactly
+             these three keys before comparing reports byte-for-byte. *)
+          ("jobs", string_of_int jobs);
+          ("wallclock_s", Fmt.str "%.3f" wallclock_s);
+          ("speedup_vs_seq", Fmt.str "%.2f" (task_total_s /. wallclock_s));
         ];
       entries;
       breakdown;

@@ -43,6 +43,26 @@ let measure_arg =
 let csv_arg =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated rows instead of a table.")
 
+(* Independent simulation runs (campaign trials, study cells, --repeats)
+   fan out over a domain pool. Output is byte-identical whatever N is:
+   results are collected in task order and each task observes through a
+   private sink merged back in order; --jobs 1 is the exact sequential
+   code path. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run independent simulations on $(docv) parallel domains (default: CPU \
+           cores - 1, at least 1). Results and output are byte-identical for any \
+           value; $(b,--jobs 1) disables parallelism entirely.")
+
+let resolve_jobs = function
+  | Some j when j >= 1 -> j
+  | Some j -> Fmt.failwith "--jobs must be >= 1 (got %d)" j
+  | None -> Repro_parallel.Pool.default_jobs ()
+
 let metrics_out_arg =
   Arg.(
     value
@@ -173,7 +193,7 @@ let run_cmd =
             "Per-copy message loss probability; > 0 mounts the reliable-channel              transport over fair-lossy links.")
   in
   let run kind n load size warmup measure seed csv classic repeats loss metrics_out
-      trace_out trace_max_events =
+      trace_out trace_max_events jobs =
     let params =
       let p = Params.default ~n in
       let p =
@@ -194,7 +214,7 @@ let run_cmd =
     let result =
       with_obs ?trace_max_events ~metrics_out ~trace_out
         ~tags:[ ("stack", kind_name kind); ("n", string_of_int n) ]
-        (fun obs -> Experiment.run_repeated ~repeats ~obs config)
+        (fun obs -> Experiment.run_repeated ~repeats ~jobs:(resolve_jobs jobs) ~obs config)
     in
     emit ~csv [ result ]
   in
@@ -203,7 +223,7 @@ let run_cmd =
     Term.(
       const run $ kind_arg $ n_arg $ load_arg $ size_arg $ warmup_arg $ measure_arg
       $ seed_arg $ csv_arg $ classic_arg $ repeats_arg $ loss_arg $ metrics_out_arg
-      $ trace_out_arg $ trace_max_arg)
+      $ trace_out_arg $ trace_max_arg $ jobs_arg)
 
 (* ---- figures ---- *)
 
@@ -592,7 +612,7 @@ let campaign_cmd =
       & info [ "horizon" ] ~docv:"S"
           ~doc:"Virtual seconds each random schedule spans (faults end by 0.9 horizon).")
   in
-  let run n seeds base_seed out horizon =
+  let run n seeds base_seed out horizon jobs =
     let oc = Option.map open_out out in
     let on_verdict v =
       Fmt.pr "%a@." Repro_fault.Campaign.pp_verdict v;
@@ -603,7 +623,8 @@ let campaign_cmd =
         oc
     in
     let verdicts =
-      Repro_fault.Campaign.run ~base_seed ~horizon_s:horizon ~on_verdict ~n ~seeds ()
+      Repro_fault.Campaign.run ~base_seed ~horizon_s:horizon ~on_verdict
+        ~jobs:(resolve_jobs jobs) ~n ~seeds ()
     in
     Option.iter close_out oc;
     match Repro_fault.Campaign.failures verdicts with
@@ -629,7 +650,8 @@ let campaign_cmd =
           partitions, loss and delay windows) against all three stacks, with \
           continuous invariant monitoring; failing schedules are shrunk to a minimal \
           reproducer.")
-    Term.(ret (const run $ n_arg $ seeds_arg $ base_seed_arg $ out_arg $ horizon_arg))
+    Term.(
+      ret (const run $ n_arg $ seeds_arg $ base_seed_arg $ out_arg $ horizon_arg $ jobs_arg))
 
 (* ---- study: modularity cost under faults ---- *)
 
@@ -637,13 +659,11 @@ let study_cmd =
   let n_arg =
     Arg.(value & opt int 3 & info [ "n"; "group-size" ] ~docv:"N" ~doc:"Group size.")
   in
-  let run n csv =
+  let run n csv jobs =
     if csv then print_endline "stack,scenario,n,latency_ms,throughput,lat_ratio,tput_ratio";
-    let rows = ref [] in
     let all =
-      Repro_fault.Study.run ~n
+      Repro_fault.Study.run ~n ~jobs:(resolve_jobs jobs)
         ~on_row:(fun row ->
-          rows := row :: !rows;
           if not csv then Fmt.pr "%a@." Repro_fault.Study.pp_row row)
         ()
     in
@@ -673,7 +693,7 @@ let study_cmd =
          "Measure the modular/monolithic gap while scripted faults hit the measurement \
           window (coordinator crash, 2% loss, partition+heal) — the \
           modularity-cost-under-faults study (EXPERIMENTS.md S-faults).")
-    Term.(ret (const run $ n_arg $ csv_arg))
+    Term.(ret (const run $ n_arg $ csv_arg $ jobs_arg))
 
 (* ---- compare: regression gate over two benchmark reports ---- *)
 

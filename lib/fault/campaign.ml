@@ -177,21 +177,27 @@ let minimize ?offered_load ?settle_s v =
 let all_kinds = [ Replica.Modular; Replica.Monolithic; Replica.Indirect ]
 
 let run ?(kinds = all_kinds) ?(base_seed = 1) ?offered_load ?(horizon_s = 2.0)
-    ?settle_s ?(on_verdict = fun _ -> ()) ~n ~seeds () =
+    ?settle_s ?(on_verdict = fun _ -> ()) ?jobs ~n ~seeds () =
   let horizon = span_of_s horizon_s in
-  List.concat_map
-    (fun i ->
-      let seed = base_seed + i in
-      (* The schedule depends on the seed only, so every stack faces the
-         same fault pattern. *)
-      let schedule = random_schedule (Rng.create ~seed) ~n ~horizon in
-      List.map
-        (fun kind ->
-          let v = run_one ~kind ~n ~seed ~schedule ?offered_load ?settle_s () in
-          on_verdict v;
-          v)
-        kinds)
-    (List.init seeds (fun i -> i))
+  (* Schedule generation stays sequential (it is cheap and shares one RNG
+     per seed); the independent (seed, schedule, kind) runs go on the
+     pool. The schedule depends on the seed only, so every stack faces
+     the same fault pattern. Tasks are enumerated seed-major, and
+     [Pool.map]'s ordered collection keeps the verdict stream — and
+     [on_verdict] calls — in seed-then-stack order whatever [jobs] is. *)
+  let tasks =
+    List.concat_map
+      (fun i ->
+        let seed = base_seed + i in
+        let schedule = random_schedule (Rng.create ~seed) ~n ~horizon in
+        List.map (fun kind -> (seed, schedule, kind)) kinds)
+      (List.init seeds (fun i -> i))
+  in
+  Repro_parallel.Pool.map ?jobs
+    ~collect:(fun _ v -> on_verdict v)
+    (fun (seed, schedule, kind) ->
+      run_one ~kind ~n ~seed ~schedule ?offered_load ?settle_s ())
+    tasks
 
 let failures verdicts =
   List.filter (fun v -> match v.outcome with Pass -> false | Fail _ -> true) verdicts

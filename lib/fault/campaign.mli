@@ -79,6 +79,7 @@ val run :
   ?horizon_s:float ->
   ?settle_s:float ->
   ?on_verdict:(verdict -> unit) ->
+  ?jobs:int ->
   n:int ->
   seeds:int ->
   unit ->
@@ -88,7 +89,13 @@ val run :
     virtual-second faulty window, run against every stack in [kinds]
     (default all three). [on_verdict] (default ignore) observes each
     verdict as it completes, for progress output. Verdicts are ordered by
-    seed, then by stack. *)
+    seed, then by stack.
+
+    [jobs] (default 1) runs the independent (seed, stack) executions on a
+    {!Repro_parallel.Pool}; verdict order and [on_verdict] order are
+    unchanged whatever the value — each run is seeded and virtual-time
+    deterministic, so the verdict list is identical too. Shrinking
+    ({!minimize}) is always sequential. *)
 
 val failures : verdict list -> verdict list
 

@@ -37,40 +37,46 @@ let scenarios ~warmup_s ~n =
 
 let run ?(kinds = [ Replica.Modular; Replica.Monolithic ]) ?(offered_load = 1000.0)
     ?(size = 1024) ?(warmup_s = 1.0) ?(measure_s = 4.0) ?(obs = Obs.noop)
-    ?(on_row = fun _ -> ()) ~n () =
-  List.concat_map
-    (fun kind ->
-      List.map
-        (fun (scenario, schedule) ->
-          let transport =
-            if Schedule.drops_messages schedule then Params.Lossy 0.0
-            else Params.Tcp_like
-          in
-          let params = { (Params.default ~n) with Params.transport = transport } in
-          let config =
-            Experiment.config ~kind ~n ~offered_load ~size ~warmup_s ~measure_s
-              ~params
-              ~fd_mode:(`Heartbeat Repro_fd.Heartbeat_fd.default_config)
-              ()
-          in
-          let result =
-            Experiment.run ~obs
-              ~on_group:(fun g -> ignore (Nemesis.install g schedule))
-              config
-          in
-          let row = { kind; scenario; result } in
-          if Obs.enabled obs then begin
-            let prefix =
-              Printf.sprintf "study.%s.%s" (Experiment.kind_name kind) scenario
-            in
-            Obs.set_gauge obs (prefix ^ ".latency_ms")
-              result.Experiment.early_latency_ms.Stats.mean;
-            Obs.set_gauge obs (prefix ^ ".throughput") result.Experiment.throughput
-          end;
-          on_row row;
-          row)
-        (scenarios ~warmup_s ~n))
-    kinds
+    ?(on_row = fun _ -> ()) ?jobs ~n () =
+  (* One task per (stack, scenario) cell. The study gauges go on the
+     task-private sink; [Parmap] absorbs sinks in cell order, so the
+     shared [obs] ends up exactly as the sequential nested loop left it.
+     [on_row] likewise fires in cell order from the collector. *)
+  let cells =
+    List.concat_map
+      (fun kind -> List.map (fun sc -> (kind, sc)) (scenarios ~warmup_s ~n))
+      kinds
+  in
+  Parmap.map ?jobs ~obs
+    ~collect:(fun _ row -> on_row row)
+    (fun ~obs (kind, (scenario, schedule)) ->
+      let transport =
+        if Schedule.drops_messages schedule then Params.Lossy 0.0
+        else Params.Tcp_like
+      in
+      let params = { (Params.default ~n) with Params.transport = transport } in
+      let config =
+        Experiment.config ~kind ~n ~offered_load ~size ~warmup_s ~measure_s
+          ~params
+          ~fd_mode:(`Heartbeat Repro_fd.Heartbeat_fd.default_config)
+          ()
+      in
+      let result =
+        Experiment.run ~obs
+          ~on_group:(fun g -> ignore (Nemesis.install g schedule))
+          config
+      in
+      let row = { kind; scenario; result } in
+      if Obs.enabled obs then begin
+        let prefix =
+          Printf.sprintf "study.%s.%s" (Experiment.kind_name kind) scenario
+        in
+        Obs.set_gauge obs (prefix ^ ".latency_ms")
+          result.Experiment.early_latency_ms.Stats.mean;
+        Obs.set_gauge obs (prefix ^ ".throughput") result.Experiment.throughput
+      end;
+      row)
+    cells
 
 let baseline rows kind =
   List.find_opt (fun r -> r.kind = kind && r.scenario = "none") rows

@@ -40,6 +40,7 @@ val run :
   ?measure_s:float ->
   ?obs:Repro_obs.Obs.t ->
   ?on_row:(row -> unit) ->
+  ?jobs:int ->
   n:int ->
   unit ->
   row list
@@ -48,7 +49,11 @@ val run :
     warm-up, 4 s measurement. When [obs] is enabled, each row additionally
     sets the gauges [study.<stack>.<scenario>.latency_ms] and
     [study.<stack>.<scenario>.throughput] — the degradation metrics the
-    JSONL export carries. [on_row] observes rows as they complete. *)
+    JSONL export carries. [on_row] observes rows as they complete.
+
+    [jobs] (default 1) runs the independent (stack, scenario) cells on a
+    {!Parmap} pool; row order, [on_row] order and the final state of [obs]
+    are byte-identical to the sequential schedule. *)
 
 val baseline : row list -> Replica.kind -> row option
 (** The same-stack [none] row, if present. *)

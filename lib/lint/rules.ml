@@ -16,6 +16,11 @@
                    at a type visibly containing a function or a mutable
                    container (compare raises on closures and walks the
                    physical bucket layout of a Hashtbl.t)
+   - toplevel-state  a module-toplevel let binding allocating mutable
+                   state (ref, Hashtbl.create, Buffer.create, ...): such
+                   state outlives a run (leaks between runs) and is
+                   shared by every task once independent runs execute on
+                   the Parallel domain pool
 
    Known approximations: a Hashtbl.fold with a commutative accumulator is
    still flagged (waive it); module aliases like `module H = Hashtbl` hide
@@ -61,6 +66,14 @@ let is_immediate ty =
 let mutable_containers =
   [ "ref"; "array"; "bytes"; "Bytes.t"; "Hashtbl.t"; "Queue.t"; "Stack.t"; "Buffer.t";
     "Atomic.t" ]
+
+(* Allocators whose result, bound at module toplevel, is long-lived
+   mutable state. Array/Bytes literals and [make] are deliberately not
+   listed: constant lookup tables are idiomatic and flagged sites would
+   be mostly noise — the rule targets accumulating state. *)
+let state_makers =
+  [ "ref"; "Hashtbl.create"; "Buffer.create"; "Queue.create"; "Stack.create";
+    "Atomic.make" ]
 
 (* Does [ty] visibly contain a component polymorphic compare chokes on?
    Only structure visible at the use site is inspected — named types stay
@@ -196,4 +209,37 @@ let check_structure ~file (str : structure) : Violation.t list =
   in
   let it = { default with expr; module_expr } in
   it.structure it str;
+  (* toplevel-state walks structure items directly rather than through the
+     iterator: only module-toplevel bindings are suspect — a ref local to a
+     function is per-call state and perfectly fine. *)
+  let rec scan_items items =
+    List.iter
+      (fun (item : structure_item) ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : value_binding) ->
+              match head_ident vb.vb_expr with
+              | Some (p, _) ->
+                let n = norm_path p in
+                if List.mem n state_makers then
+                  add vb.vb_expr.exp_loc "toplevel-state"
+                    (Printf.sprintf
+                       "module-toplevel mutable state (%s) outlives a run and is \
+                        shared across parallel domains; allocate it inside the \
+                        function that uses it (or waive with a justification)"
+                       n)
+              | None -> ())
+            vbs
+        | Tstr_module mb -> scan_module_expr mb.mb_expr
+        | Tstr_recmodule mbs -> List.iter (fun mb -> scan_module_expr mb.mb_expr) mbs
+        | _ -> ())
+      items
+  and scan_module_expr (m : module_expr) =
+    match m.mod_desc with
+    | Tmod_structure s -> scan_items s.str_items
+    | Tmod_constraint (me, _, _, _) -> scan_module_expr me
+    | _ -> ()
+  in
+  scan_items str.str_items;
   List.sort Violation.order !out

@@ -3,7 +3,14 @@
     [Hashtbl.iter]/[Hashtbl.fold], physical equality at non-immediate
     types, and polymorphic comparison at types visibly containing
     functions or mutable containers. A [Hashtbl.fold] whose result is
-    piped straight into [List.sort*] is recognized as sanctioned. *)
+    piped straight into [List.sort*] is recognized as sanctioned.
+
+    Plus one isolation rule: [toplevel-state] flags module-toplevel [let]
+    bindings that allocate mutable state ([ref], [Hashtbl.create],
+    [Buffer.create], [Queue.create], [Stack.create], [Atomic.make]) —
+    such state outlives a run and is shared by every task once
+    independent runs execute on the [Repro_parallel] domain pool.
+    Function-local allocations are never flagged. *)
 
 val norm_path : Path.t -> string
 (** "Stdlib__Random.int" / "Stdlib.Random.int" -> "Random.int"; project

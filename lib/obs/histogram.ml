@@ -55,3 +55,11 @@ let buckets t =
 
 let samples t = Array.to_list (Array.sub t.samples 0 t.count)
 let summary t = Stats.summarize (samples t)
+
+let absorb ~into src =
+  if
+    not
+      (Array.length into.edges = Array.length src.edges
+      && Array.for_all2 (fun a b -> Float.equal a b) into.edges src.edges)
+  then invalid_arg "Histogram.absorb: bucket edges differ";
+  List.iter (observe into) (samples src)

@@ -39,5 +39,11 @@ val buckets : t -> (float option * int) list
 val samples : t -> float list
 (** All recorded samples, in recording order. *)
 
+val absorb : into:t -> t -> unit
+(** [absorb ~into src] replays [src]'s samples onto [into], in [src]'s
+    recording order, leaving [src] unchanged. The two histograms must
+    share bucket edges.
+    @raise Invalid_argument when the edges differ. *)
+
 val summary : t -> Stats.summary
 (** Exact summary (mean, p50/p95/p99, …) over the retained samples. *)

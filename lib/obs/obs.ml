@@ -47,6 +47,12 @@ let noop = make ~enabled:false ~max_events:0
 
 let create ?(max_events = 2_000_000) () = make ~enabled:true ~max_events
 
+(* A sibling sink for one parallel task: same retention cap, same
+   enabledness. [create_like noop] is [noop], so callers can split any
+   sink per task and absorb the pieces back without special-casing the
+   disabled path. *)
+let create_like t = if t.enabled then make ~enabled:true ~max_events:t.max_events else t
+
 let set_clock t now =
   if t.enabled then begin
     t.now <- now;
@@ -166,6 +172,44 @@ let with_span_ctx t sid f =
 let spans t = Trace.events t.spans
 let span_count t = Trace.length t.spans
 let dropped_spans t = t.dropped_spans
+
+(* ---- Merging (parallel harness support) ----
+
+   [absorb dst src] appends everything [src] recorded onto [dst] as if it
+   had been recorded there directly, in [src]'s order: counters add,
+   gauges overwrite (last write wins, as in a sequential schedule),
+   histogram samples replay in order, trace events and spans append until
+   [dst]'s cap with the excess counted as dropped. Span ids are shifted
+   past every id [dst] has allocated — including ids of records the cap
+   discarded — which reproduces exactly the ids a single shared sink
+   would have handed out under the sequential schedule; parent links
+   shift with them ([no_parent] stays put).
+
+   The parallel harness gives each task a private sink ([create_like])
+   and absorbs them back in task order, so a parallel run's JSONL export
+   is byte-identical to the sequential one. *)
+
+let absorb dst src =
+  if dst.enabled && src.enabled then begin
+    List.iter (fun (name, v) -> incr dst ~by:v name) (counters src);
+    List.iter (fun (name, v) -> set_gauge dst name v) (gauges src);
+    List.iter
+      (fun (name, h) ->
+        Histogram.absorb ~into:(histogram dst ~edges:(Histogram.edges h) name) h)
+      (histograms src);
+    dst.dropped_events <-
+      dst.dropped_events + src.dropped_events
+      + Trace.absorb ~limit:dst.max_events ~into:dst.trace src.trace;
+    let offset = dst.next_sid in
+    let shift sid = if sid = Span.no_parent then sid else sid + offset in
+    dst.dropped_spans <-
+      dst.dropped_spans + src.dropped_spans
+      + Trace.absorb ~limit:dst.max_events
+          ~map:(fun (s : Span.t) ->
+            { s with Span.sid = shift s.Span.sid; parent = shift s.Span.parent })
+          ~into:dst.spans src.spans;
+    dst.next_sid <- dst.next_sid + src.next_sid
+  end
 
 let pp_event ppf e =
   Fmt.pf ppf "p%d %s/%s%s" (e.pid + 1) (layer_name e.layer) e.phase

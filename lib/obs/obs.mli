@@ -69,6 +69,22 @@ val create : ?max_events:int -> unit -> t
 val of_engine : Engine.t -> t
 (** [create ()] with the clock already wired to the engine. *)
 
+val create_like : t -> t
+(** A fresh sink with the same retention cap and enabledness: an enabled
+    sink yields a fresh enabled sibling, {!noop} yields {!noop}. The
+    parallel harness gives each task [create_like shared] as its private
+    sink and merges them back with {!absorb}. *)
+
+val absorb : t -> t -> unit
+(** [absorb dst src] appends everything [src] recorded onto [dst], in
+    [src]'s recording order: counters add, gauges overwrite, histogram
+    samples replay, trace events and spans append (respecting [dst]'s
+    [max_events] cap, excess counted as dropped), and span ids — parents
+    included — are renumbered past every id [dst] has allocated, so
+    absorbing per-task sinks in task order reproduces byte-for-byte the
+    stream a single shared sink would have recorded sequentially. [src]
+    is left unchanged; no-op unless both sinks are enabled. *)
+
 val set_clock : t -> (unit -> Time.t) -> unit
 (** Wire the clock used to stamp events and compute spans. [Group.create]
     calls this with the group engine's [now]; no-op on {!noop}. *)

@@ -1,0 +1,130 @@
+(* A fixed-size domain pool with a FIFO task queue, per-task result
+   slots, and ordered collection.
+
+   Concurrency structure: [next] (the queue head), [slots] and [stop] are
+   only touched under [lock]; task bodies run outside it. Workers claim
+   ascending indices, so claims are FIFO and — key invariant — every index
+   below a claimed one has also been claimed. The collector walks the
+   slots in index order, waiting on [filled] for the next slot; results
+   therefore stream out in the sequential order however the domains
+   interleave.
+
+   Failure: the first task that raises records the exception in its slot
+   and sets [stop], which makes every worker exit instead of claiming
+   further tasks (in-flight tasks still complete and fill their slots).
+   The collector flushes the prefix before the failed index, joins the
+   pool, and re-raises with the original backtrace — exactly what the
+   sequential loop would have done, minus any tasks that were already
+   in flight (whose results are discarded). *)
+
+type 'b slot =
+  | Empty
+  | Done of 'b
+  | Raised of exn * Printexc.raw_backtrace
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* The [jobs <= 1] path: the exact sequential loop, no domains, no
+   queue. Callers rely on this being indistinguishable from the
+   pre-parallelism code. *)
+let map_seq ~collect f items =
+  List.mapi
+    (fun i x ->
+      let y = f x in
+      collect i y;
+      y)
+    items
+
+let map ?(jobs = 1) ?(collect = fun _ _ -> ()) f items =
+  if jobs <= 1 then map_seq ~collect f items
+  else begin
+    let tasks = Array.of_list items in
+    let n = Array.length tasks in
+    if n = 0 then []
+    else begin
+      let slots = Array.make n Empty in
+      let lock = Mutex.create () in
+      let filled = Condition.create () in
+      let next = ref 0 in
+      let stop = ref false in
+      let worker () =
+        let rec loop () =
+          Mutex.lock lock;
+          let i = if !stop then n else !next in
+          if i < n then incr next;
+          Mutex.unlock lock;
+          if i < n then begin
+            let r =
+              try Done (f tasks.(i))
+              with e -> Raised (e, Printexc.get_raw_backtrace ())
+            in
+            Mutex.lock lock;
+            slots.(i) <- r;
+            (match r with Raised _ -> stop := true | Empty | Done _ -> ());
+            Condition.broadcast filled;
+            Mutex.unlock lock;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+      let joined = ref false in
+      let join_all () =
+        if not !joined then begin
+          joined := true;
+          List.iter Domain.join domains
+        end
+      in
+      let halt () =
+        Mutex.lock lock;
+        stop := true;
+        Mutex.unlock lock;
+        join_all ()
+      in
+      (* Stream the completed prefix in task order. Stops early (without
+         flushing) as soon as [stop] is observed with the next slot still
+         empty — the failure, if any, is ahead of us and is handled after
+         the join. *)
+      let streamed = ref 0 in
+      (try
+         let continue = ref true in
+         while !continue && !streamed < n do
+           Mutex.lock lock;
+           while slots.(!streamed) = Empty && not !stop do
+             Condition.wait filled lock
+           done;
+           let s = slots.(!streamed) in
+           Mutex.unlock lock;
+           match s with
+           | Done y ->
+             collect !streamed y;
+             incr streamed
+           | Raised _ | Empty -> continue := false
+         done
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         halt ();
+         Printexc.raise_with_backtrace e bt);
+      join_all ();
+      (* Post-join: flush whatever completed beyond the streamed prefix up
+         to the first failure, then re-raise it. Claims are FIFO, so below
+         the first [Raised] slot every slot is [Done]; [Empty] can only
+         appear above it (tasks abandoned by [stop]). *)
+      let rec finish k =
+        if k < n then
+          match slots.(k) with
+          | Done y ->
+            collect k y;
+            finish (k + 1)
+          | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+          | Empty ->
+            (* No failure at or below an empty slot means the pool stopped
+               without a cause — impossible by construction. *)
+            assert false
+      in
+      finish !streamed;
+      List.init n (fun i ->
+          match slots.(i) with Done y -> y | Raised _ | Empty -> assert false)
+    end
+  end

@@ -1,0 +1,39 @@
+(** Fixed-size domain pool with deterministic, ordered collection.
+
+    The experiment harness is a matrix of independent seeded simulations
+    (stack × group size × seed, campaign trials, study sweep points). Each
+    cell is a pure function of its inputs — it builds its own engine,
+    group and observability sink — so cells can run on separate domains.
+    What must NOT change with parallelism is the output: verdict files,
+    metrics dumps and printed tables are defined by the sequential
+    schedule. [map] therefore keeps a strict contract:
+
+    - tasks are claimed FIFO (task [i] starts no later than task [i+1]);
+    - every task writes its own result slot, nothing else shared;
+    - [collect] fires in task order 0, 1, 2, … regardless of completion
+      order, streaming as the completed prefix grows;
+    - the returned list is in task order;
+    - an exception raised by task [i] is re-raised (with its backtrace)
+      after [collect] has fired for exactly the tasks before [i] — the
+      sequential semantics.
+
+    With [jobs <= 1] no domain is spawned and [map] is exactly the
+    sequential [List.map] loop, so [--jobs 1] is the pre-parallelism code
+    path, not a one-worker pool.
+
+    Tasks must not print, write files, or touch shared mutable state —
+    side effects belong in [collect], which always runs in the calling
+    domain (`repro lint`'s [toplevel-state] rule enforces the absence of
+    shared toplevel state across [lib/]). *)
+
+val default_jobs : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]: leave one core for
+    the collector, never go below sequential. *)
+
+val map : ?jobs:int -> ?collect:(int -> 'b -> unit) -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs ~collect f items] applies [f] to every item on a pool of
+    [min jobs (length items)] worker domains and returns the results in
+    item order. [collect i y] is called in the calling domain, in item
+    order, as results become available. Exceptions from [f] or [collect]
+    propagate after all workers have been joined; remaining tasks are
+    abandoned (never started), matching sequential behaviour. *)

@@ -38,6 +38,13 @@ val events : 'a t -> 'a list
 val length : 'a t -> int
 (** Number of recorded entries. *)
 
+val absorb : ?limit:int -> ?map:('a -> 'a) -> into:'a t -> 'a t -> int
+(** [absorb ~limit ~map ~into src] appends [src]'s entries onto [into] in
+    order, preserving their timestamps and rewriting each event through
+    [map] (default identity), but never growing [into] past [limit]
+    entries (default unbounded). Returns the number of entries dropped by
+    the limit. [src] is not modified. *)
+
 val find_last : 'a t -> f:('a -> bool) -> 'a entry option
 (** The most recent entry satisfying [f], if any. *)
 

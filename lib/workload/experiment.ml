@@ -13,12 +13,13 @@ type config = {
   seed : int;
   params : Params.t;
   fd_mode : Replica.fd_mode;
+  arrival : Generator.arrival;
 }
 
 let config ~kind ~n ~offered_load ~size ?(warmup_s = 2.0) ?(measure_s = 8.0) ?(seed = 0)
-    ?params ?(fd_mode = `Good_run) () =
+    ?params ?(fd_mode = `Good_run) ?(arrival = Generator.Uniform) () =
   let params = match params with Some p -> { p with Params.n } | None -> Params.default ~n in
-  { kind; n; offered_load; size; warmup_s; measure_s; seed; params; fd_mode }
+  { kind; n; offered_load; size; warmup_s; measure_s; seed; params; fd_mode; arrival }
 
 type result = {
   config : config;
@@ -66,7 +67,8 @@ let run_raw ?(obs = Obs.noop) ?on_group config =
   in
   Option.iter (fun f -> f group) on_group;
   let generator =
-    Generator.start group ~offered_load:config.offered_load ~size:config.size ()
+    Generator.start group ~offered_load:config.offered_load ~size:config.size
+      ~arrival:config.arrival ()
   in
   Group.run_for group (span_of_s config.warmup_s);
   (* Window-start snapshot. *)
@@ -141,11 +143,12 @@ let run_raw ?(obs = Obs.noop) ?on_group config =
 
 let run ?obs ?on_group config = snd (run_raw ?obs ?on_group config)
 
-let run_repeated ?(repeats = 3) ?obs ?on_group config =
+let run_repeated ?(repeats = 3) ?jobs ?(obs = Obs.noop) ?on_group config =
   if repeats < 1 then invalid_arg "Experiment.run_repeated: repeats must be >= 1";
   let runs =
-    List.init repeats (fun i ->
-        run_raw ?obs ?on_group { config with seed = config.seed + i })
+    Parmap.map ?jobs ~obs
+      (fun ~obs i -> run_raw ~obs ?on_group { config with seed = config.seed + i })
+      (List.init repeats Fun.id)
   in
   let pooled_latencies = List.concat_map fst runs in
   let results = List.map snd runs in

@@ -22,6 +22,12 @@ type config = {
       (** Failure detection during the run. [`Good_run] (the default)
           reproduces §5.1's good-run benchmarks; fault studies mount a live
           detector (e.g. [`Heartbeat]) so crashes are actually detected. *)
+  arrival : Generator.arrival;
+      (** Arrival process offered by the workload generator. [Uniform]
+          (the default, the paper's constant rate) consumes no randomness,
+          so repeated good runs are seed-invariant; [Poisson] draws
+          inter-arrival gaps from the seeded RNG, making the seed actually
+          perturb the execution — what benchmark repeats want. *)
 }
 
 val config :
@@ -34,10 +40,11 @@ val config :
   ?seed:int ->
   ?params:Params.t ->
   ?fd_mode:Replica.fd_mode ->
+  ?arrival:Generator.arrival ->
   unit ->
   config
 (** Defaults: 2 s warm-up, 8 s measurement, seed 0, {!Params.default},
-    [`Good_run] failure detection. *)
+    [`Good_run] failure detection, [Uniform] arrivals. *)
 
 type result = {
   config : config;
@@ -76,6 +83,7 @@ val run : ?obs:Repro_obs.Obs.t -> ?on_group:(Group.t -> unit) -> config -> resul
 
 val run_repeated :
   ?repeats:int ->
+  ?jobs:int ->
   ?obs:Repro_obs.Obs.t ->
   ?on_group:(Group.t -> unit) ->
   config ->
@@ -85,7 +93,11 @@ val run_repeated :
     executions (the paper computes means "over many messages and for
     several executions", §5.1); scalar metrics are averaged. With
     [repeats = 1] this is {!run}. A shared [obs] accumulates counters and
-    histograms across all repeats; gauges keep the last run's values. *)
+    histograms across all repeats; gauges keep the last run's values.
+
+    [jobs] (default 1) runs the repeats on a {!Parmap} domain pool; the
+    combined result and the final state of [obs] are byte-identical to the
+    sequential schedule whatever the value of [jobs]. *)
 
 val kind_name : Replica.kind -> string
 (** ["modular"], ["monolithic"] or ["indirect"] — the spelling used in

@@ -1,0 +1,20 @@
+module Obs = Repro_obs.Obs
+module Pool = Repro_parallel.Pool
+
+let map ?(jobs = 1) ~obs ?(collect = fun _ _ -> ()) f items =
+  if jobs <= 1 then
+    (* The sequential path shares [obs] directly — byte-for-byte the
+       pre-parallelism behavior, which the [jobs > 1] path is contractually
+       required to reproduce. *)
+    Pool.map ~jobs:1 ~collect (fun x -> f ~obs x) items
+  else
+    Pool.map ~jobs
+      ~collect:(fun i (sink, y) ->
+        Obs.absorb obs sink;
+        collect i y)
+      (fun x ->
+        let sink = Obs.create_like obs in
+        let y = f ~obs:sink x in
+        (sink, y))
+      items
+    |> List.map snd

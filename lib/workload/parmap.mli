@@ -1,0 +1,29 @@
+(** Deterministic parallel map over independent simulation runs.
+
+    A thin wrapper around {!Repro_parallel.Pool} that adds the
+    observability discipline every parallel loop in this repo needs: with
+    [jobs <= 1] the tasks run on the exact sequential code path, sharing
+    [obs] directly; with [jobs > 1] each task gets a private sibling sink
+    ([Obs.create_like obs]) and the collector absorbs the sinks back into
+    [obs] in task order ({!Repro_obs.Obs.absorb}), so the merged metrics,
+    trace and spans are byte-identical to what the sequential schedule
+    would have recorded.
+
+    Tasks must be independent: each is a closure that only touches its own
+    sink and its own simulation state. All shared-state effects belong in
+    [collect], which runs in the calling domain, in task order. *)
+
+val map :
+  ?jobs:int ->
+  obs:Repro_obs.Obs.t ->
+  ?collect:(int -> 'b -> unit) ->
+  (obs:Repro_obs.Obs.t -> 'a -> 'b) ->
+  'a list ->
+  'b list
+(** [map ~jobs ~obs ~collect f items] evaluates [f ~obs:sink item] for
+    each item — [sink] is [obs] itself when [jobs <= 1] (default), a
+    private sibling otherwise — and returns the results in input order.
+    [collect i result] fires in task order after task [i]'s sink has been
+    absorbed, so callbacks observe [obs] exactly as the sequential loop
+    would have left it at that point. On an exception the completed prefix
+    is collected and absorbed, then the exception re-raises. *)

@@ -1,0 +1,21 @@
+(* Lint fixture: module-toplevel mutable state. The toplevel ref, the
+   toplevel Hashtbl and a binding nested inside a submodule are flagged;
+   a ref allocated inside a function is per-call state and exempt, as is
+   a toplevel binding that merely *calls* something returning state it
+   does not syntactically allocate. *)
+let counter = ref 0
+
+let cache : (string, int) Hashtbl.t = Hashtbl.create 16
+
+module Inner = struct
+  let buf = Buffer.create 64
+end
+
+let fresh () =
+  let local = ref 0 in
+  incr local;
+  !local
+
+let make_table () = Hashtbl.create 8
+
+let indirect : (string, int) Hashtbl.t = make_table ()

@@ -1,0 +1,88 @@
+(* The @parallel-smoke alias: end-to-end determinism check of the domain
+   pool through the public bench executable. Runs the tiny seeded
+   benchmark twice — sequentially (--jobs 1) and on a pool (--jobs 4) —
+   and requires the two reports to be byte-identical once the three
+   timing-only meta fields (jobs, wallclock_s, speedup_vs_seq) are
+   stripped: every simulated number, per-cell and pooled, must not
+   depend on the worker count. Wired into `dune runtest`. *)
+
+module Br = Repro_analysis.Bench_report
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("parallel-smoke: FAIL: " ^ s);
+      exit 1)
+    fmt
+
+let run_cli bin args =
+  let cmd = String.concat " " (List.map Filename.quote (bin :: args)) in
+  let code = Sys.command (cmd ^ " > /dev/null") in
+  if code <> 0 then fail "%s %s exited with %d" bin (String.concat " " args) code
+
+let timing_keys = [ "jobs"; "wallclock_s"; "speedup_vs_seq" ]
+
+let strip_timing (r : Br.t) =
+  { r with Br.meta = List.filter (fun (k, _) -> not (List.mem k timing_keys)) r.Br.meta }
+
+let canonical path =
+  match Br.read_file path with
+  | Error e -> fail "report %s unreadable: %s" path e
+  | Ok r ->
+    let stripped = strip_timing r in
+    let tmp = path ^ ".stripped" in
+    Br.write_file tmp stripped;
+    let ic = open_in_bin tmp in
+    let len = in_channel_length ic in
+    let body = really_input_string ic len in
+    close_in ic;
+    (stripped, body)
+
+let () =
+  let bench_exe =
+    match Sys.argv with
+    | [| _; bench |] -> bench
+    | _ -> fail "usage: parallel_smoke BENCH_EXE"
+  in
+  let seq_path = "parallel_smoke_j1.json"
+  and par_path = "parallel_smoke_j4.json" in
+  run_cli bench_exe [ "--smoke"; "--jobs"; "1"; "--json-out"; seq_path ];
+  run_cli bench_exe [ "--smoke"; "--jobs"; "4"; "--json-out"; par_path ];
+  let seq, seq_body = canonical seq_path in
+  let par, par_body = canonical par_path in
+  if seq.Br.entries = [] then fail "sequential report has no bench_entry lines";
+  (* The timing fields must actually be present before stripping. *)
+  let has_meta path (r : Br.t) =
+    List.iter
+      (fun k ->
+        if not (List.mem_assoc k r.Br.meta) then
+          fail "%s: bench_meta lacks %S" path k)
+      timing_keys
+  in
+  (match Br.read_file seq_path with
+  | Ok r -> has_meta seq_path r
+  | Error e -> fail "reread failed: %s" e);
+  (match Br.read_file par_path with
+  | Ok r -> has_meta par_path r
+  | Error e -> fail "reread failed: %s" e);
+  if String.length seq_body = 0 then fail "stripped sequential report is empty";
+  if not (String.equal seq_body par_body) then begin
+    (* Point at the first differing line to make failures diagnosable. *)
+    let ls = String.split_on_char '\n' seq_body
+    and lp = String.split_on_char '\n' par_body in
+    let rec first_diff i = function
+      | a :: tl_a, b :: tl_b ->
+        if String.equal a b then first_diff (i + 1) (tl_a, tl_b)
+        else Some (i, a, b)
+      | [], b :: _ -> Some (i, "<eof>", b)
+      | a :: _, [] -> Some (i, a, "<eof>")
+      | [], [] -> None
+    in
+    (match first_diff 1 (ls, lp) with
+    | Some (i, a, b) ->
+      Printf.eprintf "line %d\n  jobs=1: %s\n  jobs=4: %s\n" i a b
+    | None -> ());
+    fail "--jobs 1 and --jobs 4 reports differ beyond timing meta"
+  end;
+  ignore par;
+  print_endline "parallel-smoke: OK"

@@ -64,6 +64,13 @@ let test_fixture_polycompare () =
     [ ("poly-compare", 4); ("poly-compare", 6) ]
     (hits "fx_polycompare.ml")
 
+let test_fixture_topstate () =
+  Alcotest.(check (list rule_line))
+    "toplevel ref/Hashtbl/submodule Buffer flagged; function-local and \
+     indirectly-built state exempt"
+    [ ("toplevel-state", 6); ("toplevel-state", 8); ("toplevel-state", 11) ]
+    (hits "fx_topstate.ml")
+
 let test_fixture_clean () =
   Alcotest.(check (list rule_line)) "clean fixture stays clean" [] (hits "fx_clean.ml")
 
@@ -145,7 +152,22 @@ let test_committed_spec_isolation () =
   Alcotest.(check bool) "obs -> core rejected" true
     (violates (u "obs" "Obs") (u "core" "Msg"));
   Alcotest.(check bool) "sim -> framework rejected" true
-    (violates (u "sim" "Engine") (u "framework" "Event_bus"))
+    (violates (u "sim" "Engine") (u "framework" "Event_bus"));
+  (* The parallel pool is a harness utility: workload and fault may fan
+     runs over it, protocol layers must never see it, and it must stay a
+     leaf (no dependency back into the stack). *)
+  Alcotest.(check bool) "workload -> parallel sanctioned" false
+    (violates (u "workload" "Parmap") (u "parallel" "Pool"));
+  Alcotest.(check bool) "fault -> parallel sanctioned" false
+    (violates (u "fault" "Campaign") (u "parallel" "Pool"));
+  Alcotest.(check bool) "core -> parallel rejected" true
+    (violates (u "core" "Replica") (u "parallel" "Pool"));
+  Alcotest.(check bool) "net -> parallel rejected" true
+    (violates (u "net" "Network") (u "parallel" "Pool"));
+  Alcotest.(check bool) "sim -> parallel rejected" true
+    (violates (u "sim" "Engine") (u "parallel" "Pool"));
+  Alcotest.(check bool) "parallel stays a leaf" true
+    (violates (u "parallel" "Pool") (u "sim" "Engine"))
 
 (* ---- waivers ---- *)
 
@@ -229,6 +251,7 @@ let () =
           Alcotest.test_case "hashtbl-order" `Quick test_fixture_hashtbl;
           Alcotest.test_case "phys-eq" `Quick test_fixture_physeq;
           Alcotest.test_case "poly-compare" `Quick test_fixture_polycompare;
+          Alcotest.test_case "toplevel-state" `Quick test_fixture_topstate;
           Alcotest.test_case "clean" `Quick test_fixture_clean;
         ] );
       ( "spec",
