@@ -717,10 +717,11 @@ let bench_report path =
       (fun kind ->
         let t0 = Unix.gettimeofday () in
         let sink = Repro_obs.Obs.create () in
-        ignore
-          (Experiment.run ~obs:sink
-             (Experiment.config ~kind ~n:3 ~offered_load:breakdown_load ~size
-                ~warmup_s:rep_warmup ~measure_s:rep_measure ~seed:0 ()));
+        let br =
+          Experiment.run ~obs:sink
+            (Experiment.config ~kind ~n:3 ~offered_load:breakdown_load ~size
+               ~warmup_s:rep_warmup ~measure_s:rep_measure ~seed:0 ())
+        in
         let b =
           Repro_analysis.Critical_path.of_spans ~pid:0 (Repro_obs.Obs.spans sink)
         in
@@ -735,14 +736,23 @@ let bench_report path =
               })
             b.Repro_analysis.Critical_path.rows
         in
-        (rows, Unix.gettimeofday () -. t0))
+        (rows, br.Experiment.events_executed, Unix.gettimeofday () -. t0))
       all_kinds
   in
-  let breakdown = List.concat_map fst timed_breakdown in
+  let breakdown = List.concat_map (fun (rows, _, _) -> rows) timed_breakdown in
   let wallclock_s = Unix.gettimeofday () -. wall_start in
   let task_total_s =
     List.fold_left (fun acc (_, _, _, dt) -> acc +. dt) 0.0 timed_runs
-    +. List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 timed_breakdown
+    +. List.fold_left (fun acc (_, _, dt) -> acc +. dt) 0.0 timed_breakdown
+  in
+  (* Total simulator events driven by the harness: deterministic (a pure
+     function of the report matrix), unlike the wall-clock it is divided
+     by. [events_per_sec] is the engine-speed headline PERF.md tracks. *)
+  let events_executed =
+    List.fold_left
+      (fun acc (_, _, (r : Experiment.result), _) -> acc + r.Experiment.events_executed)
+      0 timed_runs
+    + List.fold_left (fun acc (_, ev, _) -> acc + ev) 0 timed_breakdown
   in
   let report =
     {
@@ -756,12 +766,17 @@ let bench_report path =
           ("breakdown_load", Fmt.str "%g" breakdown_load);
           ("size", string_of_int size);
           ("mode", (if smoke then "smoke" else "full"));
-          (* Timing triple: the only meta that varies between otherwise
+          ("events_executed", string_of_int events_executed);
+          (* Timing meta: the only keys that vary between otherwise
              identical runs. The jobs-equivalence check strips exactly
-             these three keys before comparing reports byte-for-byte. *)
+             these keys before comparing reports byte-for-byte
+             (events_executed above is deterministic and is NOT
+             stripped). *)
           ("jobs", string_of_int jobs);
           ("wallclock_s", Fmt.str "%.3f" wallclock_s);
           ("speedup_vs_seq", Fmt.str "%.2f" (task_total_s /. wallclock_s));
+          ( "events_per_sec",
+            Fmt.str "%.0f" (float_of_int events_executed /. wallclock_s) );
         ];
       entries;
       breakdown;

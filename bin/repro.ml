@@ -718,6 +718,18 @@ let compare_cmd =
     | Error e, _ -> `Error (false, Printf.sprintf "%s: %s" old_path e)
     | _, Error e -> `Error (false, Printf.sprintf "%s: %s" new_path e)
     | Ok old_report, Ok new_report -> (
+      (* Informational only: events/sec measures the simulator's own
+         wall-clock speed, not a simulated quantity, so it never gates.
+         Baselines written before the key existed simply skip the line. *)
+      (let eps r = List.assoc_opt "events_per_sec" r.Repro_analysis.Bench_report.meta in
+       match (eps old_report, eps new_report) with
+       | Some o, Some n -> (
+         match (float_of_string_opt o, float_of_string_opt n) with
+         | Some o, Some n when o > 0.0 && n > 0.0 ->
+           Fmt.pr "simulator events/sec: %.0f -> %.0f (%.2fx, informational)@." o n
+             (n /. o)
+         | _ -> ())
+       | _ -> ());
       let verdicts =
         Repro_analysis.Bench_report.compare_reports ~old_report ~new_report
       in

@@ -24,7 +24,7 @@ type t = {
   on_adeliver : App_msg.t -> unit;
   obs : Obs.t;
   payloads : App_msg.t Id_tbl.t; (* everything diffused to us, incl. own *)
-  mutable delivered : App_msg.Id_set.t;
+  delivered : Id_table.t;
   mutable pending : App_msg.Id_set.t; (* ids known but not yet ordered *)
   mutable ordered : App_msg.Id_set.t; (* ids in buffered decisions, undelivered *)
   mutable next_decide : int;
@@ -53,7 +53,7 @@ let create ~engine ~params ~me ~diffuse ~send ~broadcast ~consensus ~on_adeliver
     on_adeliver;
     obs;
     payloads = Id_tbl.create 1024;
-    delivered = App_msg.Id_set.empty;
+    delivered = Id_table.create ~n:params.Params.n;
     pending = App_msg.Id_set.empty;
     ordered = App_msg.Id_set.empty;
     next_decide = 0;
@@ -84,11 +84,13 @@ let maybe_propose t =
         t.consensus.propose ~inst:t.next_decide (Batch.of_list (List.map id_only ids)))
   end
 
+let delivered_mem t (id : App_msg.id) =
+  Id_table.mem t.delivered ~origin:id.App_msg.origin ~seq:id.App_msg.seq
+
 let missing_payloads t batch =
   List.filter_map
     (fun (m : App_msg.t) ->
-      if Id_tbl.mem t.payloads m.id || App_msg.Id_set.mem m.id t.delivered then None
-      else Some m.id)
+      if Id_tbl.mem t.payloads m.id || delivered_mem t m.id then None else Some m.id)
     (Batch.to_list batch)
 
 let cancel_fetch t =
@@ -123,10 +125,11 @@ let rec arm_fetch t ids =
 let adeliver_batch t batch =
   List.iter
     (fun (m : App_msg.t) ->
-      if not (App_msg.Id_set.mem m.id t.delivered) then begin
+      if not (delivered_mem t m.id) then begin
         match Id_tbl.find_opt t.payloads m.id with
         | Some payload ->
-          t.delivered <- App_msg.Id_set.add m.id t.delivered;
+          Id_table.add t.delivered ~origin:m.id.App_msg.origin
+            ~seq:m.id.App_msg.seq;
           t.ordered <- App_msg.Id_set.remove m.id t.ordered;
           t.delivered_count <- t.delivered_count + 1;
           Obs.incr t.obs "abcast.adelivers";
@@ -139,9 +142,7 @@ let adeliver_batch t batch =
       end)
     (Batch.to_list batch);
   t.pending <-
-    App_msg.Id_set.filter
-      (fun id -> not (App_msg.Id_set.mem id t.delivered))
-      t.pending
+    App_msg.Id_set.filter (fun id -> not (delivered_mem t id)) t.pending
 
 let rec drain t =
   match Hashtbl.find_opt t.decisions t.next_decide with
@@ -173,9 +174,7 @@ let rec drain t =
 let note_payload t (m : App_msg.t) =
   if not (Id_tbl.mem t.payloads m.id) then begin
     Id_tbl.replace t.payloads m.id m;
-    if
-      (not (App_msg.Id_set.mem m.id t.delivered))
-      && not (App_msg.Id_set.mem m.id t.ordered)
+    if (not (delivered_mem t m.id)) && not (App_msg.Id_set.mem m.id t.ordered)
     then t.pending <- App_msg.Id_set.add m.id t.pending;
     (* A blocked decision may now be complete. *)
     drain t;
@@ -183,7 +182,7 @@ let note_payload t (m : App_msg.t) =
   end
 
 let abcast t m =
-  if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
+  if not (delivered_mem t m.App_msg.id) then begin
     Obs.incr t.obs "abcast.abcasts";
     let sp =
       if Obs.enabled t.obs then begin
@@ -233,7 +232,7 @@ let on_decide t ~inst batch =
     List.iter
       (fun (m : App_msg.t) ->
         t.pending <- App_msg.Id_set.remove m.id t.pending;
-        if not (App_msg.Id_set.mem m.id t.delivered) then
+        if not (delivered_mem t m.id) then
           t.ordered <- App_msg.Id_set.add m.id t.ordered)
       (Batch.to_list batch);
     drain t;

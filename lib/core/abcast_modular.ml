@@ -10,7 +10,7 @@ type t = {
   consensus : consensus_service;
   on_adeliver : App_msg.t -> unit;
   obs : Obs.t;
-  mutable delivered : App_msg.Id_set.t;
+  delivered : Id_table.t;
   mutable pending : Batch.t;
   mutable next_decide : int; (* next instance to adeliver *)
   mutable proposed_up_to : int; (* highest instance proposed locally *)
@@ -26,7 +26,7 @@ let create ~params ~me ~diffuse ~consensus ~on_adeliver ?(obs = Obs.noop) () =
     consensus;
     on_adeliver;
     obs;
-    delivered = App_msg.Id_set.empty;
+    delivered = Id_table.create ~n:params.Params.n;
     pending = Batch.empty;
     next_decide = 0;
     proposed_up_to = -1;
@@ -40,12 +40,16 @@ let create ~params ~me ~diffuse ~consensus ~on_adeliver ?(obs = Obs.noop) () =
 let maybe_propose t =
   if t.proposed_up_to < t.next_decide && not (Batch.is_empty t.pending) then begin
     let batch =
-      let msgs = Batch.to_list t.pending in
-      let rec take acc k = function
-        | m :: rest when k > 0 -> take (m :: acc) (k - 1) rest
-        | _ -> acc
-      in
-      Batch.of_list (take [] t.params.Params.batch_cap msgs)
+      (* Common case: everything pending fits under the cap, and the
+         proposal is the pending batch itself — no list round-trip. *)
+      if Batch.size t.pending <= t.params.Params.batch_cap then t.pending
+      else
+        let msgs = Batch.to_list t.pending in
+        let rec take acc k = function
+          | m :: rest when k > 0 -> take (m :: acc) (k - 1) rest
+          | _ -> acc
+        in
+        Batch.of_list (take [] t.params.Params.batch_cap msgs)
     in
     t.proposed_up_to <- t.next_decide;
     L.debug (fun m ->
@@ -65,8 +69,10 @@ let adeliver_batch t batch =
   List.iter
     (fun m ->
       (* Integrity guard: a message appears in the total order once. *)
-      if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
-        t.delivered <- App_msg.Id_set.add m.App_msg.id t.delivered;
+      let id = m.App_msg.id in
+      if not (Id_table.mem t.delivered ~origin:id.App_msg.origin ~seq:id.App_msg.seq)
+      then begin
+        Id_table.add t.delivered ~origin:id.App_msg.origin ~seq:id.App_msg.seq;
         t.delivered_count <- t.delivered_count + 1;
         Obs.incr t.obs "abcast.adelivers";
         if Obs.enabled t.obs then
@@ -74,7 +80,7 @@ let adeliver_batch t batch =
         t.on_adeliver m
       end)
     (Batch.to_list batch);
-  t.pending <- Batch.remove_ids t.pending (Batch.ids batch)
+  t.pending <- Batch.diff t.pending batch
 
 let rec drain t =
   match Hashtbl.find_opt t.decisions t.next_decide with
@@ -99,8 +105,12 @@ let rec drain t =
     drain t
   | None -> ()
 
+let delivered_mem t (m : App_msg.t) =
+  Id_table.mem t.delivered ~origin:m.App_msg.id.App_msg.origin
+    ~seq:m.App_msg.id.App_msg.seq
+
 let abcast t m =
-  if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
+  if not (delivered_mem t m) then begin
     t.pending <- Batch.add t.pending m;
     Obs.incr t.obs "abcast.abcasts";
     let sp =
@@ -120,7 +130,7 @@ let abcast t m =
   end
 
 let on_diffuse t m =
-  if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
+  if not (delivered_mem t m) then begin
     t.pending <- Batch.add t.pending m;
     maybe_propose t
   end

@@ -34,7 +34,7 @@ type t = {
   on_adeliver : App_msg.t -> unit;
   obs : Obs.t;
   instances : (int, inst_state) Hashtbl.t;
-  mutable delivered : App_msg.Id_set.t;
+  delivered : Id_table.t;
   mutable next_deliver : int; (* next instance to adeliver *)
   mutable max_decided : int; (* highest locally decided instance *)
   mutable launched : int; (* highest instance this process launched *)
@@ -110,8 +110,11 @@ let cancel_timer t slot =
 
 let send_to_others t msg = t.broadcast msg
 
-let pool_add t m =
-  if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then t.pool <- Batch.add t.pool m
+let delivered_mem t (m : App_msg.t) =
+  Id_table.mem t.delivered ~origin:m.App_msg.id.App_msg.origin
+    ~seq:m.App_msg.id.App_msg.seq
+
+let pool_add t m = if not (delivered_mem t m) then t.pool <- Batch.add t.pool m
 
 let pipeline_active t = t.active_acked > 0 || t.ack_imminent
 
@@ -120,8 +123,9 @@ let pipeline_active t = t.active_acked > 0 || t.ack_imminent
 let adeliver_batch t batch =
   List.iter
     (fun m ->
-      if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
-        t.delivered <- App_msg.Id_set.add m.App_msg.id t.delivered;
+      if not (delivered_mem t m) then begin
+        Id_table.add t.delivered ~origin:m.App_msg.id.App_msg.origin
+          ~seq:m.App_msg.id.App_msg.seq;
         t.delivered_count <- t.delivered_count + 1;
         Obs.incr t.obs "abcast.adelivers";
         if Obs.enabled t.obs then
@@ -129,11 +133,10 @@ let adeliver_batch t batch =
         t.on_adeliver m
       end)
     (Batch.to_list batch);
-  let ids = Batch.ids batch in
-  t.pool <- Batch.remove_ids t.pool ids;
-  t.own_outstanding <- Batch.remove_ids t.own_outstanding ids;
+  t.pool <- Batch.diff t.pool batch;
+  t.own_outstanding <- Batch.diff t.own_outstanding batch;
   t.own_unsent <-
-    List.filter (fun m -> not (App_msg.Id_set.mem m.App_msg.id ids)) t.own_unsent
+    List.filter (fun m -> not (Batch.mem batch m.App_msg.id)) t.own_unsent
 
 let rec drain t =
   match Hashtbl.find_opt t.decisions_buf t.next_deliver with
@@ -172,12 +175,14 @@ let choose_estimate ests =
     Some v
 
 let take_cap t batch =
-  let msgs = Batch.to_list batch in
-  let rec take acc k = function
-    | m :: rest when k > 0 -> take (m :: acc) (k - 1) rest
-    | _ -> acc
-  in
-  Batch.of_list (take [] t.params.Params.batch_cap msgs)
+  if Batch.size batch <= t.params.Params.batch_cap then batch
+  else
+    let msgs = Batch.to_list batch in
+    let rec take acc k = function
+      | m :: rest when k > 0 -> take (m :: acc) (k - 1) rest
+      | _ -> acc
+    in
+    Batch.of_list (take [] t.params.Params.batch_cap msgs)
 
 let take_own_unsent t =
   let piggyback = List.rev t.own_unsent in
@@ -288,7 +293,7 @@ and maybe_launch t =
     let s = state t k in
     if s.decided = None && not (List.mem 1 s.proposed_rounds) then begin
       let proposal = take_cap t t.pool in
-      t.pool <- Batch.remove_ids t.pool (Batch.ids proposal);
+      t.pool <- Batch.diff t.pool proposal;
       t.launched <- k;
       s.proposed_rounds <- 1 :: s.proposed_rounds;
       Hashtbl.replace s.proposals (1, t.me) proposal;
@@ -471,7 +476,7 @@ let rec arm_kick t =
            if not (Batch.is_empty t.own_outstanding) then arm_kick t))
 
 let abcast t m =
-  if not (App_msg.Id_set.mem m.App_msg.id t.delivered) then begin
+  if not (delivered_mem t m) then begin
     Obs.incr t.obs "abcast.abcasts";
     let sp =
       if Obs.enabled t.obs then begin
@@ -691,8 +696,11 @@ let create ~engine ~params ~me ~fd ~send ~broadcast ~on_adeliver ?(obs = Obs.noo
       broadcast;
       on_adeliver;
       obs;
-      instances = Hashtbl.create 64;
-      delivered = App_msg.Id_set.empty;
+      (* Instances are never removed, so the table grows with the run; size it
+         for a full report-workload window up front instead of paying a chain
+         of rehash copies on the hot path. *)
+      instances = Hashtbl.create 4096;
+      delivered = Id_table.create ~n:params.Params.n;
       next_deliver = 0;
       max_decided = -1;
       launched = -1;

@@ -16,6 +16,11 @@ let payload_bytes t = M.fold (fun _ m acc -> acc + m.App_msg.size) t 0
 let mem t id = M.mem id t
 let union a b = M.union (fun _ m _ -> Some m) a b
 let remove_ids t ids = M.filter (fun id _ -> not (App_msg.Id_set.mem id ids)) t
+
+(* Decided batches are small and [t] can be large (the coordinator pool),
+   so removing per decided id beats [remove_ids]'s whole-map rebuild —
+   and skips materialising the id set entirely. *)
+let diff t b = M.fold (fun id _ acc -> M.remove id acc) b t
 let ids t = M.fold (fun id _ acc -> App_msg.Id_set.add id acc) t App_msg.Id_set.empty
 let equal a b = M.equal (fun x y -> App_msg.compare x y = 0) a b
 

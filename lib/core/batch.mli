@@ -31,6 +31,11 @@ val union : t -> t -> t
 val remove_ids : t -> App_msg.Id_set.t -> t
 (** Drop all messages whose identity is in the set. *)
 
+val diff : t -> t -> t
+(** [diff t b] drops from [t] every message whose identity appears in
+    [b]. Equivalent to [remove_ids t (ids b)] without building the set;
+    cost is [|b| log |t|] rather than a full rebuild of [t]. *)
+
 val ids : t -> App_msg.Id_set.t
 
 val equal : t -> t -> bool

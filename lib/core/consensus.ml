@@ -441,7 +441,10 @@ let create ~engine ~params ~me ~fd ~send ~broadcast ~rbcast_decision ~on_decide
       rbcast_decision;
       on_decide;
       obs;
-      instances = Hashtbl.create 64;
+      (* Instances are never removed, so the table grows with the run; size it
+         for a full report-workload window up front instead of paying a chain
+         of rehash copies on the hot path. *)
+      instances = Hashtbl.create 4096;
     }
   in
   Fd.on_suspect fd (fun suspect -> on_suspicion t suspect);

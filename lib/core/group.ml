@@ -9,26 +9,21 @@ type latency_record = {
   first_delivery : Time.t;
 }
 
-module Id_tbl = Hashtbl.Make (struct
-  type t = App_msg.id
-
-  let equal = App_msg.equal_id
-  let hash (id : App_msg.id) = Hashtbl.hash (id.App_msg.origin, id.App_msg.seq)
-end)
-
 type t = {
   engine : Engine.t;
   network : Wire_msg.t Network.t;
   params : Params.t;
   mutable replicas : Replica.t array;
-  seen : unit Id_tbl.t; (* ids already seen delivered somewhere *)
+  seen : Id_table.t; (* ids already seen delivered somewhere *)
   mutable rev_latencies : latency_record list;
   mutable observers : (Pid.t -> App_msg.t -> unit) list;
 }
 
 let handle_delivery t pid m =
-  if not (Id_tbl.mem t.seen m.App_msg.id) then begin
-    Id_tbl.add t.seen m.App_msg.id ();
+  let id = m.App_msg.id in
+  if not (Id_table.mem t.seen ~origin:id.App_msg.origin ~seq:id.App_msg.seq)
+  then begin
+    Id_table.add t.seen ~origin:id.App_msg.origin ~seq:id.App_msg.seq;
     t.rev_latencies <-
       {
         id = m.App_msg.id;
@@ -61,7 +56,7 @@ let create ~kind ~params ?(fd_mode = `Good_run) ?(record_deliveries = true)
       network;
       params;
       replicas = [||];
-      seen = Id_tbl.create 4096;
+      seen = Id_table.create ~n:params.Params.n;
       rev_latencies = [];
       observers = [];
     }

@@ -1,12 +1,6 @@
 open Repro_net
 module Obs = Repro_obs.Obs
 
-module Seen = Set.Make (struct
-  type t = Pid.t * int
-
-  let compare = compare
-end)
-
 type 'p t = {
   me : Pid.t;
   n : int;
@@ -14,12 +8,12 @@ type 'p t = {
   broadcast : meta:Msg.rb_meta -> 'p -> unit;
   deliver : meta:Msg.rb_meta -> 'p -> unit;
   obs : Obs.t;
-  mutable seen : Seen.t;
+  seen : Id_table.t; (* rdelivered (origin, seq) envelopes *)
   mutable next_seq : int;
 }
 
 let create ~me ~n ~variant ~broadcast ~deliver ?(obs = Obs.noop) () =
-  { me; n; variant; broadcast; deliver; obs; seen = Seen.empty; next_seq = 0 }
+  { me; n; variant; broadcast; deliver; obs; seen = Id_table.create ~n; next_seq = 0 }
 
 let relayers ~n ~origin =
   let count = (n - 1) / 2 in
@@ -35,7 +29,7 @@ let send_to_others t ~meta payload = t.broadcast ~meta payload
 let rbcast t payload =
   let meta = { Msg.rb_origin = t.me; rb_seq = t.next_seq } in
   t.next_seq <- t.next_seq + 1;
-  t.seen <- Seen.add (meta.rb_origin, meta.rb_seq) t.seen;
+  Id_table.add t.seen ~origin:meta.rb_origin ~seq:meta.rb_seq;
   Obs.incr t.obs "rbcast.broadcasts";
   Obs.incr t.obs "rbcast.delivers";
   let sp =
@@ -53,15 +47,19 @@ let rbcast t payload =
       t.deliver ~meta payload;
       send_to_others t ~meta payload)
 
+(* Arithmetic membership in [relayers ~n ~origin] — the relay set is the
+   first ⌊(n-1)/2⌋ pids with [origin] skipped, so [me]'s rank among
+   non-origin pids decides it without building the list per receipt. *)
 let should_relay t ~origin =
   match t.variant with
   | Params.Classic -> true
-  | Params.Majority -> List.mem t.me (relayers ~n:t.n ~origin)
+  | Params.Majority ->
+    t.me <> origin && (if t.me < origin then t.me else t.me - 1) < (t.n - 1) / 2
 
 let receive t ~src:_ ~meta payload =
-  let key = (meta.Msg.rb_origin, meta.Msg.rb_seq) in
-  if not (Seen.mem key t.seen) then begin
-    t.seen <- Seen.add key t.seen;
+  let origin = meta.Msg.rb_origin and seq = meta.Msg.rb_seq in
+  if not (Id_table.mem t.seen ~origin ~seq) then begin
+    Id_table.add t.seen ~origin ~seq;
     Obs.incr t.obs "rbcast.delivers";
     let sp =
       if Obs.enabled t.obs then begin

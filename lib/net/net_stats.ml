@@ -1,60 +1,55 @@
-module Obs = Repro_obs.Obs
-
 type snapshot = { messages : int; payload_bytes : int; wire_bytes : int }
 
-(* The counters live in a private, always-enabled [Obs.t] with no trace
-   buffer: [Net_stats] is now a thin compatibility shim over the same
-   counter machinery every other module uses. The namespace mirrors the
-   per-run observability counters ([net.msgs], [net.payload_bytes],
-   [net.wire_bytes], [net.sent_by.<pid>], [net.kind_msgs.<kind>]). *)
-type t = { obs : Obs.t }
-
-let k_msgs = "net.msgs"
-let k_payload = "net.payload_bytes"
-let k_wire = "net.wire_bytes"
-let k_sent_by p = Printf.sprintf "net.sent_by.%d" p
-let k_kind kind = "net.kind_msgs." ^ kind
+(* Native counters rather than the previous shim over a private [Obs.t]:
+   [record_send] runs once per wire copy, squarely on the transmit hot
+   path, and the shim paid two string builds plus five string-keyed
+   hashtable updates per copy. Here the totals are three int stores, the
+   per-sender counts an int-array slot, and only the per-kind split still
+   touches a (small, interned-key) hashtable. *)
+type t = {
+  mutable messages : int;
+  mutable payload : int;
+  mutable wire : int;
+  sent : int array; (* messages per source pid *)
+  kinds : (string, int ref) Hashtbl.t; (* messages per protocol kind *)
+}
 
 let zero = { messages = 0; payload_bytes = 0; wire_bytes = 0 }
-let create ~n:_ = { obs = Obs.create ~max_events:0 () }
+
+let create ~n =
+  {
+    messages = 0;
+    payload = 0;
+    wire = 0;
+    sent = Array.make n 0;
+    kinds = Hashtbl.create 16;
+  }
 
 let record_send t ~src ~kind ~payload_bytes ~wire_bytes =
-  Obs.incr t.obs k_msgs;
-  Obs.incr t.obs ~by:payload_bytes k_payload;
-  Obs.incr t.obs ~by:wire_bytes k_wire;
-  Obs.incr t.obs (k_sent_by src);
-  Obs.incr t.obs (k_kind kind)
-
-let kind_prefix = "net.kind_msgs."
+  t.messages <- t.messages + 1;
+  t.payload <- t.payload + payload_bytes;
+  t.wire <- t.wire + wire_bytes;
+  t.sent.(src) <- t.sent.(src) + 1;
+  match Hashtbl.find t.kinds kind with
+  | slot -> incr slot
+  | exception Not_found -> Hashtbl.add t.kinds kind (ref 1)
 
 let by_kind t =
-  List.filter_map
-    (fun (name, count) ->
-      if String.starts_with ~prefix:kind_prefix name then
-        Some
-          ( String.sub name (String.length kind_prefix)
-              (String.length name - String.length kind_prefix),
-            count )
-      else None)
-    (Obs.counters t.obs)
+  Hashtbl.fold (fun kind slot acc -> (kind, !slot) :: acc) t.kinds []
   |> List.sort compare
 
 let snapshot t =
-  {
-    messages = Obs.counter_value t.obs k_msgs;
-    payload_bytes = Obs.counter_value t.obs k_payload;
-    wire_bytes = Obs.counter_value t.obs k_wire;
-  }
+  { messages = t.messages; payload_bytes = t.payload; wire_bytes = t.wire }
 
-let sent_by t p = Obs.counter_value t.obs (k_sent_by p)
+let sent_by t p = t.sent.(p)
 
-let diff later earlier =
+let diff (later : snapshot) (earlier : snapshot) =
   {
     messages = later.messages - earlier.messages;
     payload_bytes = later.payload_bytes - earlier.payload_bytes;
     wire_bytes = later.wire_bytes - earlier.wire_bytes;
   }
 
-let pp_snapshot ppf s =
+let pp_snapshot ppf (s : snapshot) =
   Fmt.pf ppf "%d msgs, %d B payload, %d B on wire" s.messages s.payload_bytes
     s.wire_bytes

@@ -4,7 +4,13 @@
     how many messages and how many bytes each stack puts on the wire. These
     counters are the measured side of that comparison: every message that
     physically leaves a NIC is recorded here. Local (self) deliveries are
-    not counted, matching the paper's accounting. *)
+    not counted, matching the paper's accounting.
+
+    {2 Determinism obligations}
+
+    - Counters are pure accumulators over the (deterministic) send
+      history; {!by_kind} sorts its result by kind name so no
+      hash-ordered iteration reaches reports. *)
 
 type t
 

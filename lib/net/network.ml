@@ -19,15 +19,36 @@ type 'msg t = {
   (* Per directed link: last scheduled arrival instant, to keep FIFO under
      jitter. *)
   last_arrival : Time.t array array;
+  (* Per directed link: cut while [true]. A matrix rather than an
+     association list so the per-copy admission check on the transmit
+     path is two array reads. *)
+  cut : bool array array;
+  (* [others.(p)] is [Pid.others ~n p], computed once — broadcasts are
+     per-message, the membership is static. *)
+  others : Pid.t list array;
   payload_bytes : 'msg -> int;
   kind_of : 'msg -> string;
   layer_of : 'msg -> Obs.layer;
   obs : Obs.t;
   stats : Net_stats.t;
-  mutable cut_links : (Pid.t * Pid.t) list;
+  (* Counter names interned up front ([net.msgs.<layer>], …): building
+     them per copy put two string concatenations on every transmit. *)
+  ctr_msgs : string array;
+  ctr_payload : string array;
+  ctr_wire : string array;
+  kind_ctrs : (string, string) Hashtbl.t;
   mutable loss_rate : float;
   mutable extra_delay : Time.span;
 }
+
+(* Dense index for the (closed) layer variant, keying the interned
+   counter-name arrays. Must agree with [Obs.all_layers]. *)
+let layer_index = function
+  | `Abcast -> 0
+  | `Consensus -> 1
+  | `Rbcast -> 2
+  | `Net -> 3
+  | `App -> 4
 
 let create engine ?(wire = Wire.default) ?topology ?(kind_of = fun _ -> "msg")
     ?(layer_of = fun _ -> `Net) ?(obs = Obs.noop) ~n ~payload_bytes () =
@@ -45,6 +66,8 @@ let create engine ?(wire = Wire.default) ?topology ?(kind_of = fun _ -> "msg")
   let topology =
     match topology with Some t -> t | None -> Topology.uniform wire.Wire.propagation
   in
+  let layers = Array.of_list Obs.all_layers in
+  let interned prefix = Array.map (fun l -> prefix ^ Obs.layer_name l) layers in
   {
     engine;
     wire;
@@ -52,12 +75,17 @@ let create engine ?(wire = Wire.default) ?topology ?(kind_of = fun _ -> "msg")
     rng = Repro_sim.Rng.split (Engine.rng engine);
     nodes = Array.init n node;
     last_arrival = Array.init n (fun _ -> Array.make n Time.zero);
+    cut = Array.init n (fun _ -> Array.make n false);
+    others = Array.init n (fun p -> Pid.others ~n p);
     payload_bytes;
     kind_of;
     layer_of;
     obs;
     stats = Net_stats.create ~n;
-    cut_links = [];
+    ctr_msgs = interned "net.msgs.";
+    ctr_payload = interned "net.payload_bytes.";
+    ctr_wire = interned "net.wire_bytes.";
+    kind_ctrs = Hashtbl.create 16;
     loss_rate = 0.0;
     extra_delay = Time.span_zero;
   }
@@ -79,12 +107,11 @@ let set_loss_rate t p =
   if p < 0.0 || p >= 1.0 then invalid_arg "Network.set_loss_rate: need 0 <= p < 1";
   t.loss_rate <- p
 
-let cut t ~src ~dst = t.cut_links <- (src, dst) :: t.cut_links
+let cut t ~src ~dst = t.cut.(src).(dst) <- true
+let heal t ~src ~dst = t.cut.(src).(dst) <- false
 
-let heal t ~src ~dst =
-  t.cut_links <- List.filter (fun link -> link <> (src, dst)) t.cut_links
-
-let heal_all t = t.cut_links <- []
+let heal_all t =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) false) t.cut
 
 let partition t blocks =
   let n = Array.length t.nodes in
@@ -103,16 +130,21 @@ let partition t blocks =
     (List.init n (fun p -> p));
   for src = 0 to n - 1 do
     for dst = 0 to n - 1 do
-      if src <> dst && block_of.(src) <> block_of.(dst)
-         && not (List.mem (src, dst) t.cut_links)
-      then t.cut_links <- (src, dst) :: t.cut_links
+      if src <> dst && block_of.(src) <> block_of.(dst) then
+        t.cut.(src).(dst) <- true
     done
   done
 
-let link_cut t ~src ~dst = List.mem (src, dst) t.cut_links
-
 let set_extra_delay t d = t.extra_delay <- d
 let extra_delay t = t.extra_delay
+
+let kind_counter t kind =
+  match Hashtbl.find t.kind_ctrs kind with
+  | name -> name
+  | exception Not_found ->
+    let name = "net.kind_msgs." ^ kind in
+    Hashtbl.add t.kind_ctrs kind name;
+    name
 
 (* [sid] is the transmit span of the copy being delivered, so the receive
    span parents across the wire hop. The receive span is stamped at the
@@ -150,16 +182,17 @@ let deliver t ~src ~dst ~sid msg =
    the protocol layer that produced each message — the measured side of
    the paper's per-layer message/byte argument (§5.2). Returns the
    transmit span (a child of [parent], the span context captured when the
-   sender handed the message to the network). *)
+   sender handed the message to the network). Only called when the sink
+   is enabled. *)
 let record_tx t ~parent ~src ~dst msg ~payload_bytes =
   let layer = t.layer_of msg in
-  let lname = Obs.layer_name layer in
-  Obs.incr t.obs ("net.msgs." ^ lname);
-  Obs.incr t.obs ~by:payload_bytes ("net.payload_bytes." ^ lname);
+  let li = layer_index layer in
+  Obs.incr t.obs t.ctr_msgs.(li);
+  Obs.incr t.obs ~by:payload_bytes t.ctr_payload.(li);
   Obs.incr t.obs
     ~by:(Wire.on_wire_bytes t.wire ~payload_bytes)
-    ("net.wire_bytes." ^ lname);
-  Obs.incr t.obs ("net.kind_msgs." ^ t.kind_of msg);
+    t.ctr_wire.(li);
+  Obs.incr t.obs (kind_counter t (t.kind_of msg));
   Obs.event t.obs ~pid:src ~layer ~phase:"tx"
     ~detail:(Printf.sprintf "%s -> p%d" (t.kind_of msg) (dst + 1))
     ();
@@ -187,92 +220,129 @@ let deliver_local t ~src msg =
      runs from the scheduler where the ambient context is already gone. *)
   let parent = Obs.span_ctx t.obs in
   if not sender.crashed then
+    Engine.post_after t.engine Time.span_zero (fun () ->
+        if not sender.crashed then
+          match sender.handler with
+          | Some handler ->
+            if Obs.enabled t.obs then begin
+              let local =
+                Obs.span t.obs ~parent ~pid:src ~layer:(t.layer_of msg)
+                  ~phase:"local" ~detail:(t.kind_of msg) ()
+              in
+              Obs.set_span_ctx t.obs local
+            end;
+            handler ~src msg;
+            Obs.set_span_ctx t.obs Obs.Span.no_parent
+          | None -> ())
+
+(* One admitted copy through the NIC towards [dst]: serialize at wire
+   bandwidth, account, draw loss/jitter, respect cuts, schedule the
+   arrival. Runs inside the sender's marshalling completion, once per
+   destination, in destination order — the RNG draw order (at most one
+   loss draw then one jitter draw per copy, each behind its own guard) is
+   part of the determinism contract. *)
+let transmit_copy t ~src ~dst ~payload_bytes ~parent msg =
+  let sender = t.nodes.(src) in
+  let now = Engine.now t.engine in
+  let tx_start = Time.max sender.nic_free_at now in
+  let tx_time = Wire.tx_time t.wire ~payload_bytes in
+  let tx_end = Time.add tx_start tx_time in
+  sender.nic_free_at <- tx_end;
+  sender.nic_busy_ns <- sender.nic_busy_ns + Time.span_to_ns tx_time;
+  Net_stats.record_send t.stats ~src ~kind:(t.kind_of msg) ~payload_bytes
+    ~wire_bytes:(Wire.on_wire_bytes t.wire ~payload_bytes);
+  let tx_sid =
+    if Obs.enabled t.obs then record_tx t ~parent ~src ~dst msg ~payload_bytes
+    else Obs.Span.no_parent
+  in
+  let dropped =
+    t.loss_rate > 0.0 && Repro_sim.Rng.float t.rng 1.0 < t.loss_rate
+  in
+  if (not t.cut.(src).(dst)) && not dropped then begin
+    let latency = Topology.latency t.topology ~src ~dst in
+    let jitter =
+      let bound = Time.span_to_ns t.wire.Wire.propagation_jitter in
+      if bound = 0 then Time.span_zero
+      else Time.span_ns (Repro_sim.Rng.int t.rng (bound + 1))
+    in
+    let arrival =
+      Time.add (Time.add (Time.add tx_end latency) jitter) t.extra_delay
+    in
+    (* FIFO clamp: never overtake an earlier message on this link. *)
+    let arrival = Time.max arrival t.last_arrival.(src).(dst) in
+    t.last_arrival.(src).(dst) <- arrival;
+    Engine.post_at t.engine arrival (fun () ->
+        deliver t ~src ~dst ~sid:tx_sid msg)
+  end
+  else if Obs.enabled t.obs then begin
+    Obs.incr t.obs "net.dropped_msgs";
+    Obs.event t.obs ~pid:src ~layer:(t.layer_of msg) ~phase:"drop"
+      ~detail:(t.kind_of msg) ();
     ignore
-      (Engine.schedule_after t.engine Time.span_zero (fun () ->
-           if not sender.crashed then
-             match sender.handler with
-             | Some handler ->
-               if Obs.enabled t.obs then begin
-                 let local =
-                   Obs.span t.obs ~parent ~pid:src ~layer:(t.layer_of msg)
-                     ~phase:"local" ~detail:(t.kind_of msg) ()
-                 in
-                 Obs.set_span_ctx t.obs local
-               end;
-               handler ~src msg;
-               Obs.set_span_ctx t.obs Obs.Span.no_parent
-             | None -> ()))
+      (Obs.span t.obs ~parent:tx_sid ~pid:src ~layer:(t.layer_of msg)
+         ~phase:"drop" ~detail:(t.kind_of msg) ())
+  end
+
+let marshal_cost t ~payload_bytes ~copies =
+  Time.span_add
+    (Time.span_ns (payload_bytes * t.wire.Wire.send_cpu_per_byte_ns))
+    (Time.span_scale copies t.wire.Wire.send_cpu_fixed)
 
 (* Push admitted copies through the NIC after one marshalling charge on the
    sender's CPU. Admission is the crash point: a copy accepted here reaches
    the wire even if the sender crashes moments later (kernel buffers
    flush), which is exactly what [crash_after_sends] relies on. *)
-let transmit t ~src ~dsts msg =
+let transmit t ~src ~dsts ~copies msg =
   let sender = t.nodes.(src) in
   let payload_bytes = t.payload_bytes msg in
   let parent = Obs.span_ctx t.obs in
-  let copies = List.length dsts in
-  let marshal_cost =
-    Time.span_add
-      (Time.span_ns (payload_bytes * t.wire.Wire.send_cpu_per_byte_ns))
-      (Time.span_scale copies t.wire.Wire.send_cpu_fixed)
-  in
-  Cpu.submit sender.cpu ~cost:marshal_cost (fun () ->
+  Cpu.submit sender.cpu ~cost:(marshal_cost t ~payload_bytes ~copies)
+    (fun () ->
       List.iter
-        (fun dst ->
-          let now = Engine.now t.engine in
-          let tx_start = Time.max sender.nic_free_at now in
-          let tx_time = Wire.tx_time t.wire ~payload_bytes in
-          let tx_end = Time.add tx_start tx_time in
-          sender.nic_free_at <- tx_end;
-          sender.nic_busy_ns <- sender.nic_busy_ns + Time.span_to_ns tx_time;
-          Net_stats.record_send t.stats ~src ~kind:(t.kind_of msg) ~payload_bytes
-            ~wire_bytes:(Wire.on_wire_bytes t.wire ~payload_bytes);
-          let tx_sid =
-            if Obs.enabled t.obs then record_tx t ~parent ~src ~dst msg ~payload_bytes
-            else Obs.Span.no_parent
-          in
-          let dropped =
-            t.loss_rate > 0.0 && Repro_sim.Rng.float t.rng 1.0 < t.loss_rate
-          in
-          if (not (link_cut t ~src ~dst)) && not dropped then begin
-            let latency = Topology.latency t.topology ~src ~dst in
-            let jitter =
-              let bound = Time.span_to_ns t.wire.Wire.propagation_jitter in
-              if bound = 0 then Time.span_zero
-              else Time.span_ns (Repro_sim.Rng.int t.rng (bound + 1))
-            in
-            let arrival =
-              Time.add (Time.add (Time.add tx_end latency) jitter) t.extra_delay
-            in
-            (* FIFO clamp: never overtake an earlier message on this link. *)
-            let arrival = Time.max arrival t.last_arrival.(src).(dst) in
-            t.last_arrival.(src).(dst) <- arrival;
-            ignore
-              (Engine.schedule_at t.engine arrival (fun () ->
-                   deliver t ~src ~dst ~sid:tx_sid msg))
-          end
-          else if Obs.enabled t.obs then begin
-            Obs.incr t.obs "net.dropped_msgs";
-            Obs.event t.obs ~pid:src ~layer:(t.layer_of msg) ~phase:"drop"
-              ~detail:(t.kind_of msg) ();
-            ignore
-              (Obs.span t.obs ~parent:tx_sid ~pid:src ~layer:(t.layer_of msg)
-                 ~phase:"drop" ~detail:(t.kind_of msg) ())
-          end)
+        (fun dst -> transmit_copy t ~src ~dst ~payload_bytes ~parent msg)
         dsts)
+
+(* The point-to-point fast path: no destination list at all. *)
+let transmit_one t ~src ~dst msg =
+  let sender = t.nodes.(src) in
+  let payload_bytes = t.payload_bytes msg in
+  let parent = Obs.span_ctx t.obs in
+  Cpu.submit sender.cpu ~cost:(marshal_cost t ~payload_bytes ~copies:1)
+    (fun () -> transmit_copy t ~src ~dst ~payload_bytes ~parent msg)
+
+let count_remote dsts src =
+  List.fold_left (fun acc dst -> if dst = src then acc else acc + 1) 0 dsts
 
 let multicast t ~src ~dsts msg =
   let sender = t.nodes.(src) in
-  let local, remote = List.partition (fun dst -> dst = src) dsts in
   (* Local delivery: no wire, no CPU charge, no statistics. *)
-  if local <> [] && not sender.crashed then deliver_local t ~src msg;
-  (* The crash budget is consumed copy by copy, in destination order, so a
-     crash can land in the middle of the fan-out. *)
-  let admitted = List.filter (fun _ -> sender_alive sender) remote in
-  if admitted <> [] then transmit t ~src ~dsts:admitted msg
+  if (not sender.crashed) && List.exists (fun dst -> dst = src) dsts then
+    deliver_local t ~src msg;
+  match sender.sends_before_crash with
+  | None when not sender.crashed ->
+    (* No crash budget armed — every remote copy is admitted, and when
+       [dsts] has no self entry (the broadcast path) the caller's list is
+       reused as is. *)
+    let copies = count_remote dsts src in
+    if copies > 0 then
+      let remote =
+        if copies = List.length dsts then dsts
+        else List.filter (fun dst -> dst <> src) dsts
+      in
+      transmit t ~src ~dsts:remote ~copies msg
+  | _ ->
+    (* The crash budget is consumed copy by copy, in destination order, so
+       a crash can land in the middle of the fan-out. *)
+    let remote = List.filter (fun dst -> dst <> src) dsts in
+    let admitted = List.filter (fun _ -> sender_alive sender) remote in
+    if admitted <> [] then
+      transmit t ~src ~dsts:admitted ~copies:(List.length admitted) msg
 
-let send t ~src ~dst msg = multicast t ~src ~dsts:[ dst ] msg
-let send_to_others t ~src msg = multicast t ~src ~dsts:(Pid.others ~n:(n t) src) msg
+let send t ~src ~dst msg =
+  if dst = src then begin
+    if not t.nodes.(src).crashed then deliver_local t ~src msg
+  end
+  else if sender_alive t.nodes.(src) then transmit_one t ~src ~dst msg
 
+let send_to_others t ~src msg = multicast t ~src ~dsts:t.others.(src) msg
 let stats t = t.stats

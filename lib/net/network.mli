@@ -19,7 +19,19 @@ open Repro_sim
     optionally part-way through a multi-send so that broadcast atomicity
     violations can be exercised; directed links can be cut and healed to
     test failure-detector behaviour. Neither facility is used in good-run
-    benchmarks. *)
+    benchmarks.
+
+    {2 Determinism obligations}
+
+    - Delivery instants are a pure function of the send history and the
+      wire/topology constants; optional jitter draws come from the
+      engine's seeded {!Rng} stream, never ambient randomness.
+    - Per-link FIFO is preserved even under jitter (arrival times are
+      clamped to the link's previous arrival), and multi-destination sends
+      iterate destinations in ascending pid order, so the event queue sees
+      the same insertion sequence every run.
+    - Internal per-process state lives in plain arrays indexed by pid;
+      no hash-ordered iteration can leak into delivery order. *)
 
 type 'msg t
 (** A network carrying messages of type ['msg]. *)

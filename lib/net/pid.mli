@@ -2,7 +2,14 @@
 
     The paper's system model (§2.1) is a static set Π = {p1 … pn}. We number
     processes 0 … n-1; the pretty-printer shows the paper's 1-based [p1]
-    names. *)
+    names.
+
+    {2 Determinism obligations}
+
+    - Identifiers are plain dense ints; {!all} and {!others} enumerate in
+      ascending order, the canonical iteration order every layer uses so
+      that "for each process" loops schedule events identically on every
+      run. *)
 
 type t = int
 (** A process identifier in [0, n). *)

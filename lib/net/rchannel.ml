@@ -3,17 +3,27 @@ module Obs = Repro_obs.Obs
 
 type 'msg wire = Data of { seq : int; payload : 'msg } | Ack of { cumulative : int }
 
+(* Frames are pooled: a slot's frame is mutated in place when the window
+   wraps back over it, so steady-state sends allocate nothing. A popped
+   frame keeps its last payload reference until the slot is reused — the
+   retention is bounded by the ring capacity. *)
 type 'msg frame = {
-  seq : int;
-  payload : 'msg;
-  sent_at : Time.t; (* first transmission, for RTT sampling *)
-  ctx : int; (* span context at first transmission, to root retransmits *)
+  mutable seq : int;
+  mutable payload : 'msg;
+  mutable sent_at : Time.t; (* first transmission, for RTT sampling *)
+  mutable ctx : int; (* span context at first transmission, to root retransmits *)
   mutable retransmitted : bool;
 }
 
+(* The send window as a ring buffer: slots [head, head+len) (mod capacity,
+   a power of two) hold the unacked frames in ascending seq order. The
+   previous list representation paid an O(window) append per send and a
+   full partition per ack; here both ends are O(1). *)
 type 'msg link_out = {
   mutable next_seq : int;
-  mutable unacked : 'msg frame list; (* ascending seq, awaiting ack *)
+  mutable ring : 'msg frame option array;
+  mutable head : int;
+  mutable len : int;
   mutable timer : Engine.timer option;
   mutable backoff : int; (* consecutive timeouts without ack progress *)
   mutable srtt : Time.span option; (* smoothed RTT, queueing included *)
@@ -51,7 +61,15 @@ let create engine ~me ~n ~send_raw ~deliver ?(rto = Time.span_ms 20) ?(burst = 3
     obs;
     outgoing =
       Array.init n (fun _ ->
-          { next_seq = 0; unacked = []; timer = None; backoff = 0; srtt = None });
+          {
+            next_seq = 0;
+            ring = Array.make 8 None;
+            head = 0;
+            len = 0;
+            timer = None;
+            backoff = 0;
+            srtt = None;
+          });
     incoming = Array.init n (fun _ -> { expected = 0; buffered = [] });
     retransmissions = 0;
     halted = false;
@@ -64,9 +82,47 @@ let cancel_timer t link =
     link.timer <- None
   | None -> ()
 
-let rec take k = function
-  | x :: rest when k > 0 -> x :: take (k - 1) rest
-  | _ -> []
+(* The [i]-th oldest unacked frame, [0 <= i < len]. *)
+let frame_at link i =
+  match link.ring.((link.head + i) land (Array.length link.ring - 1)) with
+  | Some f -> f
+  | None -> assert false (* slots inside the window always hold a frame *)
+
+(* Append a fresh frame at the tail, reusing the slot's retired frame when
+   the window has wrapped over it before. Doubles the ring when full,
+   re-packing the window at slots [0, len). *)
+let push_frame t link payload =
+  let cap = Array.length link.ring in
+  if link.len = cap then begin
+    let ring' = Array.make (cap * 2) None in
+    for i = 0 to link.len - 1 do
+      ring'.(i) <- link.ring.((link.head + i) land (cap - 1))
+    done;
+    link.ring <- ring';
+    link.head <- 0
+  end;
+  let idx = (link.head + link.len) land (Array.length link.ring - 1) in
+  let seq = link.next_seq in
+  link.next_seq <- seq + 1;
+  link.len <- link.len + 1;
+  (match link.ring.(idx) with
+  | Some f ->
+    f.seq <- seq;
+    f.payload <- payload;
+    f.sent_at <- Engine.now t.engine;
+    f.ctx <- Obs.span_ctx t.obs;
+    f.retransmitted <- false
+  | None ->
+    link.ring.(idx) <-
+      Some
+        {
+          seq;
+          payload;
+          sent_at = Engine.now t.engine;
+          ctx = Obs.span_ctx t.obs;
+          retransmitted = false;
+        });
+  seq
 
 (* The effective timeout adapts to the measured round-trip time (which
    includes the receiver's CPU queueing delay): a receiver digging out of a
@@ -88,37 +144,37 @@ let base_timeout t link =
    campaign's partition/heal schedules catch exactly that. *)
 let rec arm_timer t ~dst link =
   cancel_timer t link;
-  if link.unacked <> [] then begin
+  if link.len > 0 then begin
     let delay = Time.span_scale (1 lsl min link.backoff 4) (base_timeout t link) in
     link.timer <-
       Some
         (Engine.schedule_after t.engine delay (fun () ->
-             if (not t.halted) && link.unacked <> [] then begin
+             if (not t.halted) && link.len > 0 then begin
                link.backoff <- link.backoff + 1;
-               List.iter
-                 (fun frame ->
-                   frame.retransmitted <- true;
-                   t.retransmissions <- t.retransmissions + 1;
-                   Obs.incr t.obs "rchannel.retransmissions";
-                   (* The timer fires with no ambient context; parent the
-                      retransmit to the span that caused the original send
-                      so the copy that finally gets through keeps a chain
-                      back to the message's origin. *)
-                   let sp =
-                     if Obs.enabled t.obs then begin
-                       Obs.event t.obs ~pid:t.me ~layer:`Net ~phase:"retransmit"
-                         ~detail:(Printf.sprintf "seq %d -> p%d" frame.seq (dst + 1))
-                         ();
-                       Obs.span t.obs ~parent:frame.ctx ~pid:t.me ~layer:`Net
-                         ~phase:"retransmit"
-                         ~detail:(Printf.sprintf "seq %d -> p%d" frame.seq (dst + 1))
-                         ()
-                     end
-                     else Obs.Span.no_parent
-                   in
-                   Obs.with_span_ctx t.obs sp (fun () ->
-                       t.send_raw ~dst (Data { seq = frame.seq; payload = frame.payload })))
-                 (take t.burst link.unacked);
+               for i = 0 to min t.burst link.len - 1 do
+                 let frame = frame_at link i in
+                 frame.retransmitted <- true;
+                 t.retransmissions <- t.retransmissions + 1;
+                 Obs.incr t.obs "rchannel.retransmissions";
+                 (* The timer fires with no ambient context; parent the
+                    retransmit to the span that caused the original send
+                    so the copy that finally gets through keeps a chain
+                    back to the message's origin. *)
+                 let sp =
+                   if Obs.enabled t.obs then begin
+                     Obs.event t.obs ~pid:t.me ~layer:`Net ~phase:"retransmit"
+                       ~detail:(Printf.sprintf "seq %d -> p%d" frame.seq (dst + 1))
+                       ();
+                     Obs.span t.obs ~parent:frame.ctx ~pid:t.me ~layer:`Net
+                       ~phase:"retransmit"
+                       ~detail:(Printf.sprintf "seq %d -> p%d" frame.seq (dst + 1))
+                       ()
+                   end
+                   else Obs.Span.no_parent
+                 in
+                 Obs.with_span_ctx t.obs sp (fun () ->
+                     t.send_raw ~dst (Data { seq = frame.seq; payload = frame.payload }))
+               done;
                arm_timer t ~dst link
              end))
   end
@@ -127,53 +183,39 @@ let send t ~dst payload =
   if dst = t.me then t.deliver ~src:t.me payload
   else if not t.halted then begin
     let link = t.outgoing.(dst) in
-    let seq = link.next_seq in
-    link.next_seq <- seq + 1;
-    link.unacked <-
-      link.unacked
-      @ [
-          {
-            seq;
-            payload;
-            sent_at = Engine.now t.engine;
-            ctx = Obs.span_ctx t.obs;
-            retransmitted = false;
-          };
-        ];
+    let seq = push_frame t link payload in
     t.send_raw ~dst (Data { seq; payload });
     if link.timer = None then arm_timer t ~dst link
   end
 
 (* Karn's rule: sample the round trip only from frames acked on their first
    transmission — a retransmitted frame's ack is ambiguous. EWMA with the
-   classic 1/8 gain. *)
-let sample_rtt t link acked =
-  List.iter
-    (fun frame ->
-      if not frame.retransmitted then begin
-        let rtt = Time.diff (Engine.now t.engine) frame.sent_at in
-        link.srtt <-
-          Some
-            (match link.srtt with
-            | None -> rtt
-            | Some srtt ->
-              Time.span_ns
-                (((7 * Time.span_to_ns srtt) + Time.span_to_ns rtt) / 8))
-      end)
-    acked
+   classic 1/8 gain, applied to the acked frames in ascending seq order. *)
+let sample_rtt t link frame =
+  if not frame.retransmitted then begin
+    let rtt = Time.diff (Engine.now t.engine) frame.sent_at in
+    link.srtt <-
+      Some
+        (match link.srtt with
+        | None -> rtt
+        | Some srtt ->
+          Time.span_ns (((7 * Time.span_to_ns srtt) + Time.span_to_ns rtt) / 8))
+  end
 
 let handle_ack t ~src ~cumulative =
   let link = t.outgoing.(src) in
-  let acked, remaining =
-    List.partition (fun frame -> frame.seq <= cumulative) link.unacked
-  in
-  link.unacked <- remaining;
-  sample_rtt t link acked;
-  if remaining = [] then begin
+  let progressed = ref false in
+  while link.len > 0 && (frame_at link 0).seq <= cumulative do
+    sample_rtt t link (frame_at link 0);
+    link.head <- (link.head + 1) land (Array.length link.ring - 1);
+    link.len <- link.len - 1;
+    progressed := true
+  done;
+  if link.len = 0 then begin
     cancel_timer t link;
     link.backoff <- 0
   end
-  else if acked <> [] then begin
+  else if !progressed then begin
     (* Progress: reset the backoff and give the remainder a fresh timeout. *)
     link.backoff <- 0;
     arm_timer t ~dst:src link
@@ -207,7 +249,7 @@ let receive_raw t ~src frame =
     | Ack { cumulative } -> handle_ack t ~src ~cumulative
 
 let retransmissions t = t.retransmissions
-let unacked t ~dst = List.length t.outgoing.(dst).unacked
+let unacked t ~dst = t.outgoing.(dst).len
 let srtt t ~dst = t.outgoing.(dst).srtt
 
 let halt t =

@@ -20,7 +20,19 @@ open Repro_sim
     - in send order (FIFO).
 
     Transport-agnostic: wrap the payloads in {!wire} frames, hand them to
-    any unreliable [send_raw], and feed incoming frames to {!receive_raw}. *)
+    any unreliable [send_raw], and feed incoming frames to {!receive_raw}.
+
+    {2 Determinism obligations}
+
+    - Retransmission instants derive only from the virtual clock, the rto
+      constant and RTT samples of simulated round trips — all functions of
+      the simulated history, so a given loss pattern replays identically.
+    - The send window is a ring buffer of pooled frame cells mutated in
+      place; pooling changes allocation behaviour, never observable
+      behaviour: frames are retransmitted oldest-first and acked in seq
+      order exactly as a list representation would.
+    - [deliver] runs synchronously inside {!receive_raw} in per-link FIFO
+      order; no timer interleaving can reorder deliveries. *)
 
 type 'msg wire =
   | Data of { seq : int; payload : 'msg }

@@ -6,7 +6,13 @@ open Repro_sim
     simulator supports arbitrary pairwise latencies so experiments can
     explore rack- or WAN-like layouts (e.g. how the modular/monolithic gap
     behaves when the coordinator is far away). Latencies are symmetric in
-    the built-in constructors; {!of_matrix} accepts asymmetric ones. *)
+    the built-in constructors; {!of_matrix} accepts asymmetric ones.
+
+    {2 Determinism obligations}
+
+    - A topology is an immutable total function [src, dst -> span] fixed
+      at construction; latency lookups have no state and no randomness, so
+      they cannot perturb event ordering between runs. *)
 
 type t
 

@@ -6,7 +6,14 @@ open Repro_sim
     occupancy. Defaults approximate the paper's testbed: Gigabit Ethernet
     with TCP framing, and the heavyweight per-message processing of a
     2005-era JVM stack (the paper reports CPU saturation above 500 msgs/s,
-    so per-message CPU cost — not the wire — is the first bottleneck). *)
+    so per-message CPU cost — not the wire — is the first bottleneck).
+
+    {2 Determinism obligations}
+
+    - Pure constants: every cost is exact integer arithmetic over them,
+      and the only stochastic field, [propagation_jitter], is an upper
+      bound for draws taken from the seeded {!Rng} — zero by default,
+      keeping good-run latencies fully deterministic. *)
 
 type t = {
   header_bytes : int;

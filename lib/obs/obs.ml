@@ -70,11 +70,14 @@ let now t = t.now ()
 
 (* ---- Metrics ---- *)
 
+(* [Hashtbl.find] + [Not_found] rather than [find_opt]: the option would
+   be a fresh allocation per bump, and counters are bumped on every wire
+   copy when a sink is enabled. *)
 let incr t ?(by = 1) name =
   if t.enabled then
-    match Hashtbl.find_opt t.counters name with
-    | Some slot -> slot := !slot + by
-    | None -> Hashtbl.add t.counters name (ref by)
+    match Hashtbl.find t.counters name with
+    | slot -> slot := !slot + by
+    | exception Not_found -> Hashtbl.add t.counters name (ref by)
 
 let counter_value t name =
   match Hashtbl.find_opt t.counters name with Some slot -> !slot | None -> 0
@@ -85,9 +88,9 @@ let counters t =
 
 let set_gauge t name v =
   if t.enabled then
-    match Hashtbl.find_opt t.gauges name with
-    | Some slot -> slot := v
-    | None -> Hashtbl.add t.gauges name (ref v)
+    match Hashtbl.find t.gauges name with
+    | slot -> slot := v
+    | exception Not_found -> Hashtbl.add t.gauges name (ref v)
 
 let gauge_value t name =
   match Hashtbl.find_opt t.gauges name with Some slot -> Some !slot | None -> None
@@ -97,9 +100,9 @@ let gauges t =
   |> List.sort compare
 
 let histogram t ?edges name =
-  match Hashtbl.find_opt t.histograms name with
-  | Some h -> h
-  | None ->
+  match Hashtbl.find t.histograms name with
+  | h -> h
+  | exception Not_found ->
     let h = Histogram.create ?edges () in
     Hashtbl.add t.histograms name h;
     h

@@ -14,10 +14,9 @@ let submit t ~cost thunk =
   t.free_at <- finish;
   t.queued <- t.queued + 1;
   t.busy_ns <- t.busy_ns + Time.span_to_ns cost;
-  ignore
-    (Engine.schedule_at t.engine finish (fun () ->
-         t.queued <- t.queued - 1;
-         thunk ()))
+  Engine.post_at t.engine finish (fun () ->
+      t.queued <- t.queued - 1;
+      thunk ())
 
 let charge t cost =
   let start = Time.max t.free_at (Engine.now t.engine) in

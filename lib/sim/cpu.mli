@@ -5,7 +5,17 @@
     offered load bigger than 500 msgs/s"). Work items are executed in FIFO
     order; each occupies the CPU for its stated duration, and its completion
     closure runs at the instant the CPU finishes it. Utilization statistics
-    let experiments report saturation. *)
+    let experiments report saturation.
+
+    {2 Determinism obligations}
+
+    - Completion instants are a pure function of the submission history:
+      strict FIFO, exact {!Time.span} addition, completions scheduled on
+      the engine's deterministic queue (so ties against other events
+      resolve by insertion order).
+    - Work closures run on the virtual clock only; nothing here consults
+      wall time, and utilization is derived arithmetic over virtual
+      instants. *)
 
 type t
 

@@ -23,31 +23,35 @@ let schedule_at t time thunk =
   Event_queue.push t.queue ~time thunk
 
 let schedule_after t delay thunk = schedule_at t (Time.add t.clock delay) thunk
+
+let post_at t time thunk =
+  if Time.(time < t.clock) then invalid_arg "Engine.post_at: instant in the past";
+  Event_queue.push_unit t.queue ~time thunk
+
+let post_after t delay thunk = post_at t (Time.add t.clock delay) thunk
 let cancel t timer = Event_queue.cancel t.queue timer
 
-let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, thunk) ->
-    t.clock <- time;
-    t.executed <- t.executed + 1;
-    thunk ();
-    true
+(* The single dispatch point of the hot loop: advance the clock, count,
+   run. Top-level so [exec t] is one partial application per [run] —
+   the per-event path allocates nothing. *)
+let exec t time thunk =
+  t.clock <- time;
+  t.executed <- t.executed + 1;
+  thunk ()
+
+let step t = Event_queue.pop_apply t.queue (exec t)
 
 let run t =
-  while step t do
+  let f = exec t in
+  while Event_queue.pop_apply t.queue f do
     ()
   done
 
 let run_until t limit =
-  let rec loop () =
-    match Event_queue.peek_time t.queue with
-    | Some time when Time.(time <= limit) ->
-      ignore (step t);
-      loop ()
-    | Some _ | None -> ()
-  in
-  loop ();
+  let f = exec t in
+  while Event_queue.pop_apply_until t.queue ~limit f do
+    ()
+  done;
   if Time.(t.clock < limit) then t.clock <- limit
 
 let pending t = Event_queue.length t.queue

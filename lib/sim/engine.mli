@@ -5,7 +5,22 @@
     executes them in timestamp order (insertion order breaking ties),
     advancing the clock to each event's instant. All state mutation in a
     simulation happens inside scheduled closures, so a run is a
-    deterministic function of the seed and the initial schedule. *)
+    deterministic function of the seed and the initial schedule.
+
+    {2 Determinism obligations}
+
+    - Execution order is exactly ascending [(instant, schedule order)]:
+      two events at the same instant run in the order they were
+      scheduled. Every protocol-level tie in the repo (simultaneous
+      message arrivals, expiring timers) is broken by this rule alone.
+    - The clock only moves inside {!step}/{!run}/{!run_until}, to the
+      instant of the event being dispatched; closures must derive all
+      timing from {!now} and all randomness from (streams split off)
+      {!rng}. Nothing here reads wall time.
+    - [run]/[run_until] drive the queue through the allocation-free
+      {!Event_queue.pop_apply} path; per-event cost is the closure call
+      plus queue bookkeeping, which is what makes events/sec a stable,
+      benchmarkable property (see PERF.md). *)
 
 type t
 
@@ -29,6 +44,15 @@ val schedule_at : t -> Time.t -> (unit -> unit) -> timer
 val schedule_after : t -> Time.span -> (unit -> unit) -> timer
 (** Run the closure after the given delay. *)
 
+val post_at : t -> Time.t -> (unit -> unit) -> unit
+(** {!schedule_at} without materialising a timer. Identical semantics and
+    ordering; the allocation-free path for fire-and-forget events, which
+    are the vast majority (message deliveries, CPU completions).
+    @raise Invalid_argument if the instant is in the past. *)
+
+val post_after : t -> Time.span -> (unit -> unit) -> unit
+(** {!post_at} after the given delay. *)
+
 val cancel : t -> timer -> unit
 (** Forget a scheduled event. No-op if it already fired or was cancelled. *)
 
@@ -46,4 +70,5 @@ val pending : t -> int
 (** Number of scheduled events not yet executed or cancelled. *)
 
 val events_executed : t -> int
-(** Total closures executed since creation (a cheap progress/cost probe). *)
+(** Total closures executed since creation (a cheap progress/cost probe,
+    and the numerator of the bench harness's [events_per_sec]). *)

@@ -1,10 +1,26 @@
 (** Priority queue of timestamped events.
 
-    A binary min-heap keyed by [(time, sequence)]. The sequence number is
-    assigned at insertion, so events scheduled for the same instant pop in
-    insertion order — the tie-break that makes whole-simulation determinism
-    possible. Elements can be cancelled lazily in O(1); cancelled cells are
-    skipped on pop. *)
+    A calendar queue (hierarchical time buckets over sorted intrusive
+    lists) keyed by [(time, sequence)]. The sequence number is assigned at
+    insertion, so events scheduled for the same instant pop in insertion
+    order — the tie-break that makes whole-simulation determinism
+    possible. Elements can be cancelled lazily in O(1); cancelled cells
+    are skipped (and collected) during later scans.
+
+    {2 Determinism obligations}
+
+    - Pop order is a pure function of the push/pop/cancel history:
+      ascending [(time, seq)] with [seq] the global insertion counter.
+      Bucket sizing and width adapt to occupancy, but only as a function
+      of queue content — never of wall time or allocation addresses — so
+      two runs issuing the same operations observe identical pop
+      sequences, byte for byte downstream.
+    - Internal cells are pooled and reused. A {!handle} therefore names an
+      event {e generation}, not a cell: cancelling after the event popped
+      (or was cancelled) is a guaranteed no-op even if the cell has been
+      recycled for a later event.
+    - The queue never calls polymorphic comparison or hashing on user
+      values; ['a] values are only stored and returned. *)
 
 type 'a t
 (** A queue of events carrying values of type ['a]. *)
@@ -18,13 +34,27 @@ val create : unit -> 'a t
 val push : 'a t -> time:Time.t -> 'a -> handle
 (** Insert an event at the given instant. *)
 
+val push_unit : 'a t -> time:Time.t -> 'a -> unit
+(** {!push} without materialising a handle — the zero-allocation path for
+    the overwhelmingly common fire-and-forget schedule. *)
+
 val cancel : 'a t -> handle -> unit
-(** Remove the event named by the handle, if it is still pending. Cancelling
-    an already-popped or already-cancelled event is a no-op. *)
+(** Remove the event named by the handle, if it is still pending.
+    Cancelling an already-popped or already-cancelled event is a no-op. *)
 
 val pop : 'a t -> (Time.t * 'a) option
 (** Remove and return the earliest pending event, insertion order breaking
     ties. [None] if no pending event remains. *)
+
+val pop_apply : 'a t -> (Time.t -> 'a -> unit) -> bool
+(** [pop_apply t f] removes the earliest pending event and calls
+    [f time value] on it; [false] (and no call) if none remained. Same
+    order as {!pop} but allocation-free — the engine's hot loop. [f] may
+    push further events. *)
+
+val pop_apply_until : 'a t -> limit:Time.t -> (Time.t -> 'a -> unit) -> bool
+(** Like {!pop_apply} but leaves the queue untouched (returning [false])
+    when the earliest pending event is later than [limit]. *)
 
 val peek_time : 'a t -> Time.t option
 (** The instant of the earliest pending event without removing it. *)

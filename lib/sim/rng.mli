@@ -4,7 +4,18 @@
     engine. Every random choice in a simulation flows from a single seed, so
     any run is exactly reproducible. [split] derives an independent stream,
     which lets components (network jitter, workload, fault injector) draw
-    numbers without perturbing each other's sequences. *)
+    numbers without perturbing each other's sequences.
+
+    {2 Determinism obligations}
+
+    - The stream is a pure function of the seed and the draw/split
+      history — never of stdlib [Random] state, wall time, or hashing.
+      This module is the {e only} sanctioned randomness source in [lib/]
+      (enforced by [repro lint]'s determinism pass).
+    - [split] must be used, not seed arithmetic, to derive component
+      streams: it guarantees the child's draws cannot perturb the
+      parent's sequence, so adding a consumer never shifts another
+      component's numbers. *)
 
 type t
 

@@ -31,7 +31,11 @@ let span_scale k d =
   k * d
 
 let span_max a b = Stdlib.max a b
-let compare = Stdlib.compare
+
+(* Branch-based rather than [Stdlib.compare]: instants are compared on
+   the engine's hot path, and the polymorphic compare entry point costs a
+   C call per comparison. The annotations pin the int specialisation. *)
+let compare (a : t) (b : t) = if a < b then -1 else if a > b then 1 else 0
 let ( <= ) (a : t) b = Stdlib.( <= ) a b
 let ( < ) (a : t) b = Stdlib.( < ) a b
 let ( >= ) (a : t) b = Stdlib.( >= ) a b

@@ -3,7 +3,16 @@
     Time is an absolute instant measured in integer nanoseconds since the
     start of the simulation. Spans are durations, also in nanoseconds. Using
     integers keeps the engine exactly deterministic: no rounding, no
-    accumulation error, total order on instants. *)
+    accumulation error, total order on instants.
+
+    {2 Determinism obligations}
+
+    - All arithmetic is exact integer arithmetic; there is no float on any
+      path that feeds back into scheduling. The [*_float] conversions are
+      one-way, for reporting only.
+    - Values never encode wall-clock time: an instant is defined purely by
+      the event history that produced it, so equal op sequences yield
+      equal instants on any machine. *)
 
 type t = private int
 (** An absolute instant, in nanoseconds since simulation start. *)

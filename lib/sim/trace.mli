@@ -9,7 +9,16 @@
     The clock is a plain closure so the recorder does not depend on who
     owns the engine: {!create} wires it to an engine's virtual clock, and
     {!create_with_clock} accepts any [unit -> Time.t] (the observability
-    sink wires its clock after construction via {!set_clock}). *)
+    sink wires its clock after construction via {!set_clock}).
+
+    {2 Determinism obligations}
+
+    - Entries are stored and returned strictly in record order with their
+      virtual timestamps; no hash-ordered container is involved, so two
+      identical runs export byte-identical traces.
+    - {!absorb} preserves source order and timestamps, which is what lets
+      the parallel harness merge per-task traces into exactly the log a
+      sequential run would have written. *)
 
 type 'a t
 (** A trace of events of type ['a]. *)

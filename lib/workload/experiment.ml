@@ -32,6 +32,7 @@ type result = {
   cpu_utilization : float;
   max_nic_utilization : float;
   boundary_crossings_per_msg : float;
+  events_executed : int;
 }
 
 let span_of_s s = Time.span_ns (int_of_float (s *. 1e9))
@@ -139,6 +140,7 @@ let run_raw ?(obs = Obs.noop) ?on_group config =
       boundary_crossings_per_msg =
         float_of_int (crossings1 - crossings0)
         /. float_of_int (max 1 (List.fold_left ( + ) 0 delivered_window));
+      events_executed = Engine.events_executed (Group.engine group);
     } )
 
 let run ?obs ?on_group config = snd (run_raw ?obs ?on_group config)
@@ -164,6 +166,8 @@ let run_repeated ?(repeats = 3) ?jobs ?(obs = Obs.noop) ?on_group config =
     cpu_utilization = mean (fun r -> r.cpu_utilization);
     max_nic_utilization = mean (fun r -> r.max_nic_utilization);
     boundary_crossings_per_msg = mean (fun r -> r.boundary_crossings_per_msg);
+    events_executed =
+      List.fold_left (fun acc r -> acc + r.events_executed) 0 results;
   }
 
 let kind_name = function

@@ -67,6 +67,11 @@ type result = {
           line-rate-bound. *)
   boundary_crossings_per_msg : float;
       (** Framework events per adelivered message (modularity diagnostic). *)
+  events_executed : int;
+      (** Simulator events executed over the whole run (warm-up included) —
+          a deterministic function of the configuration, and the numerator
+          of the bench harness's events-per-second metric. {!run_repeated}
+          reports the sum over all repeats. *)
 }
 
 val run : ?obs:Repro_obs.Obs.t -> ?on_group:(Group.t -> unit) -> config -> result

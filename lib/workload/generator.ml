@@ -23,8 +23,7 @@ let rec offer_loop t pid =
     Group.abcast t.group pid ~size:t.size;
     t.offered <- t.offered + 1;
     let gap = Time.span_ns (max 1 (int_of_float (next_gap t))) in
-    ignore
-      (Engine.schedule_after (Group.engine t.group) gap (fun () -> offer_loop t pid))
+    Engine.post_after (Group.engine t.group) gap (fun () -> offer_loop t pid)
   end
 
 let start group ~offered_load ~size ?(arrival = Uniform) () =
@@ -50,8 +49,7 @@ let start group ~offered_load ~size ?(arrival = Uniform) () =
         Time.span_ns
           (max 1 (int_of_float (interval_ns *. float_of_int pid /. float_of_int n)))
       in
-      ignore
-        (Engine.schedule_after (Group.engine group) offset (fun () -> offer_loop t pid)))
+      Engine.post_after (Group.engine group) offset (fun () -> offer_loop t pid))
     (Repro_net.Pid.all ~n);
   t
 

@@ -1,0 +1,96 @@
+(* The @docs-smoke alias: keeps README's CLI quick-reference table in
+   lock-step with the binary. Parses the COMMANDS section of
+   `repro --help=plain` and the README table rows of the form
+   `| `repro NAME` | ... |`, and requires the two subcommand sets to be
+   identical — adding, renaming or removing a subcommand fails
+   `dune runtest` until the documentation follows. Wired into
+   `dune runtest`. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("docs-smoke: FAIL: " ^ s);
+      exit 1)
+    fmt
+
+let read_lines path =
+  let ic = try open_in path with Sys_error e -> fail "cannot open %s: %s" path e in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+(* Subcommand names from the COMMANDS section: entry lines are indented
+   with exactly seven spaces and start with the command name; the section
+   ends at the next column-0 header. *)
+let help_commands repro =
+  let out = Filename.temp_file "docs_smoke_help" ".txt" in
+  let cmd =
+    Printf.sprintf "%s --help=plain > %s" (Filename.quote repro) (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  if code <> 0 then fail "repro --help=plain exited with %d" code;
+  let lines = read_lines out in
+  Sys.remove out;
+  let in_section = ref false in
+  let names = ref [] in
+  List.iter
+    (fun line ->
+      if line = "COMMANDS" then in_section := true
+      else if !in_section && line <> "" && line.[0] <> ' ' then in_section := false
+      else if
+        !in_section
+        && String.length line > 7
+        && String.sub line 0 7 = "       "
+        && line.[7] <> ' '
+      then begin
+        let rest = String.sub line 7 (String.length line - 7) in
+        match String.index_opt rest ' ' with
+        | Some i -> names := String.sub rest 0 i :: !names
+        | None -> names := rest :: !names
+      end)
+    lines;
+  List.sort_uniq compare !names
+
+(* Subcommand names from the README quick-reference rows. *)
+let readme_commands readme =
+  let prefix = "| `repro " in
+  let names = ref [] in
+  List.iter
+    (fun line ->
+      let plen = String.length prefix in
+      if String.length line > plen && String.sub line 0 plen = prefix then begin
+        let rest = String.sub line plen (String.length line - plen) in
+        match String.index_opt rest '`' with
+        | Some i -> names := String.sub rest 0 i :: !names
+        | None -> fail "unterminated command cell in README row: %s" line
+      end)
+    (read_lines readme);
+  List.sort_uniq compare !names
+
+let () =
+  let repro, readme =
+    match Sys.argv with
+    | [| _; repro; readme |] -> (repro, readme)
+    | _ -> fail "usage: docs_smoke REPRO_EXE README.md"
+  in
+  let from_help = help_commands repro in
+  let from_readme = readme_commands readme in
+  if from_help = [] then fail "no subcommands parsed from repro --help=plain";
+  if from_readme = [] then fail "no `| `repro NAME` |` rows found in %s" readme;
+  let missing l set = List.filter (fun c -> not (List.mem c set)) l in
+  (match missing from_help from_readme with
+  | [] -> ()
+  | l ->
+    fail "subcommands missing from the README quick-reference table: %s"
+      (String.concat ", " l));
+  (match missing from_readme from_help with
+  | [] -> ()
+  | l ->
+    fail "README documents subcommands the binary does not have: %s"
+      (String.concat ", " l));
+  Printf.printf "docs-smoke: OK (%d subcommands in sync)\n" (List.length from_help)

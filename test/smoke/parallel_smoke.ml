@@ -1,10 +1,12 @@
 (* The @parallel-smoke alias: end-to-end determinism check of the domain
    pool through the public bench executable. Runs the tiny seeded
    benchmark twice — sequentially (--jobs 1) and on a pool (--jobs 4) —
-   and requires the two reports to be byte-identical once the three
-   timing-only meta fields (jobs, wallclock_s, speedup_vs_seq) are
-   stripped: every simulated number, per-cell and pooled, must not
-   depend on the worker count. Wired into `dune runtest`. *)
+   and requires the two reports to be byte-identical once the
+   timing-only meta fields (jobs, wallclock_s, speedup_vs_seq,
+   events_per_sec) are stripped: every simulated number, per-cell and
+   pooled — including the deterministic events_executed count, which is
+   deliberately NOT stripped — must not depend on the worker count.
+   Wired into `dune runtest`. *)
 
 module Br = Repro_analysis.Bench_report
 
@@ -20,7 +22,7 @@ let run_cli bin args =
   let code = Sys.command (cmd ^ " > /dev/null") in
   if code <> 0 then fail "%s %s exited with %d" bin (String.concat " " args) code
 
-let timing_keys = [ "jobs"; "wallclock_s"; "speedup_vs_seq" ]
+let timing_keys = [ "jobs"; "wallclock_s"; "speedup_vs_seq"; "events_per_sec" ]
 
 let strip_timing (r : Br.t) =
   { r with Br.meta = List.filter (fun (k, _) -> not (List.mem k timing_keys)) r.Br.meta }

@@ -199,6 +199,224 @@ let prop_queue_cancel_subset =
       List.for_all (fun i -> not (List.mem i survivors)) cancelled_ids
       && List.length survivors = List.length times - List.length cancelled_ids)
 
+(* ---- Calendar queue vs reference binary heap ---- *)
+
+(* The oracle: the binary heap the calendar queue replaced, keyed by
+   (time, seq) with the same lazy-cancellation semantics. Deliberately
+   naive — a correctness model, not a performance contender. *)
+module Ref_heap = struct
+  type 'a cell = {
+    time : int;
+    seq : int;
+    value : 'a;
+    mutable gone : bool; (* popped or cancelled *)
+  }
+
+  type 'a t = {
+    mutable arr : 'a cell option array;
+    mutable size : int;
+    mutable next_seq : int;
+    mutable pending : int;
+  }
+
+  let create () = { arr = Array.make 16 None; size = 0; next_seq = 0; pending = 0 }
+  let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+  let get t i = match t.arr.(i) with Some c -> c | None -> assert false
+
+  let swap t i j =
+    let tmp = t.arr.(i) in
+    t.arr.(i) <- t.arr.(j);
+    t.arr.(j) <- tmp
+
+  let push t ~time value =
+    if t.size = Array.length t.arr then begin
+      let arr' = Array.make (2 * t.size) None in
+      Array.blit t.arr 0 arr' 0 t.size;
+      t.arr <- arr'
+    end;
+    let c = { time; seq = t.next_seq; value; gone = false } in
+    t.next_seq <- t.next_seq + 1;
+    t.pending <- t.pending + 1;
+    let i = ref t.size in
+    t.size <- t.size + 1;
+    t.arr.(!i) <- Some c;
+    while !i > 0 && before (get t !i) (get t ((!i - 1) / 2)) do
+      let p = (!i - 1) / 2 in
+      swap t !i p;
+      i := p
+    done;
+    c
+
+  let cancel t c =
+    (* Cancelling a popped or already-cancelled event is a no-op, exactly
+       like a stale Event_queue handle. *)
+    if not c.gone then begin
+      c.gone <- true;
+      t.pending <- t.pending - 1
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = ref i in
+    if l < t.size && before (get t l) (get t !m) then m := l;
+    if r < t.size && before (get t r) (get t !m) then m := r;
+    if !m <> i then begin
+      swap t i !m;
+      sift_down t !m
+    end
+
+  let rec pop t =
+    if t.size = 0 then None
+    else begin
+      let c = get t 0 in
+      t.size <- t.size - 1;
+      t.arr.(0) <- t.arr.(t.size);
+      t.arr.(t.size) <- None;
+      if t.size > 0 then sift_down t 0;
+      if c.gone then pop t (* cancelled: skip *)
+      else begin
+        c.gone <- true;
+        t.pending <- t.pending - 1;
+        Some (c.time, c.value)
+      end
+    end
+
+  let length t = t.pending
+end
+
+type churn_op = Push of int | Pop | Cancel of int
+
+(* Property: under an arbitrary interleaving of pushes, pops and cancels —
+   including cancels aimed at already-popped events, which exercise the
+   calendar queue's handle-generation check against recycled pool cells —
+   the calendar queue is observably indistinguishable from the reference
+   heap: same pop results (equal-time ties included), same lengths, same
+   residual drain order. *)
+let prop_queue_matches_heap =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (5, map (fun t -> Push t) (int_bound 300));
+          (3, return Pop);
+          (4, map (fun i -> Cancel i) (int_bound 2000));
+        ])
+  in
+  let print_op = function
+    | Push t -> Printf.sprintf "Push %d" t
+    | Pop -> "Pop"
+    | Cancel i -> Printf.sprintf "Cancel %d" i
+  in
+  let ops_arb =
+    QCheck.make
+      ~print:(QCheck.Print.list print_op)
+      QCheck.Gen.(list_size (int_range 0 400) op_gen)
+  in
+  QCheck.Test.make ~name:"calendar queue equivalent to reference heap under churn"
+    ~count:200 ops_arb
+    (fun ops ->
+      let q = Event_queue.create () in
+      let h = Ref_heap.create () in
+      let handles = ref [] (* newest first *) in
+      let npushed = ref 0 in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      List.iter
+        (fun op ->
+          if !ok then begin
+            (match op with
+            | Push time ->
+              let hq = Event_queue.push q ~time:(Time.of_ns time) !npushed in
+              let hc = Ref_heap.push h ~time !npushed in
+              handles := (hq, hc) :: !handles;
+              incr npushed
+            | Pop -> (
+              match (Event_queue.pop q, Ref_heap.pop h) with
+              | None, None -> ()
+              | Some (tq, vq), Some (th, vh) -> check (Time.to_ns tq = th && vq = vh)
+              | _ -> check false)
+            | Cancel i ->
+              if !npushed > 0 then begin
+                let hq, hc = List.nth !handles (i mod !npushed) in
+                Event_queue.cancel q hq;
+                Ref_heap.cancel h hc
+              end);
+            check (Event_queue.length q = Ref_heap.length h)
+          end)
+        ops;
+      let rec drain_q acc =
+        match Event_queue.pop q with
+        | Some (t, v) -> drain_q ((Time.to_ns t, v) :: acc)
+        | None -> List.rev acc
+      in
+      let rec drain_h acc =
+        match Ref_heap.pop h with
+        | Some (t, v) -> drain_h ((t, v) :: acc)
+        | None -> List.rev acc
+      in
+      !ok && drain_q [] = drain_h [])
+
+let test_queue_cancel_heavy_stress () =
+  (* 10k events with a deterministic pseudo-random time pattern, 90%
+     cancelled — the cancellation load the retransmission-timer layers
+     approximate — then stale cancels aimed at recycled pool cells. *)
+  let q = Event_queue.create () in
+  let n = 10_000 in
+  let lcg = ref 12345 in
+  let next_time () =
+    lcg := ((!lcg * 1103515245) + 12345) land 0x3FFFFFFF;
+    !lcg mod 5_000
+  in
+  let handles =
+    Array.init n (fun i ->
+        let time = next_time () in
+        (time, i, Event_queue.push q ~time:(Time.of_ns time) i))
+  in
+  let survivors = ref [] in
+  Array.iter
+    (fun (time, i, h) ->
+      if i mod 10 <> 0 then Event_queue.cancel q h
+      else survivors := (time, i) :: !survivors)
+    handles;
+  Alcotest.(check int) "pending after mass cancel" (n / 10) (Event_queue.length q);
+  (* seq order equals insertion order i, so sorting (time, i) pairs gives
+     the expected pop order, FIFO at equal times included. *)
+  let expected = List.sort compare !survivors in
+  let rec drain acc =
+    match Event_queue.pop q with
+    | Some (t, v) -> drain ((Time.to_ns t, v) :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list (pair int int))) "survivors pop sorted" expected (drain []);
+  (* All cells are back in the pool. A fresh push recycles them; stale
+     handles from the first generation must not touch the new event. *)
+  ignore (Event_queue.push q ~time:(Time.of_ns 7) 424242);
+  Array.iter (fun (_, _, h) -> Event_queue.cancel q h) handles;
+  Alcotest.(check int) "stale cancels spare recycled cells" 1 (Event_queue.length q);
+  match Event_queue.pop q with
+  | Some (t, v) ->
+    Alcotest.(check (pair int int)) "recycled cell pops" (7, 424242) (Time.to_ns t, v)
+  | None -> Alcotest.fail "recycled event lost"
+
+let test_queue_push_unit_pop_apply () =
+  let q = Event_queue.create () in
+  Event_queue.push_unit q ~time:(Time.of_ns 20) "b";
+  Event_queue.push_unit q ~time:(Time.of_ns 10) "a";
+  Event_queue.push_unit q ~time:(Time.of_ns 20) "c";
+  let acc = ref [] in
+  let f t v = acc := (Time.to_ns t, v) :: !acc in
+  Alcotest.(check bool) "pop_apply consumes" true (Event_queue.pop_apply q f);
+  Alcotest.(check bool) "pop_apply_until respects limit" false
+    (Event_queue.pop_apply_until q ~limit:(Time.of_ns 15) f);
+  Alcotest.(check bool) "pop_apply_until at limit" true
+    (Event_queue.pop_apply_until q ~limit:(Time.of_ns 20) f);
+  Alcotest.(check bool) "last event" true (Event_queue.pop_apply q f);
+  Alcotest.(check bool) "empty pop_apply" false (Event_queue.pop_apply q f);
+  Alcotest.(check (list (pair int string)))
+    "order with FIFO ties"
+    [ (10, "a"); (20, "b"); (20, "c") ]
+    (List.rev !acc)
+
 (* ---- Engine ---- *)
 
 let test_engine_clock_advances () =
@@ -341,8 +559,12 @@ let () =
           Alcotest.test_case "cancel after pop (regression)" `Quick
             test_queue_cancel_after_pop;
           Alcotest.test_case "peek" `Quick test_queue_peek;
+          Alcotest.test_case "cancel-heavy stress" `Quick test_queue_cancel_heavy_stress;
+          Alcotest.test_case "push_unit / pop_apply" `Quick
+            test_queue_push_unit_pop_apply;
           QCheck_alcotest.to_alcotest prop_queue_sorted;
           QCheck_alcotest.to_alcotest prop_queue_cancel_subset;
+          QCheck_alcotest.to_alcotest prop_queue_matches_heap;
         ] );
       ( "engine",
         [
