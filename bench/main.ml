@@ -538,6 +538,20 @@ let faults_study () =
         rows)
     both_ns
 
+let adversary_study () =
+  section
+    "Supplementary S-adversary: robustness vs. performance under the message \
+     adversary (1 KiB, 1000 msgs/s, n=3)";
+  let open Repro_fault in
+  let rows = Study.run_adversary ~obs ~warmup_s ~measure_s ~jobs ~n:3 () in
+  List.iter
+    (fun row ->
+      Fmt.pr "%a" Study.pp_adversary_row row;
+      match Study.adversary_degradation rows row with
+      | Some (lat, tput) -> Fmt.pr " | lat x%4.2f tput x%4.2f vs off@." lat tput
+      | None -> Fmt.pr " | baseline@.")
+    rows
+
 (* ---- Bechamel micro-benchmarks of hot paths ---- *)
 
 let microbench () =
@@ -809,6 +823,7 @@ let () =
   loss_study ();
   indirect_study ();
   faults_study ();
+  adversary_study ();
   microbench ();
   let tags = [ ("source", "bench") ] in
   Option.iter

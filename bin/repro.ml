@@ -612,7 +612,24 @@ let campaign_cmd =
       & info [ "horizon" ] ~docv:"S"
           ~doc:"Virtual seconds each random schedule spans (faults end by 0.9 horizon).")
   in
-  let run n seeds base_seed out horizon jobs =
+  let adversary_arg =
+    Arg.(
+      value & flag
+      & info [ "adversary" ]
+          ~doc:
+            "Also draw message-adversary windows (per-broadcast drop budgets, \
+             corruption, duplication, reordering) into each random schedule.")
+  in
+  let equivocation_arg =
+    Arg.(
+      value & flag
+      & info [ "equivocation" ]
+          ~doc:
+            "With $(b,--adversary): let adversary windows also draw channel \
+             equivocation, which no signature-free stack can absorb — use to \
+             exercise detection, expecting violations.")
+  in
+  let run n seeds base_seed out horizon adversary equivocation jobs =
     let oc = Option.map open_out out in
     let on_verdict v =
       Fmt.pr "%a@." Repro_fault.Campaign.pp_verdict v;
@@ -624,7 +641,7 @@ let campaign_cmd =
     in
     let verdicts =
       Repro_fault.Campaign.run ~base_seed ~horizon_s:horizon ~on_verdict
-        ~jobs:(resolve_jobs jobs) ~n ~seeds ()
+        ~jobs:(resolve_jobs jobs) ~adversary ~equivocation ~n ~seeds ()
     in
     Option.iter close_out oc;
     match Repro_fault.Campaign.failures verdicts with
@@ -647,11 +664,13 @@ let campaign_cmd =
     (Cmd.info "campaign"
        ~doc:
          "Run a randomized fault-injection campaign: N random schedules (crashes, \
-          partitions, loss and delay windows) against all three stacks, with \
-          continuous invariant monitoring; failing schedules are shrunk to a minimal \
-          reproducer.")
+          partitions, loss and delay windows; message-adversary windows with \
+          $(b,--adversary)) against all three stacks, with continuous invariant \
+          monitoring; failing schedules are shrunk to a minimal reproducer.")
     Term.(
-      ret (const run $ n_arg $ seeds_arg $ base_seed_arg $ out_arg $ horizon_arg $ jobs_arg))
+      ret
+        (const run $ n_arg $ seeds_arg $ base_seed_arg $ out_arg $ horizon_arg
+       $ adversary_arg $ equivocation_arg $ jobs_arg))
 
 (* ---- study: modularity cost under faults ---- *)
 
@@ -659,10 +678,28 @@ let study_cmd =
   let n_arg =
     Arg.(value & opt int 3 & info [ "n"; "group-size" ] ~docv:"N" ~doc:"Group size.")
   in
-  let run n csv jobs =
+  let adversary_arg =
+    Arg.(
+      value & flag
+      & info [ "adversary" ]
+          ~doc:
+            "Run the message-adversary sweep instead of the scripted scenarios: \
+             every stack against the off/weak/medium/strong strength levels \
+             (drop budgets, corruption, duplication, reordering; equivocation at \
+             strong), each cell also classified live / safe-stall / \
+             safety-violation after a settle phase.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"With $(b,--adversary): append one JSONL row object per cell to $(docv).")
+  in
+  let run_scenarios n csv jobs =
     if csv then print_endline "stack,scenario,n,latency_ms,throughput,lat_ratio,tput_ratio";
     let all =
-      Repro_fault.Study.run ~n ~jobs:(resolve_jobs jobs)
+      Repro_fault.Study.run ~n ~jobs
         ~on_row:(fun row ->
           if not csv then Fmt.pr "%a@." Repro_fault.Study.pp_row row)
         ()
@@ -684,7 +721,64 @@ let study_cmd =
           Fmt.pr "%-10s %-14s degradation: latency x%.2f, throughput x%.2f@."
             (kind_name row.Repro_fault.Study.kind)
             row.Repro_fault.Study.scenario lat_r tput_r)
-      all;
+      all
+  in
+  let run_adversary n csv out seed jobs =
+    let oc = Option.map open_out out in
+    if csv then
+      print_endline
+        "stack,level,n,latency_ms,throughput,lat_ratio,tput_ratio,degradation,\
+         adv_dropped,adv_corrupted,adv_duplicated,adv_reordered,adv_equivocated,\
+         tampered_detected,tampered_silent";
+    let all =
+      Repro_fault.Study.run_adversary ~n ~seed ~jobs
+        ~on_row:(fun row ->
+          if not csv then Fmt.pr "%a@." Repro_fault.Study.pp_adversary_row row;
+          Option.iter
+            (fun oc ->
+              output_string oc
+                (Repro_obs.Jsonl.to_string
+                   (Repro_fault.Study.adversary_row_json row));
+              output_char oc '\n')
+            oc)
+        ()
+    in
+    Option.iter close_out oc;
+    List.iter
+      (fun (row : Repro_fault.Study.adversary_row) ->
+        let lat_r, tput_r =
+          match Repro_fault.Study.adversary_degradation all row with
+          | Some (l, t) -> (l, t)
+          | None -> (1.0, 1.0)
+        in
+        let level = row.Repro_fault.Study.level.Repro_fault.Adversary.name in
+        if csv then
+          Printf.printf "%s,%s,%d,%.4f,%.2f,%.3f,%.3f,%s,%d,%d,%d,%d,%d,%d,%d\n"
+            (kind_name row.Repro_fault.Study.kind)
+            level n
+            row.Repro_fault.Study.result.Experiment.early_latency_ms.Stats.mean
+            row.Repro_fault.Study.result.Experiment.throughput lat_r tput_r
+            (Repro_fault.Monitor.degradation_name
+               row.Repro_fault.Study.classification)
+            row.Repro_fault.Study.adv.Repro_net.Network.adv_dropped
+            row.Repro_fault.Study.adv.Repro_net.Network.adv_corrupted
+            row.Repro_fault.Study.adv.Repro_net.Network.adv_duplicated
+            row.Repro_fault.Study.adv.Repro_net.Network.adv_reordered
+            row.Repro_fault.Study.adv.Repro_net.Network.adv_equivocated
+            row.Repro_fault.Study.tampered_detected
+            row.Repro_fault.Study.tampered_silent
+        else if level <> "off" then
+          Fmt.pr "%-10s %-6s degradation: latency x%.2f, throughput x%.2f (%s)@."
+            (kind_name row.Repro_fault.Study.kind)
+            level lat_r tput_r
+            (Repro_fault.Monitor.degradation_name
+               row.Repro_fault.Study.classification))
+      all
+  in
+  let run n csv adversary out seed jobs =
+    let jobs = resolve_jobs jobs in
+    if adversary then run_adversary n csv out seed jobs
+    else run_scenarios n csv jobs;
     `Ok ()
   in
   Cmd.v
@@ -692,8 +786,10 @@ let study_cmd =
        ~doc:
          "Measure the modular/monolithic gap while scripted faults hit the measurement \
           window (coordinator crash, 2% loss, partition+heal) — the \
-          modularity-cost-under-faults study (EXPERIMENTS.md S-faults).")
-    Term.(ret (const run $ n_arg $ csv_arg $ jobs_arg))
+          modularity-cost-under-faults study (EXPERIMENTS.md S-faults) — or, with \
+          $(b,--adversary), the robustness-vs-performance sweep against the message \
+          adversary's strength levels.")
+    Term.(ret (const run $ n_arg $ csv_arg $ adversary_arg $ out_arg $ seed_arg $ jobs_arg))
 
 (* ---- compare: regression gate over two benchmark reports ---- *)
 

@@ -194,8 +194,10 @@ let take_own_unsent t =
    and one-shot tags, so if the steward crashes before its retransmissions
    complete, a process can keep deciding {e later} instances while an
    earlier one stays unknown forever — nothing ever re-announces it. (The
-   modular stack is immune: its decision tags travel by reliable
-   broadcast, whose relay step survives the origin's crash.) While a
+   modular stack's decision tags travel by reliable broadcast, whose
+   relay step survives the origin's crash — but a message adversary can
+   suppress the relays too, so both consensus variants now carry the same
+   net; see {!Consensus.arm_catchup}.) While a
    decided instance sits above an undecided hole, periodically ask
    everyone for the missing values; deciders answer [Decision_full],
    undecided receivers park us in [pending_requesters]. Never fires in

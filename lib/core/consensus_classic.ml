@@ -31,6 +31,9 @@ type t = {
   on_decide : inst:int -> Batch.t -> unit;
   obs : Obs.t;
   instances : (int, inst_state) Hashtbl.t;
+  mutable max_decided : int;
+  mutable catchup_from : int; (* lowest instance not known decided *)
+  mutable catchup_timer : Engine.timer option;
 }
 
 let coord t ~round = Params.coordinator t.params ~round
@@ -71,6 +74,36 @@ let state t inst =
 let cancel_timer t slot =
   match slot with Some timer -> Engine.cancel t.engine timer | None -> ()
 
+(* Safety net against permanent decision holes — same mechanism and
+   rationale as {!Consensus.arm_catchup}: a message adversary can
+   suppress every copy of a decision bound for one process, relays
+   included, leaving a decided instance above a hole nobody will
+   re-announce. Never armed while decisions arrive in order. *)
+let rec arm_catchup t =
+  let decided_at inst =
+    match Hashtbl.find_opt t.instances inst with
+    | Some s -> s.decided <> None
+    | None -> false
+  in
+  while t.catchup_from <= t.max_decided && decided_at t.catchup_from do
+    t.catchup_from <- t.catchup_from + 1
+  done;
+  if t.catchup_timer = None && t.catchup_from <= t.max_decided then
+    t.catchup_timer <-
+      Some
+        (Engine.schedule_after t.engine t.params.Params.round1_kick (fun () ->
+             t.catchup_timer <- None;
+             let requested = ref 0 in
+             let inst = ref t.catchup_from in
+             while !inst <= t.max_decided && !requested < 64 do
+               if not (decided_at !inst) then begin
+                 t.broadcast (Msg.Decision_request { inst = !inst });
+                 incr requested
+               end;
+               incr inst
+             done;
+             arm_catchup t))
+
 let decide t s value =
   match s.decided with
   | Some _ -> ()
@@ -95,7 +128,9 @@ let decide t s value =
       end
       else Obs.Span.no_parent
     in
-    Obs.with_span_ctx t.obs sp (fun () -> t.on_decide ~inst:s.inst value)
+    Obs.with_span_ctx t.obs sp (fun () -> t.on_decide ~inst:s.inst value);
+    if s.inst > t.max_decided then t.max_decided <- s.inst;
+    arm_catchup t
 
 let reply_decision t s ~dst =
   match s.decided with
@@ -349,6 +384,9 @@ let create ~engine ~params ~me ~fd ~send ~broadcast ~rbcast_decision ~on_decide
          for a full report-workload window up front instead of paying a chain
          of rehash copies on the hot path. *)
       instances = Hashtbl.create 4096;
+      max_decided = -1;
+      catchup_from = 0;
+      catchup_timer = None;
     }
   in
   Fd.on_suspect fd (fun suspect -> on_suspicion t suspect);

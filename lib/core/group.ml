@@ -17,6 +17,7 @@ type t = {
   seen : Id_table.t; (* ids already seen delivered somewhere *)
   mutable rev_latencies : latency_record list;
   mutable observers : (Pid.t -> App_msg.t -> unit) list;
+  mutable tamper_observers : (Pid.t -> detected:bool -> unit) list;
 }
 
 let handle_delivery t pid m =
@@ -59,12 +60,15 @@ let create ~kind ~params ?(fd_mode = `Good_run) ?(record_deliveries = true)
       seen = Id_table.create ~n:params.Params.n;
       rev_latencies = [];
       observers = [];
+      tamper_observers = [];
     }
   in
   t.replicas <-
     Array.init params.Params.n (fun pid ->
         Replica.create ~kind ~params ~net:network ~me:pid ~fd_mode ~record_deliveries
           ~on_adeliver:(fun m -> handle_delivery t pid m)
+          ~on_tamper:(fun ~detected ->
+            List.iter (fun f -> f pid ~detected) t.tamper_observers)
           ~obs ());
   t
 
@@ -105,6 +109,7 @@ let latencies t =
     (List.rev t.rev_latencies)
 
 let on_delivery t f = t.observers <- t.observers @ [ f ]
+let on_tamper t f = t.tamper_observers <- t.tamper_observers @ [ f ]
 let stats t = Network.stats t.network
 
 let mean_batch_size t =

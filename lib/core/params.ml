@@ -29,6 +29,7 @@ type t = {
   round1_kick : Time.span;
   batch_cap : int;
   transport : transport;
+  checksums : bool;
   modular : modular_opts;
   mono : mono_opts;
 }
@@ -44,6 +45,7 @@ let default ~n =
     round1_kick = Time.span_ms 500;
     batch_cap = 64;
     transport = Tcp_like;
+    checksums = true;
     modular =
       { consensus_variant = Ct_optimized; rbcast_variant = Majority; decision_tag_only = true };
     mono =

@@ -73,6 +73,15 @@ type t = {
           coordinator. Never fires in good runs. *)
   batch_cap : int;  (** Upper bound on messages per consensus proposal. *)
   transport : transport;  (** How replicas reach each other. *)
+  checksums : bool;
+      (** Verify payload integrity on receipt (on by default, as TCP's
+          checksums were for the paper's stacks): a {!Wire_msg.Tampered}
+          copy injected by the message adversary is detected and
+          discarded — under [Lossy] transport the {!Repro_net.Rchannel}
+          retransmission then recovers it, so corruption degrades to
+          loss. With checksums off, tampered copies are processed as if
+          genuine (silent corruption; the {!Repro_fault} monitor's
+          integrity/agreement invariants are the only net). *)
   modular : modular_opts;
   mono : mono_opts;
 }

@@ -158,7 +158,7 @@ let crash t =
 (* ---- Wiring ---- *)
 
 let create ~kind ~params ~net ~me ?(fd_mode = `Good_run) ?(record_deliveries = true)
-    ?(on_adeliver = ignore) ?(obs = Obs.noop) () =
+    ?(on_adeliver = ignore) ?(on_tamper = fun ~detected:_ -> ()) ?(obs = Obs.noop) () =
   let cpu = Network.cpu net me in
   let stack = Stack.create ~cpu ~dispatch_cost:params.Params.dispatch_cost in
   let t =
@@ -442,13 +442,35 @@ let create ~kind ~params ~net ~me ?(fd_mode = `Good_run) ?(record_deliveries = t
       end
   in
   deliver_ref := demux;
+  (* A [Tampered] envelope is the message adversary's in-flight payload
+     flip. Checksums on (the default): the receiver detects the mismatch
+     and discards the copy — under lossy transport the reliable channel's
+     retransmission recovers it, so corruption degrades to loss. Checksums
+     off: the inner message is processed as if genuine. Either way the
+     tamper observer fires so the invariant monitor can count
+     detected-vs-silent corruption. *)
+  let rec handle_wire ~src wire =
+    match wire with
+    | Wire_msg.Plain msg -> demux ~src msg
+    | Wire_msg.Frame frame -> begin
+      match t.rchannel with
+      | Some channel -> Rchannel.receive_raw channel ~src frame
+      | None -> ()
+    end
+    | Wire_msg.Tampered inner ->
+      if params.Params.checksums then begin
+        if Obs.enabled t.obs then begin
+          Obs.incr t.obs "net.corrupt_detected";
+          Obs.event t.obs ~pid:t.me ~layer:(Wire_msg.layer inner) ~phase:"drop"
+            ~detail:("checksum: " ^ Wire_msg.kind inner) ()
+        end;
+        on_tamper ~detected:true
+      end
+      else begin
+        on_tamper ~detected:false;
+        handle_wire ~src inner
+      end
+  in
   Network.register net me (fun ~src wire ->
-      if not t.crashed then
-        match wire with
-        | Wire_msg.Plain msg -> demux ~src msg
-        | Wire_msg.Frame frame -> begin
-          match t.rchannel with
-          | Some channel -> Rchannel.receive_raw channel ~src frame
-          | None -> ()
-        end);
+      if not t.crashed then handle_wire ~src wire);
   t

@@ -39,13 +39,17 @@ val create :
   ?fd_mode:fd_mode ->
   ?record_deliveries:bool ->
   ?on_adeliver:(App_msg.t -> unit) ->
+  ?on_tamper:(detected:bool -> unit) ->
   ?obs:Repro_obs.Obs.t ->
   unit ->
   t
 (** Build and wire the replica. [fd_mode] defaults to [`Good_run];
     [record_deliveries] (default [true]) keeps the full in-order delivery
     log in memory for assertions. [on_adeliver] observes every adelivered
-    message (after internal bookkeeping).
+    message (after internal bookkeeping). [on_tamper] (default: ignore)
+    observes every {!Wire_msg.Tampered} copy that reaches this replica,
+    with [detected] telling whether checksums caught it (the copy was
+    discarded) or it was processed as genuine ({!Params.checksums} off).
 
     [obs] (default: no-op) is handed to every mounted protocol module (see
     their [create] docs for the metric names) and additionally records an

@@ -1,18 +1,24 @@
 open Repro_net
 
-type t = Plain of Msg.t | Frame of Msg.t Rchannel.wire
+type t =
+  | Plain of Msg.t
+  | Frame of Msg.t Rchannel.wire
+  | Tampered of t
 
-let payload_bytes = function
+let rec payload_bytes = function
   | Plain m -> Msg.payload_bytes m
   | Frame (Rchannel.Data { payload; _ }) -> 8 + Msg.payload_bytes payload
   | Frame (Rchannel.Ack _) -> 16
+  | Tampered inner -> payload_bytes inner
 
-let kind = function
+let rec kind = function
   | Plain m -> Msg.kind m
   | Frame (Rchannel.Data { payload; _ }) -> Msg.kind payload
   | Frame (Rchannel.Ack _) -> "channel-ack"
+  | Tampered inner -> "tampered-" ^ kind inner
 
-let layer = function
+let rec layer = function
   | Plain m -> Msg.layer m
   | Frame (Rchannel.Data { payload; _ }) -> Msg.layer payload
   | Frame (Rchannel.Ack _) -> `Net
+  | Tampered inner -> layer inner

@@ -1,0 +1,67 @@
+open Repro_core
+
+(** The message adversary: Wire_msg-specific mutators and arming.
+
+    {!Network.arm_adversary} is generic in the message type, so the
+    knowledge of what a corrupted or equivocated {!Wire_msg.t} looks like
+    lives here, on the fault side of the layering boundary (protocol
+    layers never see this module — see [lint/boundaries.spec]). The
+    adversary model follows the message-adversary literature (PAPERS.md:
+    Albouy et al.): per-multicast suppression of up to [d] copies,
+    in-flight payload corruption, duplication, bounded reordering, and
+    channel-level equivocation — different receivers handed conflicting
+    payloads for the same logical broadcast.
+
+    {2 Determinism obligations}
+
+    The adversary RNG is derived from the run seed by constant mixing,
+    {e not} by splitting the engine's stream — splitting would advance the
+    engine stream and perturb every later protocol draw. Arming is
+    therefore free: an armed adversary with all knobs at zero produces
+    event-for-event the same run as an unarmed network. *)
+
+val corrupt_msg : Msg.t -> Msg.t option
+(** Flip one small field (an app-message identity bit, an instance/round/
+    timestamp) leaving the message well-formed; [None] for messages with
+    nothing worth flipping (heartbeats, empty payload requests). *)
+
+val equivocate_msg : Msg.t -> Msg.t option
+(** A well-formed alternate payload for the same logical broadcast: same
+    identities, every carried application payload one byte larger (the
+    size doubles as the content fingerprint {!Monitor} compares across
+    receivers). [None] for messages carrying no application payload. *)
+
+val corrupt_wire : Wire_msg.t -> Wire_msg.t option
+(** Wrap a copy in the {!Wire_msg.Tampered} envelope, mutating the inner
+    protocol message via {!corrupt_msg} when possible; [None] on an
+    already-tampered copy. *)
+
+val equivocate_wire : Wire_msg.t -> Wire_msg.t option
+(** {!equivocate_msg} under the wire framing; [None] for channel acks and
+    tampered copies. *)
+
+val arm : Group.t -> unit
+(** Arm the group's network with the wire mutators and a seed-derived
+    adversary RNG (all knobs zero). Idempotent. {!Nemesis.install} calls
+    this automatically for plans with adversary actions. *)
+
+(** {2 Strength levels for the study sweep} *)
+
+type level = {
+  name : string;  (** ["off"], ["weak"], ["medium"], ["strong"] *)
+  drop_budget : int;
+  corrupt : float;
+  duplicate : float;
+  reorder : Repro_sim.Time.span;
+  equivocate : float;
+}
+
+val levels : n:int -> level list
+(** The four standard strengths of the [repro study --adversary] sweep,
+    weakest first. Drop budgets are clamped to the [n-2] maximum
+    {!Schedule.validate} allows; only ["strong"] equivocates (an attack no
+    signature-free stack can fully absorb — the study measures who
+    {e detects} it). *)
+
+val schedule_of_level : at:Repro_sim.Time.span -> level -> Schedule.t
+(** The five-step plan arming every knob of [level] at instant [at]. *)

@@ -22,7 +22,7 @@ let span_of_s s = Time.span_ns (int_of_float (s *. 1e9))
 
 (* ---- Schedule generation ---- *)
 
-let random_schedule rng ~n ~horizon =
+let random_schedule ?(adversary = false) ?(equivocation = false) rng ~n ~horizon =
   let h = Time.span_to_ns horizon in
   if h <= 0 then invalid_arg "Campaign.random_schedule: empty horizon";
   if n < 3 then invalid_arg "Campaign.random_schedule: need n >= 3";
@@ -65,23 +65,64 @@ let random_schedule rng ~n ~horizon =
       push start (Schedule.Delay_spike (Time.span_us (100 + Rng.int rng 1900)));
       push stop (Schedule.Delay_spike Time.span_zero)
   done;
+  (* Message-adversary windows, opt-in so that crash/partition campaigns
+     keep their historical draw sequence (and verdicts) bit-for-bit.
+     Equivocation is a further opt-in: no signature-free stack can mask
+     conflicting payloads, so default adversary campaigns stick to the
+     powers the stacks are expected to absorb. *)
+  let n_adv = if adversary then Rng.int rng 3 else 0 in
+  for _ = 1 to n_adv do
+    let start = (h / 10) + Rng.int rng (max 1 (h / 2)) in
+    let stop = start + (h / 20) + Rng.int rng (max 1 (h / 4)) in
+    match Rng.int rng (if equivocation then 5 else 4) with
+    | 0 ->
+      push start (Schedule.Adv_drop_budget (1 + Rng.int rng (n - 2)));
+      push stop (Schedule.Adv_drop_budget 0)
+    | 1 ->
+      push start (Schedule.Corrupt_rate (0.005 +. Rng.float rng 0.05));
+      push stop (Schedule.Corrupt_rate 0.0)
+    | 2 ->
+      push start (Schedule.Duplicate_rate (0.01 +. Rng.float rng 0.1));
+      push stop (Schedule.Duplicate_rate 0.0)
+    | 3 ->
+      push start (Schedule.Reorder_window (Time.span_us (100 + Rng.int rng 1900)));
+      push stop (Schedule.Reorder_window Time.span_zero)
+    | _ ->
+      push start (Schedule.Equivocate_rate (0.005 +. Rng.float rng 0.05));
+      push stop (Schedule.Equivocate_rate 0.0)
+  done;
   let body =
     List.stable_sort
       (fun (a : Schedule.step) (b : Schedule.step) ->
         compare (Time.span_to_ns a.at) (Time.span_to_ns b.at))
       (List.rev !steps)
   in
-  if n_windows = 0 then body
+  if n_windows = 0 && n_adv = 0 then body
   else begin
     (* Cleanup: whatever the windows left behind, nothing stays cut, lossy
        or slow past 0.9 h — liveness is only required of healed runs. *)
     let cleanup_at = Time.span_ns (h * 9 / 10) in
-    body
-    @ [
-        { Schedule.at = cleanup_at; action = Schedule.Heal_all };
-        { Schedule.at = cleanup_at; action = Schedule.Loss_rate 0.0 };
-        { Schedule.at = cleanup_at; action = Schedule.Delay_spike Time.span_zero };
-      ]
+    let link_cleanup =
+      if n_windows = 0 then []
+      else
+        [
+          { Schedule.at = cleanup_at; action = Schedule.Heal_all };
+          { Schedule.at = cleanup_at; action = Schedule.Loss_rate 0.0 };
+          { Schedule.at = cleanup_at; action = Schedule.Delay_spike Time.span_zero };
+        ]
+    in
+    let adv_cleanup =
+      if n_adv = 0 then []
+      else
+        [
+          { Schedule.at = cleanup_at; action = Schedule.Adv_drop_budget 0 };
+          { Schedule.at = cleanup_at; action = Schedule.Corrupt_rate 0.0 };
+          { Schedule.at = cleanup_at; action = Schedule.Duplicate_rate 0.0 };
+          { Schedule.at = cleanup_at; action = Schedule.Reorder_window Time.span_zero };
+          { Schedule.at = cleanup_at; action = Schedule.Equivocate_rate 0.0 };
+        ]
+    in
+    body @ link_cleanup @ adv_cleanup
   end
 
 (* ---- Single run ---- *)
@@ -104,7 +145,7 @@ let run_one ~kind ~n ~seed ~schedule ?(offered_load = 600.0) ?(settle_s = 5.0) (
   in
   let monitor = Monitor.create ~seed ~schedule ~n () in
   Monitor.attach monitor group;
-  ignore (Nemesis.install group schedule);
+  ignore (Nemesis.install_exn group schedule);
   let generator = Generator.start group ~offered_load ~size:1024 () in
   Group.run_for group (Time.span_add (Schedule.duration schedule) (Time.span_ms 200));
   Generator.stop generator;
@@ -159,25 +200,59 @@ let shrink ~fails schedule =
     go schedule
   end
 
+(* Time coarsening: snap every timestamp to the coarsest grid on which the
+   failure still reproduces, so minimal reproducers read "at 1s", not
+   "at 937561ns". Snapping is to the nearest multiple, with a running max
+   keeping timestamps non-decreasing (so the plan stays valid). Runs after
+   subsequence shrinking — the result is no longer a subsequence of the
+   original plan, but it is a plan the same invariant still fails on. *)
+let coarsen ~fails schedule =
+  match schedule with
+  | [] -> schedule
+  | _ ->
+    let snap grid =
+      let prev = ref 0 in
+      List.map
+        (fun (s : Schedule.step) ->
+          let ns = Time.span_to_ns s.Schedule.at in
+          let snapped = (ns + (grid / 2)) / grid * grid in
+          let snapped = max snapped !prev in
+          prev := snapped;
+          { s with Schedule.at = Time.span_ns snapped })
+        schedule
+    in
+    let rec try_grids = function
+      | [] -> schedule
+      | grid :: finer ->
+        let candidate = snap grid in
+        if Schedule.equal candidate schedule then schedule
+        else if fails candidate then candidate
+        else try_grids finer
+    in
+    try_grids [ 1_000_000_000; 100_000_000; 10_000_000; 1_000_000 ]
+
 let minimize ?offered_load ?settle_s v =
   match v.outcome with
   | Pass -> v.schedule
   | Fail viol ->
-    shrink v.schedule ~fails:(fun s ->
-        match
-          (run_one ~kind:v.kind ~n:v.n ~seed:v.seed ~schedule:s ?offered_load
-             ?settle_s ())
-            .outcome
-        with
-        | Fail viol' -> viol'.Monitor.invariant = viol.Monitor.invariant
-        | Pass -> false)
+    let fails s =
+      match
+        (run_one ~kind:v.kind ~n:v.n ~seed:v.seed ~schedule:s ?offered_load
+           ?settle_s ())
+          .outcome
+      with
+      | Fail viol' -> viol'.Monitor.invariant = viol.Monitor.invariant
+      | Pass -> false
+    in
+    coarsen ~fails (shrink ~fails v.schedule)
 
 (* ---- Campaign ---- *)
 
 let all_kinds = [ Replica.Modular; Replica.Monolithic; Replica.Indirect ]
 
 let run ?(kinds = all_kinds) ?(base_seed = 1) ?offered_load ?(horizon_s = 2.0)
-    ?settle_s ?(on_verdict = fun _ -> ()) ?jobs ~n ~seeds () =
+    ?settle_s ?(on_verdict = fun _ -> ()) ?jobs ?adversary ?equivocation ~n
+    ~seeds () =
   let horizon = span_of_s horizon_s in
   (* Schedule generation stays sequential (it is cheap and shares one RNG
      per seed); the independent (seed, schedule, kind) runs go on the
@@ -189,7 +264,9 @@ let run ?(kinds = all_kinds) ?(base_seed = 1) ?offered_load ?(horizon_s = 2.0)
     List.concat_map
       (fun i ->
         let seed = base_seed + i in
-        let schedule = random_schedule (Rng.create ~seed) ~n ~horizon in
+        let schedule =
+          random_schedule ?adversary ?equivocation (Rng.create ~seed) ~n ~horizon
+        in
         List.map (fun kind -> (seed, schedule, kind)) kinds)
       (List.init seeds (fun i -> i))
   in

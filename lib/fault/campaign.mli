@@ -39,11 +39,26 @@ type verdict = {
           the campaign's degradation signal. [nan] if nothing delivered. *)
 }
 
-val random_schedule : Rng.t -> n:int -> horizon:Time.span -> Schedule.t
+val random_schedule :
+  ?adversary:bool ->
+  ?equivocation:bool ->
+  Rng.t ->
+  n:int ->
+  horizon:Time.span ->
+  Schedule.t
 (** Draw a schedule for [n] processes: up to ⌊(n-1)/2⌋ crashes (half of
     them mid-broadcast via [crash-after-sends]), up to two link-fault
     windows (cut, partition, loss or delay spike), every disruption healed
-    by [0.9 × horizon]. The result always passes {!Schedule.validate}. *)
+    by [0.9 × horizon]. The result always passes {!Schedule.validate}.
+
+    [adversary] (default false) additionally draws up to two
+    message-adversary windows (drop budget, corruption, duplication or
+    reordering, each closed by its disarming action and all knobs zeroed
+    by the cleanup); with it false the draw sequence — and hence every
+    schedule and verdict — is bit-for-bit what it was before the
+    adversary existed. [equivocation] (default false) lets those windows
+    also draw equivocation, which no signature-free stack can absorb —
+    only enable it when violations are the expected result. *)
 
 val run_one :
   kind:Replica.kind ->
@@ -67,10 +82,19 @@ val shrink : fails:(Schedule.t -> bool) -> Schedule.t -> Schedule.t
     input and 1-minimal (removing any one further step makes [fails]
     false). If the input itself does not fail, it is returned unchanged. *)
 
+val coarsen : fails:(Schedule.t -> bool) -> Schedule.t -> Schedule.t
+(** Snap every timestamp to the coarsest grid (1s, then 100ms, 10ms, 1ms)
+    on which [fails] still holds — nearest multiple, kept non-decreasing —
+    so minimal reproducers read [at 1s] rather than [at 937561ns]. Returns
+    the input unchanged if no coarser grid reproduces (or the plan is
+    already on its coarsest reproducing grid). *)
+
 val minimize : ?offered_load:float -> ?settle_s:float -> verdict -> Schedule.t
-(** Shrink a failing verdict's schedule so that re-running the same (kind,
-    n, seed) still violates the {e same} invariant. For a passing verdict,
-    the schedule is returned unchanged. *)
+(** Shrink a failing verdict's schedule ({!shrink}, then {!coarsen}) so
+    that re-running the same (kind, n, seed) still violates the {e same}
+    invariant. The result is 1-minimal but, after coarsening, not
+    necessarily a subsequence of the original. For a passing verdict, the
+    schedule is returned unchanged. *)
 
 val run :
   ?kinds:Replica.kind list ->
@@ -80,6 +104,8 @@ val run :
   ?settle_s:float ->
   ?on_verdict:(verdict -> unit) ->
   ?jobs:int ->
+  ?adversary:bool ->
+  ?equivocation:bool ->
   n:int ->
   seeds:int ->
   unit ->
@@ -95,7 +121,8 @@ val run :
     {!Repro_parallel.Pool}; verdict order and [on_verdict] order are
     unchanged whatever the value — each run is seeded and virtual-time
     deterministic, so the verdict list is identical too. Shrinking
-    ({!minimize}) is always sequential. *)
+    ({!minimize}) is always sequential. [adversary]/[equivocation] pass
+    through to {!random_schedule}. *)
 
 val failures : verdict list -> verdict list
 

@@ -2,7 +2,14 @@ open Repro_sim
 open Repro_net
 open Repro_core
 
-type invariant = Integrity | Total_order | Agreement | Validity | Liveness
+type invariant =
+  | Integrity
+  | Total_order
+  | Agreement
+  | Validity
+  | Liveness
+  | Corruption
+  | Equivocation
 
 let invariant_name = function
   | Integrity -> "integrity"
@@ -10,6 +17,8 @@ let invariant_name = function
   | Agreement -> "agreement"
   | Validity -> "validity"
   | Liveness -> "liveness"
+  | Corruption -> "corruption"
+  | Equivocation -> "equivocation"
 
 type violation = {
   at : Time.t;
@@ -31,6 +40,12 @@ type t = {
      prefix of this one, so every delivery checks one slot. *)
   mutable global : App_msg.id array;
   mutable global_len : int;
+  (* First content fingerprint adelivered for each identity, anywhere in
+     the group; a later delivery of the same identity with a different
+     fingerprint is channel equivocation made visible. *)
+  fingerprints : (App_msg.id, int * Pid.t) Hashtbl.t;
+  mutable tampered_detected : int;
+  mutable tampered_silent : int;
   mutable clock : unit -> Time.t;
   mutable admitted_of : Pid.t -> int option;
   mutable rev_violations : violation list;
@@ -46,6 +61,9 @@ let create ?(seed = 0) ?(schedule = []) ~n () =
     seen = Array.init n (fun _ -> Hashtbl.create 64);
     global = Array.make 64 { App_msg.origin = 0; seq = -1 };
     global_len = 0;
+    fingerprints = Hashtbl.create 64;
+    tampered_detected = 0;
+    tampered_silent = 0;
     clock = (fun () -> Time.zero);
     admitted_of = (fun _ -> None);
     rev_violations = [];
@@ -64,8 +82,20 @@ let global_push t id =
   t.global.(t.global_len) <- id;
   t.global_len <- t.global_len + 1
 
-let observe t p id =
+let observe t ?fingerprint p id =
   if p < 0 || p >= t.n then invalid_arg "Monitor.observe: pid out of range";
+  (* Equivocation agreement: every process adelivering an identity must
+     see the same content fingerprint as the first process that did. *)
+  (match fingerprint with
+  | None -> ()
+  | Some fp -> (
+    match Hashtbl.find_opt t.fingerprints id with
+    | None -> Hashtbl.replace t.fingerprints id (fp, p)
+    | Some (fp0, p0) ->
+      if fp <> fp0 then
+        violate t Equivocation p
+          (Fmt.str "%a delivered with fingerprint %d but %a saw %d"
+             App_msg.pp_id id fp Pid.pp p0 fp0)));
   (* Integrity: no duplicate delivery at one process. *)
   if Hashtbl.mem t.seen.(p) id then
     violate t Integrity p (Fmt.str "%a delivered twice" App_msg.pp_id id)
@@ -92,11 +122,30 @@ let observe t p id =
   t.rev_logs.(p) <- id :: t.rev_logs.(p);
   t.counts.(p) <- i + 1
 
+(* Corruption detection: the simulator knows which copies were tampered
+   (the [Tampered] envelope is an oracle a real system lacks), so the
+   invariant is sharp — every tampered copy must be caught by checksums;
+   one processed as genuine is a silent-corruption safety violation. *)
+let note_tamper t p ~detected =
+  if p < 0 || p >= t.n then invalid_arg "Monitor.note_tamper: pid out of range";
+  if detected then t.tampered_detected <- t.tampered_detected + 1
+  else begin
+    t.tampered_silent <- t.tampered_silent + 1;
+    violate t Corruption p "tampered copy processed as genuine (checksums off)"
+  end
+
+let tampered_detected t = t.tampered_detected
+let tampered_silent t = t.tampered_silent
+
 let attach t group =
   let engine = Group.engine group in
   t.clock <- (fun () -> Engine.now engine);
   t.admitted_of <- (fun p -> Some (Replica.admitted (Group.replica group p)));
-  Group.on_delivery group (fun p (msg : App_msg.t) -> observe t p msg.id)
+  Group.on_delivery group (fun p (msg : App_msg.t) ->
+      (* The payload size doubles as the content fingerprint: the
+         adversary's alternate payloads differ exactly in size. *)
+      observe t ~fingerprint:msg.size p msg.id);
+  Group.on_tamper group (fun p ~detected -> note_tamper t p ~detected)
 
 let check_final t ~correct ?(min_delivered = 1) () =
   List.iter
@@ -147,6 +196,27 @@ let check_final t ~correct ?(min_delivered = 1) () =
 
 let violations t = List.rev t.rev_violations
 let first_violation t = match violations t with [] -> None | v :: _ -> Some v
+
+(* ---- Graceful-degradation classification ---- *)
+
+type degradation = Live | Safe_stall | Safety_violation
+
+let degradation_name = function
+  | Live -> "live"
+  | Safe_stall -> "safe-stall"
+  | Safety_violation -> "safety-violation"
+
+let classify t =
+  let is_safety = function
+    | Integrity | Total_order | Agreement | Validity | Corruption | Equivocation
+      ->
+      true
+    | Liveness -> false
+  in
+  if List.exists (fun v -> is_safety v.invariant) (violations t) then
+    Safety_violation
+  else if t.rev_violations <> [] then Safe_stall
+  else Live
 let seed t = t.seed
 let schedule t = t.schedule
 let delivered_count t p = t.counts.(p)

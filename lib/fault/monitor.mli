@@ -13,6 +13,15 @@ open Repro_core
     - {b validity} — every delivered message was actually abcast (its
       per-origin sequence number is below the origin's admitted count).
 
+    Under an armed message adversary two more online checks apply:
+
+    - {b corruption detection} — every tampered copy the adversary
+      injected must be caught by checksums; one processed as genuine
+      (checksums off) is a silent-corruption violation ({!note_tamper});
+    - {b equivocation agreement} — every process adelivering an identity
+      must see the same content fingerprint as the first process that
+      did ({!observe}'s [fingerprint]).
+
     Two more invariants only make sense once the run has settled, so
     {!check_final} verifies them at the end:
 
@@ -33,11 +42,18 @@ open Repro_core
     final agreement/liveness, and the seed + schedule reproduction
     context the campaign needs. *)
 
-type invariant = Integrity | Total_order | Agreement | Validity | Liveness
+type invariant =
+  | Integrity
+  | Total_order
+  | Agreement
+  | Validity
+  | Liveness
+  | Corruption
+  | Equivocation
 
 val invariant_name : invariant -> string
 (** ["integrity"], ["total-order"], ["agreement"], ["validity"],
-    ["liveness"]. *)
+    ["liveness"], ["corruption"], ["equivocation"]. *)
 
 type violation = {
   at : Time.t;  (** Virtual instant the violation was detected. *)
@@ -53,13 +69,26 @@ val create : ?seed:int -> ?schedule:Schedule.t -> n:int -> unit -> t
     (default empty) are carried into violation reports. *)
 
 val attach : t -> Group.t -> unit
-(** Observe every adelivery of the group, stamp violations with the
-    group's virtual clock, and validate sequence numbers against the
-    replicas' admitted counts. *)
+(** Observe every adelivery of the group (with the payload size as its
+    content fingerprint) and every tampered copy reaching a replica
+    ({!Group.on_tamper}), stamp violations with the group's virtual
+    clock, and validate sequence numbers against the replicas' admitted
+    counts. *)
 
-val observe : t -> Pid.t -> App_msg.id -> unit
+val observe : t -> ?fingerprint:int -> Pid.t -> App_msg.id -> unit
 (** Feed one adelivery by hand (used by tests that replay — possibly
-    corrupted — delivery logs without a live group). *)
+    corrupted — delivery logs without a live group). [fingerprint]
+    (default: none, which skips the check) is an integer digest of the
+    delivered content; processes disagreeing on a given identity's
+    fingerprint is an equivocation violation. *)
+
+val note_tamper : t -> Pid.t -> detected:bool -> unit
+(** Record one adversary-tampered copy reaching a process. [detected]
+    false — the copy was processed as genuine — is a corruption
+    violation; true just counts (detection {e is} the graceful path). *)
+
+val tampered_detected : t -> int
+val tampered_silent : t -> int
 
 val check_final : t -> correct:Pid.t list -> ?min_delivered:int -> unit -> unit
 (** Run the end-of-run checks (agreement always; liveness only if
@@ -69,6 +98,26 @@ val violations : t -> violation list
 (** All violations, oldest first. *)
 
 val first_violation : t -> violation option
+
+(** How a run degraded under its faults, coarsened to the three classes
+    the robustness study tabulates. *)
+type degradation =
+  | Live  (** No violations: full service under the adversary. *)
+  | Safe_stall
+      (** Liveness violations only: the stack stopped delivering (or
+          lost admitted messages) but never lied — the graceful failure
+          mode. *)
+  | Safety_violation
+      (** At least one safety invariant (integrity, total order,
+          agreement, validity, corruption, equivocation) broken:
+          ungraceful. *)
+
+val classify : t -> degradation
+(** Classify the run from the violations recorded so far (call after
+    {!check_final}). *)
+
+val degradation_name : degradation -> string
+(** ["live"], ["safe-stall"], ["safety-violation"]. *)
 
 val seed : t -> int
 val schedule : t -> Schedule.t

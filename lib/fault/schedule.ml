@@ -10,6 +10,11 @@ type action =
   | Heal_all
   | Loss_rate of float
   | Delay_spike of Time.span
+  | Adv_drop_budget of int
+  | Corrupt_rate of float
+  | Duplicate_rate of float
+  | Reorder_window of Time.span
+  | Equivocate_rate of float
 
 type step = { at : Time.span; action : action }
 type t = step list
@@ -50,6 +55,11 @@ let action_to_string = function
   | Heal_all -> "heal-all"
   | Loss_rate p -> "loss " ^ float_to_string p
   | Delay_spike d -> "delay " ^ span_to_string d
+  | Adv_drop_budget d -> Printf.sprintf "adv-drop-budget %d" d
+  | Corrupt_rate p -> "corrupt " ^ float_to_string p
+  | Duplicate_rate p -> "duplicate " ^ float_to_string p
+  | Reorder_window w -> "reorder " ^ span_to_string w
+  | Equivocate_rate p -> "equivocate " ^ float_to_string p
 
 let step_to_string s = Printf.sprintf "at %s %s" (span_to_string s.at) (action_to_string s.action)
 let to_string t = String.concat "\n" (List.map step_to_string t) ^ if t = [] then "" else "\n"
@@ -59,17 +69,28 @@ let pp ppf t = Fmt.(list ~sep:(any "; ") pp_step) ppf t
 
 (* ---- Parsing ---- *)
 
+(* Durations may be fractional ([1.5ms]); the value is computed in integer
+   nanoseconds (whole·unit + frac·unit/10^digits) so no float rounding can
+   leak into round-trips. Fractions that land below 1 ns are rejected
+   rather than silently truncated. *)
 let parse_span s =
   let len = String.length s in
-  let unit_start =
+  let digits_end from =
     let rec go i = if i < len && s.[i] >= '0' && s.[i] <= '9' then go (i + 1) else i in
-    go 0
+    go from
   in
-  if unit_start = 0 then Error (Printf.sprintf "expected a duration, got %S" s)
+  let whole_end = digits_end 0 in
+  let frac_start, frac_end =
+    if whole_end < len && s.[whole_end] = '.' then
+      (whole_end + 1, digits_end (whole_end + 1))
+    else (whole_end, whole_end)
+  in
+  let had_dot = frac_start <> whole_end in
+  if whole_end = 0 || (had_dot && frac_end = frac_start) then
+    Error (Printf.sprintf "expected a duration, got %S" s)
   else
-    let value = int_of_string (String.sub s 0 unit_start) in
     let mult =
-      match String.sub s unit_start (len - unit_start) with
+      match String.sub s frac_end (len - frac_end) with
       | "ns" -> Some 1
       | "us" -> Some 1_000
       | "ms" -> Some 1_000_000
@@ -77,8 +98,21 @@ let parse_span s =
       | _ -> None
     in
     match mult with
-    | Some m -> Ok (Time.span_ns (value * m))
     | None -> Error (Printf.sprintf "unknown time unit in %S (ns|us|ms|s)" s)
+    | Some m ->
+      let whole = int_of_string (String.sub s 0 whole_end) in
+      if frac_end = frac_start then Ok (Time.span_ns (whole * m))
+      else
+        let frac_digits = frac_end - frac_start in
+        let pow10 =
+          let rec go acc k = if k = 0 then acc else go (acc * 10) (k - 1) in
+          go 1 frac_digits
+        in
+        if m mod pow10 <> 0 then
+          Error (Printf.sprintf "duration %S is finer than 1ns" s)
+        else
+          let frac = int_of_string (String.sub s frac_start frac_digits) in
+          Ok (Time.span_ns ((whole * m) + (frac * (m / pow10))))
 
 let parse_pid s =
   let len = String.length s in
@@ -110,6 +144,23 @@ let parse_action words =
     | Some p -> Ok (Loss_rate p)
     | None -> Error (Printf.sprintf "loss: bad probability %S" p))
   | [ "delay"; d ] -> Result.map (fun d -> Delay_spike d) (parse_span d)
+  | [ "adv-drop-budget"; d ] -> (
+    match int_of_string_opt d with
+    | Some d -> Ok (Adv_drop_budget d)
+    | None -> Error (Printf.sprintf "adv-drop-budget: bad copy count %S" d))
+  | [ "corrupt"; p ] -> (
+    match float_of_string_opt p with
+    | Some p -> Ok (Corrupt_rate p)
+    | None -> Error (Printf.sprintf "corrupt: bad probability %S" p))
+  | [ "duplicate"; p ] -> (
+    match float_of_string_opt p with
+    | Some p -> Ok (Duplicate_rate p)
+    | None -> Error (Printf.sprintf "duplicate: bad probability %S" p))
+  | [ "reorder"; w ] -> Result.map (fun w -> Reorder_window w) (parse_span w)
+  | [ "equivocate"; p ] -> (
+    match float_of_string_opt p with
+    | Some p -> Ok (Equivocate_rate p)
+    | None -> Error (Printf.sprintf "equivocate: bad probability %S" p))
   | "partition" :: rest when rest <> [] ->
     let rec blocks acc cur = function
       | [] -> Ok (List.rev (List.rev cur :: acc))
@@ -196,6 +247,30 @@ let validate ~n t =
         Error (Printf.sprintf "loss: probability %g outside [0, 1)" p)
       else Ok ()
     | Delay_spike _ -> Ok ()
+    | Adv_drop_budget d ->
+      (* At least one copy of every multicast must survive, so the budget
+         is capped below the n-1 remote copies of a broadcast. *)
+      if d < 0 then Error "adv-drop-budget: negative copy count"
+      else if d > n - 2 then
+        Error
+          (Printf.sprintf
+             "adv-drop-budget: %d would suppress whole broadcasts for n=%d (max %d)"
+             d n (n - 2))
+      else Ok ()
+    | Corrupt_rate p ->
+      if p < 0.0 || p >= 1.0 then
+        Error (Printf.sprintf "corrupt: probability %g outside [0, 1)" p)
+      else Ok ()
+    | Duplicate_rate p ->
+      if p < 0.0 || p >= 1.0 then
+        Error (Printf.sprintf "duplicate: probability %g outside [0, 1)" p)
+      else Ok ()
+    | Reorder_window w ->
+      if Time.span_to_ns w < 0 then Error "reorder: negative window" else Ok ()
+    | Equivocate_rate p ->
+      if p < 0.0 || p >= 1.0 then
+        Error (Printf.sprintf "equivocate: probability %g outside [0, 1)" p)
+      else Ok ()
   in
   let rec go i prev = function
     | [] -> Ok t
@@ -232,7 +307,32 @@ let drops_messages t =
       match s.action with
       | Cut _ | Partition _ -> true
       | Loss_rate p -> p > 0.0
-      | Crash _ | Crash_after_sends _ | Heal _ | Heal_all | Delay_spike _ -> false)
+      (* Of the adversary powers, only corruption turns into message loss
+         (checksummed receivers discard tampered copies), so only it
+         mounts the retransmitting channel. The others must not: the drop
+         budget and equivocation act on wire-level multicasts, which the
+         per-destination reliable channel replaces with point-to-point
+         frames — mounting it would silently disarm them — while
+         duplicated and reordered copies still arrive and are the
+         protocols' own duplicate-suppression and asynchrony-tolerance to
+         absorb. *)
+      | Corrupt_rate p -> p > 0.0
+      | Crash _ | Crash_after_sends _ | Heal _ | Heal_all | Delay_spike _
+      | Adv_drop_budget _ | Duplicate_rate _ | Reorder_window _
+      | Equivocate_rate _ ->
+        false)
+    t
+
+let uses_adversary t =
+  List.exists
+    (fun s ->
+      match s.action with
+      | Adv_drop_budget _ | Corrupt_rate _ | Duplicate_rate _
+      | Reorder_window _ | Equivocate_rate _ ->
+        true
+      | Crash _ | Crash_after_sends _ | Cut _ | Heal _ | Partition _ | Heal_all
+      | Loss_rate _ | Delay_spike _ ->
+        false)
     t
 
 let equal a b = a = b

@@ -5,9 +5,11 @@ open Repro_net
 
     A schedule is a time-ordered list of fault actions to inject into a
     running group: crashes (immediate or mid-broadcast), directed link
-    cuts and heals, symmetric partitions, loss-rate windows and delay
-    spikes. Timestamps are virtual-time spans relative to the instant the
-    schedule is installed (see {!Nemesis.install}).
+    cuts and heals, symmetric partitions, loss-rate windows, delay
+    spikes, and the message-adversary powers (per-broadcast drop budgets,
+    corruption, duplication, reordering, equivocation — see
+    {!Network.arm_adversary}). Timestamps are virtual-time spans relative
+    to the instant the schedule is installed (see {!Nemesis.install}).
 
     Schedules have a line-oriented concrete syntax so they can be stored
     in files, passed to [repro nemesis --fault-plan], printed as minimal
@@ -25,9 +27,16 @@ at 600ms  loss 0.02
 at 900ms  loss 0
 at 1s     delay 2ms
 at 1200ms delay 0ms
+at 1.5s   adv-drop-budget 2
+at 1.5s   corrupt 0.01
+at 1.5s   duplicate 0.05
+at 1.5s   reorder 1ms
+at 1.5s   equivocate 0.02
+at 2s     adv-drop-budget 0
     v}
 
-    Times are a non-negative integer with unit [ns], [us], [ms] or [s];
+    Times are a non-negative decimal (fractions allowed down to 1 ns:
+    [1.5ms], but not [1.ms] or [.5ms]) with unit [ns], [us], [ms] or [s];
     processes use the paper's 1-based [p1] … [pn] names; [partition]
     separates blocks with [|] (unlisted processes form implicit singleton
     blocks). [validate] checks a plan up front — before any simulation
@@ -49,6 +58,22 @@ type action =
   | Delay_spike of Time.span
       (** Set the extra propagation delay; end the spike with
           [Delay_spike Time.span_zero]. *)
+  | Adv_drop_budget of int
+      (** Let the message adversary suppress up to [d] copies of each
+          multicast ({!Network.set_adv_drop_budget}); [0] disarms. *)
+  | Corrupt_rate of float
+      (** Tamper each copy with this probability
+          ({!Network.set_corrupt_rate}); [0] disarms. *)
+  | Duplicate_rate of float
+      (** Deliver each copy twice with this probability
+          ({!Network.set_duplicate_rate}); [0] disarms. *)
+  | Reorder_window of Time.span
+      (** Delay each copy by up to this span outside the FIFO clamp
+          ({!Network.set_reorder_window}); [span_zero] disarms. *)
+  | Equivocate_rate of float
+      (** Per multicast, substitute an alternate payload on some copies
+          with this probability ({!Network.set_equivocate_rate}); [0]
+          disarms. *)
 
 type step = { at : Time.span;  (** Relative to installation. *) action : action }
 type t = step list
@@ -56,9 +81,10 @@ type t = step list
 val validate : n:int -> t -> (t, string) result
 (** Check a plan against a group of [n] processes: timestamps must be
     non-decreasing, every pid in range, send budgets non-negative, loss
-    rates in [0, 1), partition blocks disjoint. [Ok] returns the plan
-    unchanged; [Error] carries a human-readable reason naming the
-    offending step. *)
+    and adversary rates in [0, 1), drop budgets in [0, n-2] (one copy of
+    every multicast must survive), reorder windows non-negative,
+    partition blocks disjoint. [Ok] returns the plan unchanged; [Error]
+    carries a human-readable reason naming the offending step. *)
 
 val crashed_pids : t -> Pid.t list
 (** Processes the plan crashes (immediately or after sends), ascending
@@ -69,11 +95,21 @@ val duration : t -> Time.span
 (** Timestamp of the last step ([span_zero] for the empty plan). *)
 
 val drops_messages : t -> bool
-(** Whether any step can make the network drop a message (a cut, a
-    partition, or a positive loss rate — crashes and delay spikes do not
-    drop anything). Such plans violate the quasi-reliable channels the
-    protocols assume, so runs executing them should mount the
-    retransmitting {!Repro_net.Rchannel} ({!Params.Lossy} transport). *)
+(** Whether any step can make a message vanish in a way retransmission
+    repairs: a cut, a partition, a positive loss rate, or a positive
+    corrupt rate (checksummed receivers discard tampered copies). Such
+    plans should mount the retransmitting {!Repro_net.Rchannel}
+    ({!Params.Lossy} transport). The other adversary powers deliberately
+    do {e not} count: the drop budget and equivocation grip wire-level
+    multicasts, which the per-destination reliable channel replaces with
+    point-to-point frames (mounting it would silently disarm them), and
+    duplicated or reordered copies still arrive — absorbing them is the
+    protocols' own job. Crashes and delay spikes drop nothing. *)
+
+val uses_adversary : t -> bool
+(** Whether any step is a message-adversary action (even a disarming,
+    zero-valued one) — such plans need {!Network.arm_adversary} before
+    they can be applied, which {!Nemesis.install} does automatically. *)
 
 val equal : t -> t -> bool
 

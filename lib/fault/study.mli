@@ -20,7 +20,14 @@ open Repro_workload
 
     Each scenario runs through {!Experiment.run} with the fault installed
     by a {!Nemesis} before warm-up, timed to strike inside the measurement
-    window. *)
+    window.
+
+    {!run_adversary} is the second half of the study: the same
+    performance measurement, but against the {!Adversary}'s strength
+    levels instead of the scripted scenarios, with a {!Monitor} attached
+    so every row also reports {e how} the stack degraded (live,
+    safe-stall, or safety violation) — the robustness-vs-performance
+    table of EXPERIMENTS.md. *)
 
 type row = {
   kind : Replica.kind;
@@ -69,3 +76,67 @@ val row_json : row -> Repro_obs.Jsonl.json
     "latency_ms":…,"ci95_ms":…,"throughput":…,"cpu":…}]. *)
 
 val pp_row : row Fmt.t
+
+(** {2 The message-adversary sweep} *)
+
+type adversary_row = {
+  kind : Replica.kind;
+  level : Adversary.level;
+  result : Experiment.result;
+  classification : Monitor.degradation;
+      (** How the run degraded, judged {e after} the settle phase. *)
+  violations : Monitor.violation list;
+  adv : Repro_net.Network.adversary_stats;
+      (** What the adversary actually did during the run. *)
+  tampered_detected : int;  (** Tampered copies caught by checksums. *)
+  tampered_silent : int;  (** Tampered copies processed as genuine. *)
+}
+
+val run_adversary :
+  ?kinds:Replica.kind list ->
+  ?offered_load:float ->
+  ?size:int ->
+  ?warmup_s:float ->
+  ?measure_s:float ->
+  ?settle_s:float ->
+  ?seed:int ->
+  ?obs:Repro_obs.Obs.t ->
+  ?on_row:(adversary_row -> unit) ->
+  ?jobs:int ->
+  n:int ->
+  unit ->
+  adversary_row list
+(** Run every {!Adversary.levels} strength for every stack in [kinds]
+    (default all three). Each cell arms every knob at the start of the
+    measurement window, disarms at its end, then lets the group settle
+    [settle_s] (default 5) virtual seconds before the final
+    agreement/liveness checks — so [classification] answers whether
+    everything admitted under the adversary was eventually delivered
+    once it stopped.
+
+    Every cell runs on the native [Tcp_like] transport: the fan-out
+    powers (per-broadcast drop budget, equivocation) act on wire-level
+    multicasts, which the per-link rchannels of the [Lossy] transport
+    would bypass, and the [off] level is then exactly the plain
+    benchmark baseline. Defaults otherwise match {!run}; rows are
+    deterministic in (seed, level) and byte-identical whatever [jobs].
+    When [obs] is enabled each row sets the
+    [study.adv.<stack>.<level>.latency_ms] and [.throughput] gauges. *)
+
+val adversary_baseline : adversary_row list -> Replica.kind -> adversary_row option
+(** The same-stack [off] row, if present. *)
+
+val adversary_degradation :
+  adversary_row list -> adversary_row -> (float * float) option
+(** [(latency_ratio, throughput_ratio)] against the same-stack [off]
+    baseline; [None] for the baseline itself or when no baseline row
+    exists. *)
+
+val adversary_row_json : adversary_row -> Repro_obs.Jsonl.json
+(** One Obs-JSONL object: [{"type":"study-adversary","stack":…,
+    "level":…,"n":…,"latency_ms":…,"throughput":…,"degradation":…,
+    "violations":…,"adv_dropped":…,…,"tampered_detected":…,
+    "tampered_silent":…}], plus ["invariant"] (the first violation's)
+    on degraded rows. *)
+
+val pp_adversary_row : adversary_row Fmt.t

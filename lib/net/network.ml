@@ -10,6 +10,40 @@ type 'msg node = {
   mutable sends_before_crash : int option;
 }
 
+(* Message-adversary state (armed by the fault layer, never in benchmark
+   runs). The mutators are supplied by the armer because the network is
+   generic in ['msg]: corruption wraps a copy in a detectable tamper
+   envelope, equivocation produces a well-formed alternate payload. The
+   adversary owns a dedicated RNG stream so that arming it — or leaving
+   every knob at zero — perturbs none of the base network's draws. *)
+type 'msg mutators = {
+  corrupt : 'msg -> 'msg option;
+  equivocate : 'msg -> 'msg option;
+}
+
+type 'msg adversary = {
+  adv_rng : Repro_sim.Rng.t;
+  mutators : 'msg mutators;
+  mutable drop_budget : int;
+  mutable corrupt_rate : float;
+  mutable duplicate_rate : float;
+  mutable reorder_window : Time.span;
+  mutable equivocate_rate : float;
+  mutable dropped : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable equivocated : int;
+}
+
+type adversary_stats = {
+  adv_dropped : int;
+  adv_corrupted : int;
+  adv_duplicated : int;
+  adv_reordered : int;
+  adv_equivocated : int;
+}
+
 type 'msg t = {
   engine : Engine.t;
   wire : Wire.t;
@@ -39,6 +73,7 @@ type 'msg t = {
   kind_ctrs : (string, string) Hashtbl.t;
   mutable loss_rate : float;
   mutable extra_delay : Time.span;
+  mutable adversary : 'msg adversary option;
 }
 
 (* Dense index for the (closed) layer variant, keying the interned
@@ -88,6 +123,7 @@ let create engine ?(wire = Wire.default) ?topology ?(kind_of = fun _ -> "msg")
     kind_ctrs = Hashtbl.create 16;
     loss_rate = 0.0;
     extra_delay = Time.span_zero;
+    adversary = None;
   }
 
 let n t = Array.length t.nodes
@@ -137,6 +173,77 @@ let partition t blocks =
 
 let set_extra_delay t d = t.extra_delay <- d
 let extra_delay t = t.extra_delay
+
+(* ---- Message adversary ---- *)
+
+let arm_adversary t ~rng ~corrupt ~equivocate =
+  match t.adversary with
+  | Some _ -> ()
+  | None ->
+    t.adversary <-
+      Some
+        {
+          adv_rng = rng;
+          mutators = { corrupt; equivocate };
+          drop_budget = 0;
+          corrupt_rate = 0.0;
+          duplicate_rate = 0.0;
+          reorder_window = Time.span_zero;
+          equivocate_rate = 0.0;
+          dropped = 0;
+          corrupted = 0;
+          duplicated = 0;
+          reordered = 0;
+          equivocated = 0;
+        }
+
+let adversary_armed t = match t.adversary with Some _ -> true | None -> false
+
+let with_adversary t what f =
+  match t.adversary with
+  | Some adv -> f adv
+  | None -> invalid_arg ("Network." ^ what ^ ": no adversary armed")
+
+let set_adv_drop_budget t d =
+  if d < 0 then invalid_arg "Network.set_adv_drop_budget: negative budget";
+  with_adversary t "set_adv_drop_budget" (fun adv -> adv.drop_budget <- d)
+
+let rate_setter what t p set =
+  if p < 0.0 || p >= 1.0 then invalid_arg ("Network." ^ what ^ ": need 0 <= p < 1");
+  with_adversary t what set
+
+let set_corrupt_rate t p =
+  rate_setter "set_corrupt_rate" t p (fun adv -> adv.corrupt_rate <- p)
+
+let set_duplicate_rate t p =
+  rate_setter "set_duplicate_rate" t p (fun adv -> adv.duplicate_rate <- p)
+
+let set_equivocate_rate t p =
+  rate_setter "set_equivocate_rate" t p (fun adv -> adv.equivocate_rate <- p)
+
+let set_reorder_window t w =
+  if Time.span_to_ns w < 0 then
+    invalid_arg "Network.set_reorder_window: negative window";
+  with_adversary t "set_reorder_window" (fun adv -> adv.reorder_window <- w)
+
+let adversary_stats t =
+  match t.adversary with
+  | None ->
+    {
+      adv_dropped = 0;
+      adv_corrupted = 0;
+      adv_duplicated = 0;
+      adv_reordered = 0;
+      adv_equivocated = 0;
+    }
+  | Some a ->
+    {
+      adv_dropped = a.dropped;
+      adv_corrupted = a.corrupted;
+      adv_duplicated = a.duplicated;
+      adv_reordered = a.reordered;
+      adv_equivocated = a.equivocated;
+    }
 
 let kind_counter t kind =
   match Hashtbl.find t.kind_ctrs kind with
@@ -240,9 +347,30 @@ let deliver_local t ~src msg =
    arrival. Runs inside the sender's marshalling completion, once per
    destination, in destination order — the RNG draw order (at most one
    loss draw then one jitter draw per copy, each behind its own guard) is
-   part of the determinism contract. *)
-let transmit_copy t ~src ~dst ~payload_bytes ~parent msg =
+   part of the determinism contract. Adversary draws (corrupt, reorder,
+   duplicate — likewise each behind a nonzero-knob guard) come from the
+   adversary's private stream, so an armed-but-idle adversary leaves the
+   base draws, and hence the whole run, untouched. [adv_drop] marks a
+   copy the message adversary suppressed at fan-out: it is charged to the
+   NIC like a randomly lost copy (it left the sender) and then
+   vanishes. *)
+let transmit_copy t ?(adv_drop = false) ~src ~dst ~payload_bytes ~parent msg =
   let sender = t.nodes.(src) in
+  (* Corruption mutates the copy before accounting, so receiver and
+     statistics both see the tampered message. *)
+  let msg =
+    match t.adversary with
+    | Some adv
+      when adv.corrupt_rate > 0.0
+           && Repro_sim.Rng.float adv.adv_rng 1.0 < adv.corrupt_rate -> (
+      match adv.mutators.corrupt msg with
+      | Some tampered ->
+        adv.corrupted <- adv.corrupted + 1;
+        if Obs.enabled t.obs then Obs.incr t.obs "net.adv.corrupted";
+        tampered
+      | None -> msg)
+    | _ -> msg
+  in
   let now = Engine.now t.engine in
   let tx_start = Time.max sender.nic_free_at now in
   let tx_time = Wire.tx_time t.wire ~payload_bytes in
@@ -255,8 +383,15 @@ let transmit_copy t ~src ~dst ~payload_bytes ~parent msg =
     if Obs.enabled t.obs then record_tx t ~parent ~src ~dst msg ~payload_bytes
     else Obs.Span.no_parent
   in
+  if adv_drop then begin
+    (match t.adversary with
+    | Some adv -> adv.dropped <- adv.dropped + 1
+    | None -> ());
+    if Obs.enabled t.obs then Obs.incr t.obs "net.adv.dropped"
+  end;
   let dropped =
-    t.loss_rate > 0.0 && Repro_sim.Rng.float t.rng 1.0 < t.loss_rate
+    adv_drop
+    || (t.loss_rate > 0.0 && Repro_sim.Rng.float t.rng 1.0 < t.loss_rate)
   in
   if (not t.cut.(src).(dst)) && not dropped then begin
     let latency = Topology.latency t.topology ~src ~dst in
@@ -271,8 +406,38 @@ let transmit_copy t ~src ~dst ~payload_bytes ~parent msg =
     (* FIFO clamp: never overtake an earlier message on this link. *)
     let arrival = Time.max arrival t.last_arrival.(src).(dst) in
     t.last_arrival.(src).(dst) <- arrival;
+    (* Adversarial reordering: an extra per-copy delay drawn {e after} the
+       FIFO clamp and excluded from it, so a delayed copy can be overtaken
+       by later traffic on the same link — channels stop being FIFO while
+       the window is open. *)
+    let arrival =
+      match t.adversary with
+      | Some adv when Time.span_to_ns adv.reorder_window > 0 ->
+        let extra =
+          Repro_sim.Rng.int adv.adv_rng
+            (Time.span_to_ns adv.reorder_window + 1)
+        in
+        if extra > 0 then begin
+          adv.reordered <- adv.reordered + 1;
+          if Obs.enabled t.obs then Obs.incr t.obs "net.adv.reordered"
+        end;
+        Time.add arrival (Time.span_ns extra)
+      | _ -> arrival
+    in
     Engine.post_at t.engine arrival (fun () ->
-        deliver t ~src ~dst ~sid:tx_sid msg)
+        deliver t ~src ~dst ~sid:tx_sid msg);
+    (* Adversarial duplication: a second arrival of the same copy shortly
+       after the first, also outside the FIFO clamp. *)
+    match t.adversary with
+    | Some adv
+      when adv.duplicate_rate > 0.0
+           && Repro_sim.Rng.float adv.adv_rng 1.0 < adv.duplicate_rate ->
+      adv.duplicated <- adv.duplicated + 1;
+      if Obs.enabled t.obs then Obs.incr t.obs "net.adv.duplicated";
+      Engine.post_at t.engine
+        (Time.add arrival (Time.span_us 1))
+        (fun () -> deliver t ~src ~dst ~sid:tx_sid msg)
+    | _ -> ()
   end
   else if Obs.enabled t.obs then begin
     Obs.incr t.obs "net.dropped_msgs";
@@ -288,6 +453,59 @@ let marshal_cost t ~payload_bytes ~copies =
     (Time.span_ns (payload_bytes * t.wire.Wire.send_cpu_per_byte_ns))
     (Time.span_scale copies t.wire.Wire.send_cpu_fixed)
 
+(* Per-multicast adversary effects, applied in destination order inside
+   the marshalling completion. Two budgeted powers act on the fan-out as a
+   whole rather than per copy:
+   - drop budget: suppress up to [drop_budget] copies of this multicast,
+     victims chosen by shuffling the destination indices — but never all
+     copies, one always survives (the adversary of the BRB literature may
+     silence a minority of each broadcast, not erase it);
+   - equivocation: substitute a well-formed alternate payload on some
+     copies while at least the first surviving destination keeps the
+     original, so different receivers see conflicting contents for the
+     same logical broadcast.
+   Every draw is behind a nonzero-knob guard and comes from the adversary
+   stream; with all knobs zero this degenerates to exactly the plain
+   [List.iter transmit_copy] it replaced. *)
+let fanout t adv ~src ~payload_bytes ~parent ~copies dsts msg =
+  let drops = Array.make copies false in
+  if adv.drop_budget > 0 && copies > 1 then begin
+    let victims = min adv.drop_budget (copies - 1) in
+    let k = Repro_sim.Rng.int adv.adv_rng (victims + 1) in
+    if k > 0 then begin
+      let idx = Array.init copies (fun i -> i) in
+      Repro_sim.Rng.shuffle_in_place adv.adv_rng idx;
+      for i = 0 to k - 1 do
+        drops.(idx.(i)) <- true
+      done
+    end
+  end;
+  let alt =
+    if
+      adv.equivocate_rate > 0.0
+      && Repro_sim.Rng.float adv.adv_rng 1.0 < adv.equivocate_rate
+    then adv.mutators.equivocate msg
+    else None
+  in
+  let original_kept = ref false in
+  List.iteri
+    (fun i dst ->
+      let adv_drop = drops.(i) in
+      let msg, payload_bytes =
+        match alt with
+        | Some alt_msg
+          when (not adv_drop) && !original_kept
+               && Repro_sim.Rng.bool adv.adv_rng ->
+          adv.equivocated <- adv.equivocated + 1;
+          if Obs.enabled t.obs then Obs.incr t.obs "net.adv.equivocated";
+          (alt_msg, t.payload_bytes alt_msg)
+        | _ ->
+          if not adv_drop then original_kept := true;
+          (msg, payload_bytes)
+      in
+      transmit_copy t ~adv_drop ~src ~dst ~payload_bytes ~parent msg)
+    dsts
+
 (* Push admitted copies through the NIC after one marshalling charge on the
    sender's CPU. Admission is the crash point: a copy accepted here reaches
    the wire even if the sender crashes moments later (kernel buffers
@@ -298,9 +516,12 @@ let transmit t ~src ~dsts ~copies msg =
   let parent = Obs.span_ctx t.obs in
   Cpu.submit sender.cpu ~cost:(marshal_cost t ~payload_bytes ~copies)
     (fun () ->
-      List.iter
-        (fun dst -> transmit_copy t ~src ~dst ~payload_bytes ~parent msg)
-        dsts)
+      match t.adversary with
+      | Some adv -> fanout t adv ~src ~payload_bytes ~parent ~copies dsts msg
+      | None ->
+        List.iter
+          (fun dst -> transmit_copy t ~src ~dst ~payload_bytes ~parent msg)
+          dsts)
 
 (* The point-to-point fast path: no destination list at all. *)
 let transmit_one t ~src ~dst msg =

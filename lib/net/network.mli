@@ -148,5 +148,76 @@ val set_extra_delay : _ t -> Time.span -> unit
 val extra_delay : _ t -> Time.span
 (** The delay spike currently in force. *)
 
+(** {2 Message adversary}
+
+    A channel-level adversary over the quasi-reliable network, armed by the
+    fault layer (never in benchmark runs). The adversary owns a {e private}
+    RNG stream and every one of its draws sits behind a nonzero-knob
+    guard, so an armed adversary with all knobs at zero is event-for-event
+    identical to no adversary at all — the non-perturbation contract the
+    fault tests pin down. Because the network is generic in ['msg], the
+    armer supplies the two payload mutators: [corrupt] wraps a copy in a
+    detectable tamper envelope (return [None] to leave it untouched),
+    [equivocate] builds a well-formed alternate payload for the same
+    logical broadcast (return [None] when the message carries no payload
+    worth lying about). *)
+
+type adversary_stats = {
+  adv_dropped : int;  (** copies suppressed by the drop budget *)
+  adv_corrupted : int;  (** copies tampered in flight *)
+  adv_duplicated : int;  (** extra deliveries injected *)
+  adv_reordered : int;  (** copies delayed past the FIFO clamp *)
+  adv_equivocated : int;  (** copies substituted with the alternate payload *)
+}
+
+val arm_adversary :
+  'msg t ->
+  rng:Rng.t ->
+  corrupt:('msg -> 'msg option) ->
+  equivocate:('msg -> 'msg option) ->
+  unit
+(** Arm the message adversary with all knobs at zero and counters at zero.
+    Idempotent: re-arming an armed network is a no-op. [rng] must be a
+    stream dedicated to the adversary (the fault layer derives it from the
+    run seed without touching the engine's stream). *)
+
+val adversary_armed : _ t -> bool
+(** Whether {!arm_adversary} has been called. *)
+
+val set_adv_drop_budget : _ t -> int -> unit
+(** Allow the adversary to suppress up to [d] copies of each subsequent
+    multicast (victims drawn per multicast; at least one copy always
+    survives, and point-to-point sends — including {!Rchannel}
+    retransmissions — are never subject to the budget, so suppressed
+    traffic is recoverable). [0] disarms the power.
+    @raise Invalid_argument on a negative budget or an unarmed network. *)
+
+val set_corrupt_rate : _ t -> float -> unit
+(** Tamper each transmitted copy independently with the given probability,
+    via the armer's [corrupt] mutator.
+    @raise Invalid_argument outside [0, 1) or on an unarmed network. *)
+
+val set_duplicate_rate : _ t -> float -> unit
+(** Deliver each admitted copy twice with the given probability (the second
+    arrival lands shortly after the first, outside the FIFO clamp).
+    @raise Invalid_argument outside [0, 1) or on an unarmed network. *)
+
+val set_reorder_window : _ t -> Time.span -> unit
+(** Add a uniform extra delay in [0, w] to each admitted copy, applied
+    {e after} the per-link FIFO clamp and excluded from it — while the
+    window is open, channels stop being FIFO. {!Time.span_zero} disarms.
+    @raise Invalid_argument on a negative span or an unarmed network. *)
+
+val set_equivocate_rate : _ t -> float -> unit
+(** For each multicast, with the given probability, substitute the armer's
+    [equivocate] payload on a coin-flipped subset of the surviving copies
+    (the first surviving destination always keeps the original), so
+    different receivers see conflicting contents for the same logical
+    broadcast. @raise Invalid_argument outside [0, 1) or on an unarmed
+    network. *)
+
+val adversary_stats : _ t -> adversary_stats
+(** Cumulative injection counts since arming (all zero when unarmed). *)
+
 val stats : _ t -> Net_stats.t
 (** Live traffic counters (see {!Net_stats}). *)

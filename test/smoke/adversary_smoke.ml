@@ -1,0 +1,143 @@
+(* The @adversary-smoke alias: end-to-end check of the message-adversary
+   pipeline through the public CLI. Runs an adversary fault plan on every
+   stack, checks that invalid adversary plans are rejected before any
+   simulation starts, runs a tiny adversary campaign whose verdicts must
+   all pass, and runs the robustness sweep (`repro study --adversary`)
+   under --jobs 1 and --jobs 2 — stdout and JSONL must be byte-identical,
+   with checksums catching every tampered copy. Wired into `dune runtest`. *)
+
+module Jsonl = Repro_obs.Jsonl
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("adversary-smoke: FAIL: " ^ s);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let command ?(stdout = "/dev/null") bin args =
+  let cmd = String.concat " " (List.map Filename.quote (bin :: args)) in
+  Sys.command (cmd ^ " > " ^ Filename.quote stdout ^ " 2> /dev/null")
+
+let run_cli ?stdout bin args =
+  let code = command ?stdout bin args in
+  if code <> 0 then
+    fail "%s exited with %d" (String.concat " " (bin :: args)) code
+
+let expect_rejection bin args ~what =
+  let code = command bin args in
+  if code = 0 then fail "%s was accepted (exit 0), expected a rejection" what
+
+let str_field name j = Jsonl.(to_string_opt (member name j))
+let int_field name j = Jsonl.(to_int_opt (member name j))
+
+let () =
+  let bin = if Array.length Sys.argv > 1 then Sys.argv.(1) else "repro" in
+  let tmp = Filename.temp_file "adversary_smoke" "" in
+  Sys.remove tmp;
+  (* a fresh path prefix *)
+  let plan = tmp ^ ".plan" and bad = tmp ^ ".bad" in
+  let out = tmp ^ ".jsonl" and out2 = tmp ^ ".2.jsonl" in
+  let txt = tmp ^ ".txt" and txt2 = tmp ^ ".2.txt" in
+
+  (* A full adversary window — drop budget, corruption, duplication,
+     reordering — armed then disarmed must leave every stack with a
+     passing verdict: checksums discard the tampered copies and
+     retransmission/catch-up repairs the suppressed ones. *)
+  write_file plan
+    "# adversary-smoke plan\n\
+     at 100ms adv-drop-budget 1\n\
+     at 100ms corrupt 0.02\n\
+     at 100ms duplicate 0.05\n\
+     at 100ms reorder 1ms\n\
+     at 600ms adv-drop-budget 0\n\
+     at 600ms corrupt 0\n\
+     at 600ms duplicate 0\n\
+     at 600ms reorder 0ms\n";
+  List.iter
+    (fun stack ->
+      run_cli bin [ "nemesis"; "--fault-plan"; plan; "--stack"; stack; "-n"; "3" ])
+    [ "modular"; "monolithic"; "indirect" ];
+
+  (* Invalid adversary plans fail fast, before any simulation. *)
+  write_file bad "at 100ms adv-drop-budget 2\n";
+  expect_rejection bin
+    [ "nemesis"; "--fault-plan"; bad; "-n"; "3" ]
+    ~what:"drop budget above n-2";
+  write_file bad "at 100ms corrupt 1.5\n";
+  expect_rejection bin
+    [ "nemesis"; "--fault-plan"; bad; "-n"; "3" ]
+    ~what:"corrupt rate above 1";
+
+  (* A tiny adversary campaign: every verdict is a pass. *)
+  run_cli bin
+    [ "campaign"; "-n"; "3"; "--campaign-seeds"; "2"; "--adversary"; "--out"; out ];
+  (match Jsonl.parse_lines (read_file out) with
+  | Error e -> fail "campaign JSONL unparsable: %s" e
+  | Ok lines ->
+    let verdicts = List.filter (fun j -> str_field "type" j = Some "verdict") lines in
+    if List.length verdicts <> 6 then
+      fail "expected 6 verdicts (2 seeds x 3 stacks), got %d" (List.length verdicts);
+    List.iter
+      (fun j ->
+        match str_field "result" j with
+        | Some "pass" -> ()
+        | r ->
+          fail "adversary campaign seed %s stack %s: result %s"
+            (Option.value ~default:"?" (str_field "seed" j))
+            (Option.value ~default:"?" (str_field "stack" j))
+            (Option.value ~default:"none" r))
+      verdicts);
+  Sys.remove out;
+
+  (* The robustness sweep: byte-identical whatever --jobs, 12 rows
+     (3 stacks x 4 levels), every row classified, no silent corruption. *)
+  run_cli ~stdout:txt bin
+    [ "study"; "--adversary"; "-n"; "3"; "--jobs"; "1"; "--out"; out ];
+  run_cli ~stdout:txt2 bin
+    [ "study"; "--adversary"; "-n"; "3"; "--jobs"; "2"; "--out"; out2 ];
+  if read_file txt <> read_file txt2 then
+    fail "study --adversary stdout differs between --jobs 1 and --jobs 2";
+  if read_file out <> read_file out2 then
+    fail "study --adversary JSONL differs between --jobs 1 and --jobs 2";
+  (match Jsonl.parse_lines (read_file out) with
+  | Error e -> fail "study JSONL unparsable: %s" e
+  | Ok lines ->
+    let rows =
+      List.filter (fun j -> str_field "type" j = Some "study-adversary") lines
+    in
+    if List.length rows <> 12 then
+      fail "expected 12 study-adversary rows, got %d" (List.length rows);
+    List.iter
+      (fun j ->
+        let cell () =
+          Printf.sprintf "%s/%s"
+            (Option.value ~default:"?" (str_field "stack" j))
+            (Option.value ~default:"?" (str_field "level" j))
+        in
+        (match str_field "degradation" j with
+        | Some ("live" | "safe-stall" | "safety-violation") -> ()
+        | d ->
+          fail "%s: unknown degradation %s" (cell ())
+            (Option.value ~default:"none" d));
+        match int_field "tampered_silent" j with
+        | Some 0 -> ()
+        | s ->
+          fail "%s: %d silently corrupted copies (checksums are on)" (cell ())
+            (Option.value ~default:(-1) s))
+      rows);
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ plan; bad; out; out2; txt; txt2 ];
+  print_endline "adversary-smoke: OK"

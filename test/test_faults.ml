@@ -303,6 +303,192 @@ let test_run_one_deterministic () =
   Alcotest.(check bool) "same schedule" true
     (Schedule.equal v1.Campaign.schedule v2.Campaign.schedule)
 
+(* ---- Message adversary (lib/fault extensions) ---- *)
+
+module Nemesis = Repro_fault.Nemesis
+
+(* The extended syntax (adversary actions, fractional durations) must
+   round-trip exactly too, so adversary campaign reproducers re-run
+   bit-for-bit from the printed plan. *)
+let prop_adversary_roundtrip =
+  QCheck.Test.make ~name:"adversary schedules round-trip through the plan syntax"
+    ~count:100
+    QCheck.(pair (int_bound 9999) (oneofl [ 3; 5; 7 ]))
+    (fun (seed, n) ->
+      let s =
+        Campaign.random_schedule ~adversary:true ~equivocation:true
+          (Rng.create ~seed) ~n ~horizon:(Time.span_s 2)
+      in
+      (match Schedule.validate ~n s with Ok _ -> () | Error e -> QCheck.Test.fail_report e);
+      match Schedule.of_string (Schedule.to_string s) with
+      | Ok s' -> Schedule.equal s s'
+      | Error e -> QCheck.Test.fail_report e)
+
+let test_fractional_spans () =
+  (match Schedule.of_string "at 1.5ms crash p1" with
+  | Ok [ { Schedule.at; action = Schedule.Crash 0 } ] ->
+    Alcotest.(check int) "1.5ms is 1_500_000 ns" 1_500_000 (Time.span_to_ns at)
+  | Ok _ -> Alcotest.fail "unexpected parse of a fractional timestamp"
+  | Error e -> Alcotest.failf "fractional duration rejected: %s" e);
+  let s = [ { Schedule.at = Time.span_ns 1_500_000; action = Schedule.Crash 0 } ] in
+  (match Schedule.of_string (Schedule.to_string s) with
+  | Ok s' ->
+    Alcotest.(check bool) "fractional span round-trips" true (Schedule.equal s s')
+  | Error e -> Alcotest.failf "printed fractional plan does not re-parse: %s" e);
+  List.iter
+    (fun bad ->
+      match Schedule.of_string bad with
+      | Ok _ -> Alcotest.failf "accepted malformed duration: %S" bad
+      | Error _ -> ())
+    [ "at 1.ms crash p1"; "at .5ms crash p1"; "at 1.5ns crash p1" ]
+
+let test_install_validates () =
+  let step ms action = { Schedule.at = Time.span_ms ms; action } in
+  let g = make Replica.Modular () in
+  (match Nemesis.install g [ step 10 (Schedule.Crash 9) ] with
+  | Ok _ -> Alcotest.fail "out-of-range pid accepted at n=3"
+  | Error _ -> ());
+  (match Nemesis.install g [ step 10 (Schedule.Adv_drop_budget 2) ] with
+  | Ok _ -> Alcotest.fail "drop budget above n-2 accepted at n=3"
+  | Error _ -> ());
+  (* Nothing half-installed by the rejections: a good plan still goes in,
+     and rejected steps never registered any event. *)
+  match
+    Nemesis.install g
+      [ step 10 (Schedule.Adv_drop_budget 1); step 20 (Schedule.Adv_drop_budget 0) ]
+  with
+  | Ok nem -> Alcotest.(check int) "nothing applied yet" 0 (List.length (Nemesis.applied nem))
+  | Error e -> Alcotest.failf "valid adversary plan rejected: %s" e
+
+let test_coarsen_snaps_timestamps () =
+  let step ns action = { Schedule.at = Time.span_ns ns; action } in
+  let noisy =
+    [ step 937_561_000 (Schedule.Crash 0); step 1_412_003_117 (Schedule.Loss_rate 0.02) ]
+  in
+  (* A violation indifferent to timing: every timestamp snaps to 1s. *)
+  let coarse = Campaign.coarsen ~fails:(fun s -> List.length s = 2) noisy in
+  List.iter
+    (fun st ->
+      Alcotest.(check int) "snapped to the 1s grid" 0
+        (Time.span_to_ns st.Schedule.at mod 1_000_000_000))
+    coarse;
+  Alcotest.(check bool) "still non-decreasing and valid" true
+    (match Schedule.validate ~n:3 coarse with Ok _ -> true | Error _ -> false);
+  (* A violation that needs the exact nanoseconds: coarsening backs off. *)
+  let exact s = Schedule.equal s noisy in
+  Alcotest.(check bool) "unchanged when no coarser grid reproduces" true
+    (Schedule.equal (Campaign.coarsen ~fails:exact noisy) noisy)
+
+let test_monitor_adversary_invariants () =
+  (* Equivocation: the same id delivered with diverging payload
+     fingerprints at two processes. *)
+  let m = Monitor.create ~n:3 () in
+  Monitor.observe m ~fingerprint:1024 0 (id ~origin:0 ~seq:0);
+  Monitor.observe m ~fingerprint:1025 1 (id ~origin:0 ~seq:0);
+  (match Monitor.first_violation m with
+  | Some v ->
+    Alcotest.(check string) "diverging fingerprints flagged" "equivocation"
+      (Monitor.invariant_name v.Monitor.invariant)
+  | None -> Alcotest.fail "expected an equivocation violation");
+  Alcotest.(check string) "equivocation is a safety violation" "safety-violation"
+    (Monitor.degradation_name (Monitor.classify m));
+  (* Corruption: a detected tamper is graceful, a silent one is not. *)
+  let m = Monitor.create ~n:3 () in
+  Monitor.note_tamper m 0 ~detected:true;
+  Alcotest.(check int) "detected tamper counted" 1 (Monitor.tampered_detected m);
+  Alcotest.(check string) "detected tamper stays live" "live"
+    (Monitor.degradation_name (Monitor.classify m));
+  Monitor.note_tamper m 1 ~detected:false;
+  Alcotest.(check int) "silent tamper counted" 1 (Monitor.tampered_silent m);
+  Alcotest.(check string) "silent corruption is a safety violation" "safety-violation"
+    (Monitor.degradation_name (Monitor.classify m))
+
+let test_monitor_classification () =
+  (* Clean symmetric run: live. *)
+  let m = Monitor.create ~n:3 () in
+  List.iter (fun p -> Monitor.observe m p (id ~origin:0 ~seq:0)) [ 0; 1; 2 ];
+  Monitor.check_final m ~correct:[ 0; 1; 2 ] ();
+  Alcotest.(check string) "clean run is live" "live"
+    (Monitor.degradation_name (Monitor.classify m));
+  (* No deliveries anywhere: liveness lost, safety intact — safe stall. *)
+  let m = Monitor.create ~n:3 () in
+  Monitor.check_final m ~correct:[ 0; 1; 2 ] ();
+  Alcotest.(check string) "liveness-only loss is a safe stall" "safe-stall"
+    (Monitor.degradation_name (Monitor.classify m))
+
+(* The determinism cornerstone of the adversary layer: a plan that arms
+   every knob at zero strength draws nothing from the adversary stream and
+   must leave the run bit-for-bit identical to an adversary-free one, on
+   every stack. The control plan is a no-op of the same duration (run
+   length follows the last timestamp), so armed-but-idle is the only
+   difference between the two runs. *)
+let test_zero_knob_non_perturbation () =
+  let step ms action = { Schedule.at = Time.span_ms ms; action } in
+  let zero =
+    [
+      step 1000 (Schedule.Adv_drop_budget 0);
+      step 1000 (Schedule.Corrupt_rate 0.0);
+      step 1000 (Schedule.Duplicate_rate 0.0);
+      step 1000 (Schedule.Reorder_window Time.span_zero);
+      step 1000 (Schedule.Equivocate_rate 0.0);
+    ]
+  in
+  let control = [ step 1000 (Schedule.Delay_spike Time.span_zero) ] in
+  Alcotest.(check bool) "control never arms the adversary" false
+    (Schedule.uses_adversary control);
+  List.iter
+    (fun kind ->
+      let run schedule = Campaign.run_one ~kind ~n:3 ~seed:7 ~schedule () in
+      let v0 = run control and vz = run zero in
+      Alcotest.(check bool) "same outcome" true
+        (v0.Campaign.outcome = vz.Campaign.outcome);
+      Alcotest.(check int) "same deliveries" v0.Campaign.delivered vz.Campaign.delivered;
+      Alcotest.(check int) "same admissions" v0.Campaign.admitted vz.Campaign.admitted;
+      Alcotest.(check bool) "same latency, bit for bit" true
+        (Int64.bits_of_float v0.Campaign.mean_latency_ms
+        = Int64.bits_of_float vz.Campaign.mean_latency_ms))
+    [ Replica.Modular; Replica.Monolithic; Replica.Indirect ]
+
+(* Random adversary schedules (no equivocation — detection, not
+   absorption, is the contract there) must leave every stack's safety and
+   liveness intact: corruption is caught by checksums, suppressed relays
+   are repaired by the consensus catch-up, duplicates and reordering are
+   absorbed by the protocols. *)
+let prop_campaign_adversary_schedule kind name =
+  QCheck.Test.make ~name ~count:5
+    QCheck.(int_bound 9999)
+    (fun seed ->
+      let schedule =
+        Campaign.random_schedule ~adversary:true (Rng.create ~seed) ~n:3
+          ~horizon:(Time.span_s 2)
+      in
+      let v = Campaign.run_one ~kind ~n:3 ~seed ~schedule () in
+      match v.Campaign.outcome with
+      | Campaign.Pass -> true
+      | Campaign.Fail viol -> QCheck.Test.fail_reportf "%a" Monitor.pp_violation viol)
+
+let adversary_cases =
+  [
+    Alcotest.test_case "fractional durations" `Quick test_fractional_spans;
+    Alcotest.test_case "install validates plans up front" `Quick test_install_validates;
+    Alcotest.test_case "coarsen snaps timestamps" `Quick test_coarsen_snaps_timestamps;
+    Alcotest.test_case "monitor catches corruption and equivocation" `Quick
+      test_monitor_adversary_invariants;
+    Alcotest.test_case "degradation classification" `Quick test_monitor_classification;
+    Alcotest.test_case "zero-strength knobs do not perturb runs" `Slow
+      test_zero_knob_non_perturbation;
+    QCheck_alcotest.to_alcotest prop_adversary_roundtrip;
+    QCheck_alcotest.to_alcotest ~long:true
+      (prop_campaign_adversary_schedule Replica.Modular
+         "modular passes random adversary schedules");
+    QCheck_alcotest.to_alcotest ~long:true
+      (prop_campaign_adversary_schedule Replica.Monolithic
+         "monolithic passes random adversary schedules");
+    QCheck_alcotest.to_alcotest ~long:true
+      (prop_campaign_adversary_schedule Replica.Indirect
+         "indirect passes random adversary schedules");
+  ]
+
 (* Total order + agreement under random crash / partition / heal schedules,
    on a live group with heartbeat failure detection — the campaign's
    invariants must hold on every stack, the indirect one included. *)
@@ -355,4 +541,5 @@ let () =
       ("modular", cases Replica.Modular "modular");
       ("monolithic", cases Replica.Monolithic "monolithic");
       ("campaign", campaign_cases);
+      ("adversary", adversary_cases);
     ]

@@ -180,6 +180,19 @@ let test_campaign_jobs_equivalence () =
   Alcotest.(check (list string)) "on_verdict stream identical" l1 l4;
   Alcotest.(check (list string)) "callback order is the verdict order" v1 l1
 
+let test_adversary_campaign_jobs_equivalence () =
+  (* Same contract with the message adversary in the mix: the adversary
+     draws from a group-private stream, so parallel cells stay
+     byte-identical to the sequential schedule. *)
+  let run jobs =
+    let verdicts =
+      Repro_fault.Campaign.run ~kinds:[ Replica.Modular; Replica.Indirect ]
+        ~horizon_s:0.5 ~adversary:true ~jobs ~n:3 ~seeds:2 ()
+    in
+    List.map Repro_fault.Campaign.verdict_line verdicts
+  in
+  Alcotest.(check (list string)) "verdict lines identical" (run 1) (run 4)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -204,6 +217,9 @@ let () =
           Alcotest.test_case "poisson-seeds-vary" `Quick test_poisson_seeds_vary;
         ] );
       ( "campaign",
-        [ Alcotest.test_case "jobs-equivalence" `Quick test_campaign_jobs_equivalence ]
-      );
+        [
+          Alcotest.test_case "jobs-equivalence" `Quick test_campaign_jobs_equivalence;
+          Alcotest.test_case "adversary jobs-equivalence" `Slow
+            test_adversary_campaign_jobs_equivalence;
+        ] );
     ]
