@@ -58,6 +58,24 @@ let jobs =
       exit 2)
   | None -> Repro_parallel.Pool.default_jobs ()
 
+(* --snapshot-every MS: run each report cell through the replay recorder
+   (lib/replay) at this virtual-millisecond cadence, writing each frame
+   log to a throwaway temp file. Frames are taken between engine slices,
+   so every simulated number is identical to the unrecorded run; what the
+   flag buys is the recording {e overhead} measurement — the
+   snapshots_taken / snapshot_bytes / restore_count counters land in
+   bench_meta (timing-class, stripped like wallclock_s) and `repro
+   compare` reports them. 0 (default) takes the exact unrecorded path. *)
+let snapshot_every_ns =
+  match flag_value "--snapshot-every" with
+  | None -> 0
+  | Some v -> (
+    match float_of_string_opt v with
+    | Some ms when ms >= 0.0 -> int_of_float (ms *. 1e6)
+    | Some _ | None ->
+      Fmt.epr "bench: --snapshot-every expects milliseconds >= 0, got %S@." v;
+      exit 2)
+
 let obs =
   match (metrics_out, trace_out) with
   | None, None -> Repro_obs.Obs.noop
@@ -683,15 +701,37 @@ let bench_report path =
     Repro_parallel.Pool.map ~jobs
       (fun (n, kind, seed) ->
         let t0 = Unix.gettimeofday () in
-        let r =
-          Experiment.run
-            (Experiment.config ~kind ~n ~offered_load:load ~size
-               ~warmup_s:rep_warmup ~measure_s:rep_measure ~seed
-               ~arrival:Generator.Poisson ())
+        let config =
+          Experiment.config ~kind ~n ~offered_load:load ~size
+            ~warmup_s:rep_warmup ~measure_s:rep_measure ~seed
+            ~arrival:Generator.Poisson ()
         in
-        (n, kind, r, Unix.gettimeofday () -. t0))
+        let r, snap =
+          if snapshot_every_ns > 0 then begin
+            let sink = Repro_obs.Obs.create ~max_events:0 () in
+            let path = Filename.temp_file "repro-bench" ".rlog" in
+            let r =
+              Fun.protect
+                ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+                (fun () ->
+                  snd
+                    (Repro_replay.Replay.record_report ~obs:sink
+                       ~every_ns:snapshot_every_ns ~path config))
+            in
+            let c = Repro_obs.Obs.counter_value sink in
+            (r, (c "snapshots_taken", c "snapshot_bytes", c "restore_count"))
+          end
+          else (Experiment.run config, (0, 0, 0))
+        in
+        (n, kind, r, Unix.gettimeofday () -. t0, snap))
       cells
   in
+  let sum_snap pick =
+    List.fold_left (fun acc (_, _, _, _, snap) -> acc + pick snap) 0 timed_runs
+  in
+  let snapshots_taken = sum_snap (fun (a, _, _) -> a) in
+  let snapshot_bytes = sum_snap (fun (_, b, _) -> b) in
+  let restore_count = sum_snap (fun (_, _, c) -> c) in
   let entries =
     List.concat_map
       (fun n ->
@@ -699,7 +739,7 @@ let bench_report path =
           (fun kind ->
             let runs =
               List.filter_map
-                (fun (n', kind', r, _) ->
+                (fun (n', kind', r, _, _) ->
                   if n' = n && kind' = kind then Some r else None)
                 timed_runs
             in
@@ -756,7 +796,7 @@ let bench_report path =
   let breakdown = List.concat_map (fun (rows, _, _) -> rows) timed_breakdown in
   let wallclock_s = Unix.gettimeofday () -. wall_start in
   let task_total_s =
-    List.fold_left (fun acc (_, _, _, dt) -> acc +. dt) 0.0 timed_runs
+    List.fold_left (fun acc (_, _, _, dt, _) -> acc +. dt) 0.0 timed_runs
     +. List.fold_left (fun acc (_, _, dt) -> acc +. dt) 0.0 timed_breakdown
   in
   (* Total simulator events driven by the harness: deterministic (a pure
@@ -764,7 +804,8 @@ let bench_report path =
      by. [events_per_sec] is the engine-speed headline PERF.md tracks. *)
   let events_executed =
     List.fold_left
-      (fun acc (_, _, (r : Experiment.result), _) -> acc + r.Experiment.events_executed)
+      (fun acc (_, _, (r : Experiment.result), _, _) ->
+        acc + r.Experiment.events_executed)
       0 timed_runs
     + List.fold_left (fun acc (_, ev, _) -> acc + ev) 0 timed_breakdown
   in
@@ -791,6 +832,12 @@ let bench_report path =
           ("speedup_vs_seq", Fmt.str "%.2f" (task_total_s /. wallclock_s));
           ( "events_per_sec",
             Fmt.str "%.0f" (float_of_int events_executed /. wallclock_s) );
+          (* Snapshot-recording provenance (--snapshot-every): all zero
+             on an unrecorded run, and stripped with the timing keys —
+             recorded and unrecorded runs report the same simulation. *)
+          ("snapshots_taken", string_of_int snapshots_taken);
+          ("snapshot_bytes", string_of_int snapshot_bytes);
+          ("restore_count", string_of_int restore_count);
         ];
       entries;
       breakdown;

@@ -115,6 +115,33 @@ let with_obs ?trace_max_events ~metrics_out ~trace_out ~tags f =
     Option.iter (fun path -> Repro_obs.Jsonl.write_trace_file ~tags path obs) trace_out;
     result
 
+let snapshot_every_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "snapshot-every" ] ~docv:"MS"
+        ~doc:
+          "Record a whole-world snapshot frame every $(docv) virtual milliseconds to \
+           the $(b,--snapshot-out) frame log. Frames are taken between engine slices, \
+           so the recorded run's results are identical to the unrecorded run's. 0 \
+           (default) disables recording.")
+
+let snapshot_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot-out" ] ~docv:"FILE"
+        ~doc:
+          "Frame-log path for $(b,--snapshot-every); resume, verify or bisect it with \
+           $(b,repro replay) / $(b,repro bisect).")
+
+(* Both snapshot flags or neither; the cadence in virtual ns. *)
+let snapshot_request ~snapshot_every ~snapshot_out =
+  match (snapshot_every > 0.0, snapshot_out) with
+  | false, Some _ -> Error "--snapshot-out needs --snapshot-every MS > 0"
+  | true, None -> Error "--snapshot-every needs --snapshot-out FILE"
+  | true, Some path -> Ok (Some (int_of_float (snapshot_every *. 1e6), path))
+  | false, None -> Ok None
+
 let run_one ~kind ~n ~load ~size ~warmup ~measure ~seed =
   Experiment.run
     (Experiment.config ~kind ~n ~offered_load:load ~size ~warmup_s:warmup
@@ -193,7 +220,7 @@ let run_cmd =
             "Per-copy message loss probability; > 0 mounts the reliable-channel              transport over fair-lossy links.")
   in
   let run kind n load size warmup measure seed csv classic repeats loss metrics_out
-      trace_out trace_max_events jobs =
+      trace_out trace_max_events jobs snapshot_every snapshot_out =
     let params =
       let p = Params.default ~n in
       let p =
@@ -211,19 +238,35 @@ let run_cmd =
       Experiment.config ~kind ~n ~offered_load:load ~size ~warmup_s:warmup
         ~measure_s:measure ~seed ~params ()
     in
-    let result =
-      with_obs ?trace_max_events ~metrics_out ~trace_out
-        ~tags:[ ("stack", kind_name kind); ("n", string_of_int n) ]
-        (fun obs -> Experiment.run_repeated ~repeats ~jobs:(resolve_jobs jobs) ~obs config)
-    in
-    emit ~csv [ result ]
+    let tags = [ ("stack", kind_name kind); ("n", string_of_int n) ] in
+    match snapshot_request ~snapshot_every ~snapshot_out with
+    | Error e -> `Error (false, e)
+    | Ok (Some _) when repeats <> 1 ->
+      `Error (false, "--snapshot-every records a single run; drop --repeats")
+    | Ok (Some (every_ns, path)) ->
+      let result =
+        with_obs ?trace_max_events ~metrics_out ~trace_out ~tags (fun obs ->
+            snd (Repro_replay.Replay.record_report ~obs ~every_ns ~path config))
+      in
+      emit ~csv [ result ];
+      Fmt.epr "recorded frame log to %s@." path;
+      `Ok ()
+    | Ok None ->
+      let result =
+        with_obs ?trace_max_events ~metrics_out ~trace_out ~tags (fun obs ->
+            Experiment.run_repeated ~repeats ~jobs:(resolve_jobs jobs) ~obs config)
+      in
+      emit ~csv [ result ];
+      `Ok ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a single benchmark configuration.")
     Term.(
-      const run $ kind_arg $ n_arg $ load_arg $ size_arg $ warmup_arg $ measure_arg
-      $ seed_arg $ csv_arg $ classic_arg $ repeats_arg $ loss_arg $ metrics_out_arg
-      $ trace_out_arg $ trace_max_arg $ jobs_arg)
+      ret
+        (const run $ kind_arg $ n_arg $ load_arg $ size_arg $ warmup_arg $ measure_arg
+       $ seed_arg $ csv_arg $ classic_arg $ repeats_arg $ loss_arg $ metrics_out_arg
+       $ trace_out_arg $ trace_max_arg $ jobs_arg $ snapshot_every_arg
+       $ snapshot_out_arg))
 
 (* ---- figures ---- *)
 
@@ -556,13 +599,31 @@ let nemesis_cmd =
       & info [ "settle" ] ~docv:"S"
           ~doc:"Virtual seconds to keep running after the last scheduled fault.")
   in
-  let run plan_file kind n load settle seed =
-    match load_plan ~n plan_file with
-    | Error e -> `Error (false, e)
-    | Ok schedule ->
+  let run plan_file kind n load settle seed snapshot_every snapshot_out
+      trace_max_events =
+    match (load_plan ~n plan_file, snapshot_request ~snapshot_every ~snapshot_out) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok schedule, Ok snapshot ->
       let v =
-        Repro_fault.Campaign.run_one ~kind ~n ~seed ~schedule ~offered_load:load
-          ~settle_s:settle ()
+        match snapshot with
+        | Some (every_ns, path) ->
+          (* Record with a live sink even though no trace file was asked
+             for: the frame log's world carries the span trace, which is
+             what gives `repro bisect` its critical-path window. The
+             default event cap keeps the world blob — remarshaled whole
+             into every frame — small; early events win ties, which is
+             the right bias for bisecting the *first* violation. *)
+          let max_events = Option.value ~default:20_000 trace_max_events in
+          let obs = Repro_obs.Obs.create ~max_events () in
+          let v =
+            Repro_replay.Replay.record_nemesis ~obs ~kind ~n ~seed ~schedule
+              ~offered_load:load ~settle_s:settle ~every_ns ~path ()
+          in
+          Fmt.epr "recorded frame log to %s@." path;
+          v
+        | None ->
+          Repro_fault.Campaign.run_one ~kind ~n ~seed ~schedule ~offered_load:load
+            ~settle_s:settle ()
       in
       Fmt.pr "%a@." Repro_fault.Campaign.pp_verdict v;
       (match v.Repro_fault.Campaign.outcome with
@@ -578,7 +639,185 @@ let nemesis_cmd =
     Term.(
       ret
         (const run $ fault_plan_arg $ kind_arg $ n_arg $ load_arg $ settle_arg
-       $ seed_arg))
+       $ seed_arg $ snapshot_every_arg $ snapshot_out_arg $ trace_max_arg))
+
+(* ---- replay / bisect / trace-export: the time-travel tooling ---- *)
+
+module Replay = Repro_replay.Replay
+
+let log_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"LOG" ~doc:"Frame log written by --snapshot-every/--snapshot-out.")
+
+let replay_cmd =
+  let frame_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "frame" ] ~docv:"K"
+          ~doc:"Resume from frame $(docv) (default: 0, the start of the run).")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Replay the suffix from $(i,every) frame and diff the observable bytes \
+             (metrics, trace, report) against the recording; fail on any divergence.")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the log's frames and descriptor; run nothing.")
+  in
+  let run log_path frame verify list =
+    match Replay.load log_path with
+    | exception Replay.Replay_error e -> `Error (false, e)
+    | log -> (
+      if list then begin
+        Fmt.pr "%s@." (Replay.descriptor log);
+        Fmt.pr "cadence: every %.3f virtual ms@."
+          (float_of_int (Replay.every_ns log) /. 1e6);
+        List.iter
+          (fun (k, at_ns) ->
+            Fmt.pr "frame %3d at %10.3f ms@." k (float_of_int at_ns /. 1e6))
+          (Replay.frame_times log);
+        Fmt.pr "final    at %10.3f ms@."
+          (float_of_int (Replay.final_at_ns log) /. 1e6);
+        `Ok ()
+      end
+      else if verify then begin
+        let progress ~frame ~frames =
+          Fmt.epr "verifying frame %d/%d...@." frame (frames - 1)
+        in
+        match Replay.verify ~progress log with
+        | exception Replay.Replay_error e -> `Error (false, e)
+        | [] ->
+          Fmt.pr "%d frames verified: every resumed suffix is byte-identical.@."
+            (Replay.frame_count log);
+          `Ok ()
+        | divergences ->
+          List.iter
+            (fun (d : Replay.divergence) ->
+              Fmt.pr "frame %d: %s stream diverged: %s@." d.Replay.d_frame
+                d.Replay.d_stream d.Replay.d_detail)
+            divergences;
+          `Error (false, "replay diverged from the recording")
+      end
+      else
+        let from_frame = Option.value ~default:0 frame in
+        match Replay.replay log ~from_frame with
+        | exception Replay.Replay_error e -> `Error (false, e)
+        | world ->
+          print_string (Replay.report_text world);
+          print_newline ();
+          `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Resume a recorded run from any snapshot frame and reproduce its suffix \
+          byte-identically; --verify self-checks every frame.")
+    Term.(ret (const run $ log_arg $ frame_arg $ verify_arg $ list_arg))
+
+let bisect_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the structured report (bisect summary, per-section state diffs, \
+             window spans) as JSONL to $(docv) instead of stdout.")
+  in
+  let run log_path out =
+    match
+      let log = Replay.load log_path in
+      Replay.bisect log
+    with
+    | exception Replay.Replay_error e -> `Error (false, e)
+    | None ->
+      Fmt.pr "the recorded run never violated an invariant; nothing to bisect.@.";
+      `Ok ()
+    | Some r ->
+      Fmt.pr "violation: %s at process p%d, %.3f ms — %s@." r.Replay.b_invariant
+        r.Replay.b_process r.Replay.b_at_ms r.Replay.b_detail;
+      (match r.Replay.b_to_frame with
+      | Some k ->
+        Fmt.pr "window: frame %d -> frame %d (%.3f ms .. %.3f ms)@."
+          r.Replay.b_from_frame k r.Replay.b_from_ms r.Replay.b_to_ms
+      | None ->
+        Fmt.pr "window: frame %d -> end of run (%.3f ms .. %.3f ms)@."
+          r.Replay.b_from_frame r.Replay.b_from_ms r.Replay.b_to_ms);
+      Fmt.pr "%d sections changed across the window, %d causal spans inside it@."
+        (List.length r.Replay.b_diff)
+        (List.length r.Replay.b_window_spans);
+      let lines = Replay.bisect_report_lines r in
+      (match out with
+      | None -> List.iter print_endline lines
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            List.iter
+              (fun l ->
+                output_string oc l;
+                output_char oc '\n')
+              lines);
+        Fmt.pr "wrote %d report lines to %s@." (List.length lines) path);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "bisect"
+       ~doc:
+         "Binary-search a recorded invariant violation to its narrowest inter-frame \
+          window and emit a per-module state diff of that window.")
+    Term.(ret (const run $ log_arg $ out_arg))
+
+let trace_export_cmd =
+  let trace_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Input trace JSONL, as written by --trace-out.")
+  in
+  let chrome_out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "chrome-out" ] ~docv:"FILE"
+          ~doc:
+            "Output Trace Event Format JSON, loadable in Perfetto \
+             (ui.perfetto.dev) or chrome://tracing.")
+  in
+  let run trace_path chrome_out =
+    let ic = open_in_bin trace_path in
+    let len = in_channel_length ic in
+    let body = really_input_string ic len in
+    close_in ic;
+    match Repro_obs.Jsonl.parse_lines body with
+    | Error e -> `Error (false, Printf.sprintf "%s: %s" trace_path e)
+    | Ok lines ->
+      let json = Repro_analysis.Chrome_trace.export_string lines in
+      let oc = open_out chrome_out in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc json);
+      Fmt.pr "wrote chrome trace (%d input lines) to %s@." (List.length lines)
+        chrome_out;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "trace-export"
+       ~doc:
+         "Convert an Obs trace/span JSONL file into Chrome Trace Event Format: one \
+          process per simulated node, one thread per protocol layer, causal spans \
+          as complete events.")
+    Term.(ret (const run $ trace_arg $ chrome_out_arg))
 
 (* ---- campaign: randomized multi-seed fault campaign ---- *)
 
@@ -826,6 +1065,25 @@ let compare_cmd =
              (n /. o)
          | _ -> ())
        | _ -> ());
+      (* Same: snapshot-recording overhead (bench --snapshot-every) is
+         provenance, never a gate. Only mentioned when a side recorded. *)
+      (let snap r key =
+         Option.bind
+           (List.assoc_opt key r.Repro_analysis.Bench_report.meta)
+           int_of_string_opt
+         |> Option.value ~default:0
+       in
+       let line label r =
+         let taken = snap r "snapshots_taken" in
+         if taken > 0 then
+           Fmt.pr
+             "%s recorded %d snapshot frames (%.1f MB, %d restores, informational)@."
+             label taken
+             (float_of_int (snap r "snapshot_bytes") /. 1e6)
+             (snap r "restore_count")
+       in
+       line "baseline" old_report;
+       line "candidate" new_report);
       let verdicts =
         Repro_analysis.Bench_report.compare_reports ~old_report ~new_report
       in
@@ -1060,6 +1318,9 @@ let main_cmd =
       `I ("$(b,dispatch)", "sweep the framework's per-boundary dispatch cost.");
       `I ("$(b,window)", "sweep the flow-control window that sets the batch size M.");
       `I ("$(b,nemesis)", "one run under a declarative fault plan, invariants monitored.");
+      `I ("$(b,replay)", "resume a recorded run from any snapshot frame; --verify self-checks.");
+      `I ("$(b,bisect)", "localize a recorded invariant violation to an inter-frame window.");
+      `I ("$(b,trace-export)", "convert a trace JSONL into Chrome/Perfetto trace format.");
       `I ("$(b,campaign)", "randomized fault campaign with shrinking reproducers.");
       `I ("$(b,study)", "the modularity-cost-under-faults study (S-faults table).");
       `I ("$(b,compare)", "regression gate over two bench --json-out reports.");
@@ -1079,6 +1340,9 @@ let main_cmd =
       dispatch_cmd;
       window_cmd;
       nemesis_cmd;
+      replay_cmd;
+      bisect_cmd;
+      trace_export_cmd;
       campaign_cmd;
       study_cmd;
       compare_cmd;

@@ -1,0 +1,164 @@
+(* Chrome/Perfetto trace-event export.
+
+   Converts an Obs trace JSONL file (the [--trace-out] stream: [trace]
+   and [span] lines) into the Trace Event Format that [about:tracing]
+   and [ui.perfetto.dev] load: one process per simulated node, one
+   thread per protocol layer, causal spans as complete ("X") events.
+
+   A span records the *instant* its step happened plus a link to the
+   causing span; the duration shown is the gap from cause to effect —
+   parent.at → span.at — which is exactly the hop the critical-path
+   analysis attributes. Spans without a recorded parent (roots) and flat
+   trace events become instant ("i") events. Timestamps are microseconds
+   as the format requires; virtual nanoseconds divide exactly. *)
+
+module Jsonl = Repro_obs.Jsonl
+module Span = Repro_obs.Span
+
+type event = {
+  e_name : string;
+  e_cat : string;
+  e_ph : char; (* 'X' complete | 'i' instant *)
+  e_ts_us : float;
+  e_dur_us : float; (* meaningful for 'X' only *)
+  e_pid : int; (* 1-based process *)
+  e_tid : int; (* layer index *)
+  e_args : (string * Jsonl.json) list;
+}
+
+let layer_tid name =
+  let rec go i = function
+    | [] -> List.length Span.all_layers (* unknown layer: one shared tail tid *)
+    | l :: rest -> if String.equal (Span.layer_name l) name then i else go (i + 1) rest
+  in
+  go 0 Span.all_layers
+
+let us_of_ns ns = float_of_int ns /. 1e3
+
+let event_of_line j =
+  let str k = Jsonl.to_string_opt (Jsonl.member k j) in
+  let int k = Jsonl.to_int_opt (Jsonl.member k j) in
+  match (str "type", int "at_ns", int "pid", str "layer", str "phase") with
+  | Some "trace", Some at_ns, Some pid, Some layer, Some phase ->
+    Some
+      {
+        e_name = phase;
+        e_cat = layer;
+        e_ph = 'i';
+        e_ts_us = us_of_ns at_ns;
+        e_dur_us = 0.0;
+        e_pid = pid + 1;
+        e_tid = layer_tid layer;
+        e_args =
+          (match str "detail" with
+          | Some d when d <> "" -> [ ("detail", Jsonl.String d) ]
+          | _ -> []);
+      }
+  | Some "span", Some at_ns, Some pid, Some layer, Some phase ->
+    let sid = Option.value ~default:0 (int "sid") in
+    let parent = Option.value ~default:0 (int "parent") in
+    let args =
+      [ ("sid", Jsonl.Int sid); ("parent", Jsonl.Int parent) ]
+      @
+      match str "detail" with
+      | Some d when d <> "" -> [ ("detail", Jsonl.String d) ]
+      | _ -> []
+    in
+    Some
+      {
+        e_name = phase;
+        e_cat = layer;
+        e_ph = 'i';
+        e_ts_us = us_of_ns at_ns;
+        e_dur_us = 0.0;
+        e_pid = pid + 1;
+        e_tid = layer_tid layer;
+        e_args = args;
+      }
+  | _ -> None
+
+(* Spans whose parent is in the trace become 'X' complete events spanning
+   cause → effect; the instant fallback stays for roots. *)
+let link_spans lines events =
+  let at_of = Hashtbl.create 1024 in
+  List.iter
+    (fun j ->
+      match
+        ( Jsonl.to_string_opt (Jsonl.member "type" j),
+          Jsonl.to_int_opt (Jsonl.member "sid" j),
+          Jsonl.to_int_opt (Jsonl.member "at_ns" j) )
+      with
+      | Some "span", Some sid, Some at -> Hashtbl.replace at_of sid at
+      | _ -> ())
+    lines;
+  List.map2
+    (fun j e ->
+      match
+        ( Jsonl.to_string_opt (Jsonl.member "type" j),
+          Jsonl.to_int_opt (Jsonl.member "parent" j),
+          Jsonl.to_int_opt (Jsonl.member "at_ns" j) )
+      with
+      | Some "span", Some parent, Some at when parent <> 0 -> (
+        match Hashtbl.find_opt at_of parent with
+        | Some parent_at when parent_at <= at ->
+          { e with e_ph = 'X'; e_ts_us = us_of_ns parent_at; e_dur_us = us_of_ns (at - parent_at) }
+        | _ -> e)
+      | _ -> e)
+    lines events
+
+let json_of_event e =
+  let base =
+    [
+      ("name", Jsonl.String e.e_name);
+      ("cat", Jsonl.String e.e_cat);
+      ("ph", Jsonl.String (String.make 1 e.e_ph));
+      ("ts", Jsonl.Float e.e_ts_us);
+      ("pid", Jsonl.Int e.e_pid);
+      ("tid", Jsonl.Int e.e_tid);
+    ]
+  in
+  let dur = if e.e_ph = 'X' then [ ("dur", Jsonl.Float e.e_dur_us) ] else [] in
+  let scope = if e.e_ph = 'i' then [ ("s", Jsonl.String "t") ] else [] in
+  let args = if e.e_args = [] then [] else [ ("args", Jsonl.Obj e.e_args) ] in
+  Jsonl.Obj (base @ dur @ scope @ args)
+
+(* Name the pid/tid rows: process p<i>, one thread per layer. *)
+let metadata_events pids =
+  List.concat_map
+    (fun pid ->
+      Jsonl.Obj
+        [
+          ("name", Jsonl.String "process_name");
+          ("ph", Jsonl.String "M");
+          ("pid", Jsonl.Int pid);
+          ("args", Jsonl.Obj [ ("name", Jsonl.String (Printf.sprintf "p%d" pid)) ]);
+        ]
+      :: List.mapi
+           (fun tid layer ->
+             Jsonl.Obj
+               [
+                 ("name", Jsonl.String "thread_name");
+                 ("ph", Jsonl.String "M");
+                 ("pid", Jsonl.Int pid);
+                 ("tid", Jsonl.Int tid);
+                 ( "args",
+                   Jsonl.Obj [ ("name", Jsonl.String (Span.layer_name layer)) ] );
+               ])
+           Span.all_layers)
+    pids
+
+let export lines =
+  let events = List.filter_map (fun j -> Option.map (fun e -> (j, e)) (event_of_line j)) lines in
+  let lines_kept = List.map fst events and events = List.map snd events in
+  let events = link_spans lines_kept events in
+  let pids =
+    List.sort_uniq Int.compare (List.map (fun e -> e.e_pid) events)
+  in
+  Jsonl.Obj
+    [
+      ( "traceEvents",
+        Jsonl.List (metadata_events pids @ List.map json_of_event events) );
+      ("displayTimeUnit", Jsonl.String "ms");
+    ]
+
+let export_string lines = Jsonl.to_string (export lines)

@@ -246,3 +246,75 @@ let blocked_on_payloads t =
   match Hashtbl.find_opt t.decisions t.next_decide with
   | Some batch -> List.length (missing_payloads t batch)
   | None -> 0
+
+(* ---- Snapshot ---- *)
+
+module Snap = Repro_sim.Snapshot
+
+type ab_data = {
+  ad_payloads : (App_msg.id * App_msg.t) list; (* ascending identity *)
+  ad_delivered : Id_table.t;
+  ad_pending : App_msg.Id_set.t;
+  ad_ordered : App_msg.Id_set.t;
+  ad_next_decide : int;
+  ad_proposed_up_to : int;
+  ad_decisions : (int * Batch.t) list; (* ascending inst *)
+  ad_delivered_count : int;
+}
+
+let snapshot ?name t =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "core.abcast_indirect.p%d" (t.me + 1)
+  in
+  let payloads =
+    Id_tbl.fold (fun id m acc -> (id, m) :: acc) t.payloads []
+    |> List.sort (fun (a, _) (b, _) -> App_msg.compare_id a b)
+  in
+  let decisions =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.decisions []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  Snap.make ~name ~version:1
+    ~data:
+      (Snap.pack
+         {
+           ad_payloads = payloads;
+           ad_delivered = t.delivered;
+           ad_pending = t.pending;
+           ad_ordered = t.ordered;
+           ad_next_decide = t.next_decide;
+           ad_proposed_up_to = t.proposed_up_to;
+           ad_decisions = decisions;
+           ad_delivered_count = t.delivered_count;
+         })
+    [
+      ("next_decide", Snap.Int t.next_decide);
+      ("proposed_up_to", Snap.Int t.proposed_up_to);
+      ("delivered_count", Snap.Int t.delivered_count);
+      ("known_payloads", Snap.Int (List.length payloads));
+      ("pending_ids", Snap.Int (App_msg.Id_set.cardinal t.pending));
+      ("ordered_ids", Snap.Int (App_msg.Id_set.cardinal t.ordered));
+      ("buffered_decisions", Snap.Int (List.length decisions));
+    ]
+
+let restore ?name t s =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "core.abcast_indirect.p%d" (t.me + 1)
+  in
+  Snap.check s ~name ~version:1;
+  let (d : ab_data) = Snap.unpack_data s in
+  Id_tbl.reset t.payloads;
+  List.iter (fun (id, m) -> Id_tbl.add t.payloads id m) d.ad_payloads;
+  Id_table.assign ~from:d.ad_delivered t.delivered;
+  t.pending <- d.ad_pending;
+  t.ordered <- d.ad_ordered;
+  t.next_decide <- d.ad_next_decide;
+  t.proposed_up_to <- d.ad_proposed_up_to;
+  Hashtbl.reset t.decisions;
+  List.iter (fun (k, v) -> Hashtbl.add t.decisions k v) d.ad_decisions;
+  t.delivered_count <- d.ad_delivered_count
+(* The identifier-fetch timer rides the world blob. *)

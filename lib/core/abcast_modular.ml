@@ -145,3 +145,61 @@ let on_decide t ~inst batch =
 let next_instance t = t.next_decide
 let delivered_count t = t.delivered_count
 let pending_count t = Batch.size t.pending
+
+(* ---- Snapshot ---- *)
+
+module Snap = Repro_sim.Snapshot
+
+type ab_data = {
+  ad_pending : Batch.t;
+  ad_delivered : Id_table.t;
+  ad_next_decide : int;
+  ad_proposed_up_to : int;
+  ad_decisions : (int * Batch.t) list; (* ascending inst *)
+  ad_delivered_count : int;
+}
+
+let snapshot ?name t =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "core.abcast_modular.p%d" (t.me + 1)
+  in
+  let decisions =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.decisions []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  Snap.make ~name ~version:1
+    ~data:
+      (Snap.pack
+         {
+           ad_pending = t.pending;
+           ad_delivered = t.delivered;
+           ad_next_decide = t.next_decide;
+           ad_proposed_up_to = t.proposed_up_to;
+           ad_decisions = decisions;
+           ad_delivered_count = t.delivered_count;
+         })
+    [
+      ("next_decide", Snap.Int t.next_decide);
+      ("proposed_up_to", Snap.Int t.proposed_up_to);
+      ("delivered_count", Snap.Int t.delivered_count);
+      ("pending", Snap.Int (Batch.size t.pending));
+      ("buffered_decisions", Snap.Int (List.length decisions));
+    ]
+
+let restore ?name t s =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "core.abcast_modular.p%d" (t.me + 1)
+  in
+  Snap.check s ~name ~version:1;
+  let (d : ab_data) = Snap.unpack_data s in
+  t.pending <- d.ad_pending;
+  Id_table.assign ~from:d.ad_delivered t.delivered;
+  t.next_decide <- d.ad_next_decide;
+  t.proposed_up_to <- d.ad_proposed_up_to;
+  Hashtbl.reset t.decisions;
+  List.iter (fun (k, v) -> Hashtbl.add t.decisions k v) d.ad_decisions;
+  t.delivered_count <- d.ad_delivered_count

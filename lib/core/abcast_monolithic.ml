@@ -737,3 +737,111 @@ let decided_instances t = t.next_deliver
 
 let rounds_used t ~inst =
   match Hashtbl.find_opt t.instances inst with Some s -> s.round | None -> 0
+
+(* ---- Snapshot ---- *)
+
+module Snap = Snapshot
+
+type ab_data = {
+  ad_instances : (int * inst_state) list; (* ascending inst, timers stripped *)
+  ad_delivered : Id_table.t;
+  ad_next_deliver : int;
+  ad_max_decided : int;
+  ad_launched : int;
+  ad_pool : Batch.t;
+  ad_own_unsent : App_msg.t list;
+  ad_own_outstanding : Batch.t;
+  ad_decisions_buf : (int * Batch.t) list; (* ascending inst *)
+  ad_active_acked : int;
+  ad_ack_imminent : bool;
+  ad_delivered_count : int;
+}
+
+let snapshot ?name t =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "core.abcast_monolithic.p%d" (t.me + 1)
+  in
+  let instances =
+    Hashtbl.fold
+      (fun k s acc -> (k, { s with progress_timer = None }) :: acc)
+      t.instances []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let decisions_buf =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.decisions_buf []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  (* Decided values for the most recent instances, rendered for bisect's
+     state-diff report: when a total-order violation localizes to a
+     window, these are the per-process decision logs that disagree. *)
+  let decision_window =
+    List.filter_map
+      (fun k ->
+        if k < 0 then None
+        else
+          match Hashtbl.find_opt t.instances k with
+          | Some { decided = Some b; _ } ->
+            Some
+              ( Printf.sprintf "decision.i%d" k,
+                Snap.String (Fmt.str "%a" Batch.pp b) )
+          | _ -> None)
+      (List.init 8 (fun i -> t.max_decided - 7 + i))
+  in
+  Snap.make ~name ~version:1
+    ~data:
+      (Snap.pack
+         {
+           ad_instances = instances;
+           ad_delivered = t.delivered;
+           ad_next_deliver = t.next_deliver;
+           ad_max_decided = t.max_decided;
+           ad_launched = t.launched;
+           ad_pool = t.pool;
+           ad_own_unsent = t.own_unsent;
+           ad_own_outstanding = t.own_outstanding;
+           ad_decisions_buf = decisions_buf;
+           ad_active_acked = t.active_acked;
+           ad_ack_imminent = t.ack_imminent;
+           ad_delivered_count = t.delivered_count;
+         })
+    ([
+       ("next_deliver", Snap.Int t.next_deliver);
+       ("max_decided", Snap.Int t.max_decided);
+       ("launched", Snap.Int t.launched);
+       ("delivered_count", Snap.Int t.delivered_count);
+       ("active_acked", Snap.Int t.active_acked);
+       ("ack_imminent", Snap.Bool t.ack_imminent);
+       ("instances", Snap.Int (List.length instances));
+       ("pool", Snap.Int (Batch.size t.pool));
+       ("own_unsent", Snap.Int (List.length t.own_unsent));
+       ("own_outstanding", Snap.Int (Batch.size t.own_outstanding));
+       ("buffered_decisions", Snap.Int (List.length decisions_buf));
+     ]
+    @ decision_window)
+
+let restore ?name t s =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "core.abcast_monolithic.p%d" (t.me + 1)
+  in
+  Snap.check s ~name ~version:1;
+  let (d : ab_data) = Snap.unpack_data s in
+  Hashtbl.reset t.instances;
+  List.iter (fun (k, st) -> Hashtbl.add t.instances k st) d.ad_instances;
+  Id_table.assign ~from:d.ad_delivered t.delivered;
+  t.next_deliver <- d.ad_next_deliver;
+  t.max_decided <- d.ad_max_decided;
+  t.launched <- d.ad_launched;
+  t.pool <- d.ad_pool;
+  t.own_unsent <- d.ad_own_unsent;
+  t.own_outstanding <- d.ad_own_outstanding;
+  Hashtbl.reset t.decisions_buf;
+  List.iter (fun (k, v) -> Hashtbl.add t.decisions_buf k v) d.ad_decisions_buf;
+  t.active_acked <- d.ad_active_acked;
+  t.ack_imminent <- d.ad_ack_imminent;
+  t.delivered_count <- d.ad_delivered_count
+(* kick/catch-up/per-instance progress timers and the [decision_rb]
+   ablation channel ride the world blob. *)

@@ -65,3 +65,12 @@ val decided_instances : t -> int
 
 val rounds_used : t -> inst:int -> int
 (** Highest round entered for an instance (1 in good runs); 0 if unknown. *)
+
+val snapshot : ?name:string -> t -> Repro_sim.Snapshot.section
+(** Default section name ["core.abcast_monolithic.p<me>"]. Carries every
+    consensus instance (timers stripped), the delivery cursor, the
+    coordinator pool, and [decision.i<k>] fields rendering the decided
+    batches of the most recent instances for bisect's state-diff report. *)
+
+val restore : ?name:string -> t -> Repro_sim.Snapshot.section -> unit
+(** @raise Repro_sim.Snapshot.Codec_error on mismatch. *)

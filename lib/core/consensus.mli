@@ -79,3 +79,14 @@ val decision : t -> inst:int -> Batch.t option
 val rounds_used : t -> inst:int -> int
 (** Highest round this process entered for the instance (1 in good runs);
     0 if the instance is unknown. For tests and diagnostics. *)
+
+val snapshot : ?name:string -> t -> Repro_sim.Snapshot.section
+(** Default section name ["core.consensus.p<me>"]. Fields summarize the
+    instance table (counts, highest decided, catch-up low-water mark,
+    highest active round); the bulk payload carries every instance's full
+    round state with timer handles stripped. *)
+
+val restore : ?name:string -> t -> Repro_sim.Snapshot.section -> unit
+(** Rebuild the instance table from the payload. Round kick, progress and
+    catch-up timers ride the world blob.
+    @raise Repro_sim.Snapshot.Codec_error on mismatch. *)

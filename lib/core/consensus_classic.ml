@@ -397,3 +397,54 @@ let decision t ~inst =
 
 let rounds_used t ~inst =
   match Hashtbl.find_opt t.instances inst with Some s -> s.round | None -> 0
+
+(* ---- Snapshot ---- *)
+
+module Snap = Snapshot
+
+type cons_data = {
+  cd_instances : (int * inst_state) list; (* ascending inst, timers stripped *)
+  cd_max_decided : int;
+  cd_catchup_from : int;
+}
+
+let snapshot ?name t =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "core.consensus_classic.p%d" (t.me + 1)
+  in
+  let insts =
+    Hashtbl.fold
+      (fun k s acc -> (k, { s with progress_timer = None }) :: acc)
+      t.instances []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let decided =
+    List.fold_left (fun acc (_, s) -> if s.decided <> None then acc + 1 else acc) 0 insts
+  in
+  let max_round = List.fold_left (fun acc (_, s) -> max acc s.round) 0 insts in
+  Snap.make ~name ~version:1
+    ~data:(Snap.pack { cd_instances = insts; cd_max_decided = t.max_decided;
+                       cd_catchup_from = t.catchup_from })
+    [
+      ("instances", Snap.Int (List.length insts));
+      ("decided", Snap.Int decided);
+      ("max_decided", Snap.Int t.max_decided);
+      ("catchup_from", Snap.Int t.catchup_from);
+      ("max_round", Snap.Int max_round);
+    ]
+
+let restore ?name t s =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "core.consensus_classic.p%d" (t.me + 1)
+  in
+  Snap.check s ~name ~version:1;
+  let (d : cons_data) = Snap.unpack_data s in
+  Hashtbl.reset t.instances;
+  List.iter (fun (k, st) -> Hashtbl.add t.instances k st) d.cd_instances;
+  t.max_decided <- d.cd_max_decided;
+  t.catchup_from <- d.cd_catchup_from
+(* progress and catch-up timers ride the world blob. *)

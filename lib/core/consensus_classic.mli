@@ -54,3 +54,10 @@ val decision : t -> inst:int -> Batch.t option
 val rounds_used : t -> inst:int -> int
 (** Highest round entered. Note: ≥ 2 even in good runs, because the
     classical algorithm enters the next round as soon as it has acked. *)
+
+val snapshot : ?name:string -> t -> Repro_sim.Snapshot.section
+(** Default section name ["core.consensus_classic.p<me>"]; same layout as
+    {!Consensus.snapshot}. *)
+
+val restore : ?name:string -> t -> Repro_sim.Snapshot.section -> unit
+(** @raise Repro_sim.Snapshot.Codec_error on mismatch. *)

@@ -28,3 +28,11 @@ val in_flight : t -> int
 val set_on_space : t -> (unit -> unit) -> unit
 (** Register the callback invoked after each {!release}; the owner uses it
     to admit queued offers. Replaces any previous callback. *)
+
+val snapshot : name:string -> t -> Repro_sim.Snapshot.section
+(** Window size and in-flight count. The [on_space] callback is wiring,
+    not state, and rides the world blob. *)
+
+val restore : name:string -> t -> Repro_sim.Snapshot.section -> unit
+(** @raise Repro_sim.Snapshot.Codec_error on mismatch, including a
+    changed window size. *)

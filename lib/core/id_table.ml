@@ -40,3 +40,20 @@ let add t ~origin ~seq =
   in
   Bytes.set row byte
     (Char.chr (Char.code (Bytes.get row byte) lor (1 lsl (seq land 7))))
+
+let population t =
+  let bits_of_byte = Array.init 256 (fun c ->
+      let rec pop c = if c = 0 then 0 else (c land 1) + pop (c lsr 1) in
+      pop c)
+  in
+  Array.fold_left
+    (fun acc row ->
+      let total = ref acc in
+      Bytes.iter (fun c -> total := !total + bits_of_byte.(Char.code c)) row;
+      !total)
+    0 t.rows
+
+let assign ~from t =
+  if Array.length t.rows <> Array.length from.rows then
+    invalid_arg "Id_table.assign: group size mismatch";
+  Array.iteri (fun i row -> t.rows.(i) <- Bytes.copy row) from.rows

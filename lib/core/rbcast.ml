@@ -79,3 +79,25 @@ let receive t ~src:_ ~meta payload =
           send_to_others t ~meta payload
         end)
   end
+
+(* ---- Snapshot ---- *)
+
+module Snap = Repro_sim.Snapshot
+
+let snapshot ?name t =
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "core.rbcast.p%d" (t.me + 1)
+  in
+  Snap.make ~name ~version:1 ~data:(Snap.pack t.seen)
+    [
+      ("next_seq", Snap.Int t.next_seq);
+      ("seen", Snap.Int (Id_table.population t.seen));
+    ]
+
+let restore ?name t s =
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "core.rbcast.p%d" (t.me + 1)
+  in
+  Snap.check s ~name ~version:1;
+  t.next_seq <- Snap.get_int s "next_seq";
+  Id_table.assign ~from:(Snap.unpack_data s) t.seen

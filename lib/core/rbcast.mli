@@ -52,3 +52,11 @@ val receive : 'p t -> src:Pid.t -> meta:Msg.rb_meta -> 'p -> unit
 val relayers : n:int -> origin:Pid.t -> Pid.t list
 (** The designated relay set of the majority variant: the ⌊(n-1)/2⌋
     lowest-pid processes excluding [origin]. Exposed for tests. *)
+
+val snapshot : ?name:string -> 'p t -> Repro_sim.Snapshot.section
+(** Default section name ["core.rbcast.p<me>"]; stacks that mount several
+    rbcast instances pass their own. Carries the rdelivered identity set
+    and the next local sequence number. *)
+
+val restore : ?name:string -> 'p t -> Repro_sim.Snapshot.section -> unit
+(** @raise Repro_sim.Snapshot.Codec_error on mismatch. *)

@@ -127,7 +127,20 @@ let random_schedule ?(adversary = false) ?(equivocation = false) rng ~n ~horizon
 
 (* ---- Single run ---- *)
 
-let run_one ~kind ~n ~seed ~schedule ?(offered_load = 600.0) ?(settle_s = 5.0) () =
+(* A trial staged as a group+monitor plus timed milestones, the same
+   decomposition as [Experiment.stage]: [run_one] executes the milestones
+   back to back, the replay recorder slices the stretches in between at
+   frame boundaries — event-identical either way. *)
+type staged = {
+  ca_group : Group.t;
+  ca_monitor : Monitor.t;
+  ca_generator : Generator.t;
+  ca_milestones : (Time.t * (unit -> unit)) list; (* ascending, absolute *)
+  ca_result : unit -> verdict;
+}
+
+let stage ~kind ~n ~seed ~schedule ?(offered_load = 600.0) ?(settle_s = 5.0)
+    ?(obs = Repro_obs.Obs.noop) () =
   (match Schedule.validate ~n schedule with
   | Ok _ -> ()
   | Error e -> invalid_arg ("Campaign.run_one: " ^ e));
@@ -141,45 +154,70 @@ let run_one ~kind ~n ~seed ~schedule ?(offered_load = 600.0) ?(settle_s = 5.0) (
   let group =
     Group.create ~kind ~params
       ~fd_mode:(`Heartbeat Repro_fd.Heartbeat_fd.default_config)
-      ~record_deliveries:false ()
+      ~record_deliveries:false ~obs ()
   in
   let monitor = Monitor.create ~seed ~schedule ~n () in
   Monitor.attach monitor group;
   ignore (Nemesis.install_exn group schedule);
   let generator = Generator.start group ~offered_load ~size:1024 () in
-  Group.run_for group (Time.span_add (Schedule.duration schedule) (Time.span_ms 200));
-  Generator.stop generator;
-  Group.run_for group (span_of_s settle_s);
+  let load_end =
+    Time.add Time.zero (Time.span_add (Schedule.duration schedule) (Time.span_ms 200))
+  in
+  let settle_end = Time.add load_end (span_of_s settle_s) in
   let crashed = Schedule.crashed_pids schedule in
   let correct = List.filter (fun p -> not (List.mem p crashed)) (Pid.all ~n) in
-  Monitor.check_final monitor ~correct ();
-  let outcome =
-    match Monitor.first_violation monitor with None -> Pass | Some v -> Fail v
+  let milestones =
+    [
+      (load_end, fun () -> Generator.stop generator);
+      (settle_end, fun () -> Monitor.check_final monitor ~correct ());
+    ]
   in
-  let delivered =
-    match correct with [] -> 0 | p :: _ -> Monitor.delivered_count monitor p
-  in
-  let mean_latency_ms =
-    match Group.latencies group with
-    | [] -> nan
-    | ls ->
-      List.fold_left
-        (fun acc (r : Group.latency_record) ->
-          acc +. Time.span_to_ms_float (Time.diff r.first_delivery r.abcast_at))
-        0.0 ls
-      /. float_of_int (List.length ls)
+  let result () =
+    let outcome =
+      match Monitor.first_violation monitor with None -> Pass | Some v -> Fail v
+    in
+    let delivered =
+      match correct with [] -> 0 | p :: _ -> Monitor.delivered_count monitor p
+    in
+    let mean_latency_ms =
+      match Group.latencies group with
+      | [] -> nan
+      | ls ->
+        List.fold_left
+          (fun acc (r : Group.latency_record) ->
+            acc +. Time.span_to_ms_float (Time.diff r.first_delivery r.abcast_at))
+          0.0 ls
+        /. float_of_int (List.length ls)
+    in
+    {
+      kind;
+      n;
+      seed;
+      schedule;
+      outcome;
+      crashed = List.length crashed;
+      delivered;
+      admitted = Group.total_admitted group;
+      mean_latency_ms;
+    }
   in
   {
-    kind;
-    n;
-    seed;
-    schedule;
-    outcome;
-    crashed = List.length crashed;
-    delivered;
-    admitted = Group.total_admitted group;
-    mean_latency_ms;
+    ca_group = group;
+    ca_monitor = monitor;
+    ca_generator = generator;
+    ca_milestones = milestones;
+    ca_result = result;
   }
+
+let run_one ~kind ~n ~seed ~schedule ?offered_load ?settle_s () =
+  let st = stage ~kind ~n ~seed ~schedule ?offered_load ?settle_s () in
+  let engine = Group.engine st.ca_group in
+  List.iter
+    (fun (at, act) ->
+      Engine.run_until engine at;
+      act ())
+    st.ca_milestones;
+  st.ca_result ()
 
 (* ---- Shrinking ---- *)
 

@@ -76,6 +76,33 @@ val run_one :
     the final agreement/liveness checks. [offered_load] defaults to 600
     msgs/s. @raise Invalid_argument if the schedule does not validate. *)
 
+(** {2 Staged trials}
+
+    {!run_one} decomposed into its group, monitor and timed milestones —
+    the same shape as [Experiment.stage] — so the replay recorder can
+    slice the stretches between milestones at snapshot-frame boundaries.
+    Executing the milestones back to back is exactly {!run_one}. *)
+
+type staged = {
+  ca_group : Group.t;
+  ca_monitor : Monitor.t;
+  ca_generator : Repro_workload.Generator.t;
+  ca_milestones : (Repro_sim.Time.t * (unit -> unit)) list;
+      (** Ascending absolute times; run the engine to each, then act. *)
+  ca_result : unit -> verdict;  (** Callable after every milestone ran. *)
+}
+
+val stage :
+  kind:Replica.kind ->
+  n:int ->
+  seed:int ->
+  schedule:Schedule.t ->
+  ?offered_load:float ->
+  ?settle_s:float ->
+  ?obs:Repro_obs.Obs.t ->
+  unit ->
+  staged
+
 val shrink : fails:(Schedule.t -> bool) -> Schedule.t -> Schedule.t
 (** Greedy delta-debugging: repeatedly remove any single step whose removal
     keeps [fails] true, to a fixpoint. The result is a subsequence of the

@@ -232,3 +232,70 @@ let pp_report ppf t =
   | Some v ->
     Fmt.pf ppf "%a@ (seed %d, schedule: %a)" pp_violation v t.seed Schedule.pp
       t.schedule
+
+(* ---- Snapshot ---- *)
+
+module Snap = Snapshot
+
+type mon_data = {
+  md_rev_logs : App_msg.id list array;
+  md_counts : int array;
+  md_seen : (App_msg.id, unit) Hashtbl.t array;
+  md_global : App_msg.id array;
+  md_global_len : int;
+  md_fingerprints : (App_msg.id, int * Pid.t) Hashtbl.t;
+  md_tampered_detected : int;
+  md_tampered_silent : int;
+  md_rev_violations : violation list;
+}
+
+let snapshot ?(name = "fault.monitor") t =
+  Snap.make ~name ~version:1
+    ~data:
+      (Snap.pack
+         {
+           md_rev_logs = t.rev_logs;
+           md_counts = t.counts;
+           md_seen = t.seen;
+           md_global = Array.sub t.global 0 t.global_len;
+           md_global_len = t.global_len;
+           md_fingerprints = t.fingerprints;
+           md_tampered_detected = t.tampered_detected;
+           md_tampered_silent = t.tampered_silent;
+           md_rev_violations = t.rev_violations;
+         })
+    [
+      ("violations", Snap.Int (List.length t.rev_violations));
+      ( "delivered",
+        Snap.List (Array.to_list (Array.map (fun c -> Snap.Int c) t.counts)) );
+      ("global_len", Snap.Int t.global_len);
+      ("tampered_detected", Snap.Int t.tampered_detected);
+      ("tampered_silent", Snap.Int t.tampered_silent);
+    ]
+
+let restore ?(name = "fault.monitor") t s =
+  Snap.check s ~name ~version:1;
+  let (d : mon_data) = Snap.unpack_data s in
+  if Array.length d.md_counts <> t.n then
+    raise (Snap.Codec_error (name ^ ": snapshot taken with a different group size"));
+  Array.blit d.md_rev_logs 0 t.rev_logs 0 t.n;
+  Array.blit d.md_counts 0 t.counts 0 t.n;
+  Array.iteri
+    (fun i seen ->
+      Hashtbl.reset t.seen.(i);
+      Hashtbl.fold (fun k () acc -> k :: acc) seen []
+      |> List.sort App_msg.compare_id
+      |> List.iter (fun k -> Hashtbl.add t.seen.(i) k ()))
+    d.md_seen;
+  t.global <- Array.copy d.md_global;
+  t.global_len <- d.md_global_len;
+  (if t.global_len = 0 then t.global <- Array.make 64 { App_msg.origin = 0; seq = -1 });
+  Hashtbl.reset t.fingerprints;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) d.md_fingerprints []
+  |> List.sort (fun (a, _) (b, _) -> App_msg.compare_id a b)
+  |> List.iter (fun (k, v) -> Hashtbl.add t.fingerprints k v);
+  t.tampered_detected <- d.md_tampered_detected;
+  t.tampered_silent <- d.md_tampered_silent;
+  t.rev_violations <- d.md_rev_violations
+(* [clock] and [admitted_of] are wiring closures installed by [attach];
+   they ride the world blob. *)

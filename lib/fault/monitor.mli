@@ -132,3 +132,12 @@ val pp_violation : violation Fmt.t
 val pp_report : t Fmt.t
 (** The first violation plus the reproduction context (seed and
     schedule); ["no violations"] when clean. *)
+
+val snapshot : ?name:string -> t -> Repro_sim.Snapshot.section
+(** Default section name ["fault.monitor"]. The ["violations"] count field
+    is the key [repro bisect] binary-searches over the frame log; the bulk
+    payload carries the full delivery logs, global order, fingerprints and
+    violation records. *)
+
+val restore : ?name:string -> t -> Repro_sim.Snapshot.section -> unit
+(** @raise Repro_sim.Snapshot.Codec_error on mismatch. *)

@@ -156,3 +156,50 @@ let suspects t =
   |> List.sort Pid.compare
 
 let predicted_deadline t p = if p = t.me then None else t.peers.(p).deadline
+
+(* ---- Snapshot ---- *)
+
+module Snap = Snapshot
+
+type ch_data = { cd_peers : peer array; cd_stopped : bool }
+
+let snapshot ?name t =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "fd.chen.p%d" (t.me + 1)
+  in
+  let peers = Array.map (fun p -> { p with watchdog = None }) t.peers in
+  Snap.make ~name ~version:1
+    ~data:(Snap.pack { cd_peers = peers; cd_stopped = t.stopped })
+    [
+      ("stopped", Snap.Bool t.stopped);
+      ( "suspected",
+        Snap.List
+          (Array.to_list (Array.map (fun p -> Snap.Bool p.suspected) t.peers)) );
+      ( "arrivals",
+        Snap.List
+          (Array.to_list (Array.map (fun p -> Snap.Int p.count) t.peers)) );
+    ]
+
+let restore ?name t s =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "fd.chen.p%d" (t.me + 1)
+  in
+  Snap.check s ~name ~version:1;
+  let (d : ch_data) = Snap.unpack_data s in
+  if Array.length d.cd_peers <> Array.length t.peers then
+    raise (Snap.Codec_error (name ^ ": snapshot taken with a different group size"));
+  Array.iteri
+    (fun i p ->
+      let live = t.peers.(i) in
+      Array.blit p.arrivals 0 live.arrivals 0 (Array.length live.arrivals);
+      live.count <- p.count;
+      live.next_slot <- p.next_slot;
+      live.suspected <- p.suspected;
+      live.deadline <- p.deadline)
+    d.cd_peers;
+  t.stopped <- d.cd_stopped
+(* Heartbeat loop, watchdog timers and suspicion listeners ride the world blob. *)

@@ -48,3 +48,11 @@ val predicted_deadline : t -> Pid.t -> Time.t option
 (** The instant after which the peer will be suspected if silent — the
     current prediction plus margin ([None] for self or before any
     arrival). Exposed for tests and calibration. *)
+
+val snapshot : ?name:string -> t -> Repro_sim.Snapshot.section
+(** Default section name ["fd.chen.p<me>"]. Carries per-peer arrival
+    windows, predicted deadlines and suspicion flags; watchdog timers ride
+    the world blob. *)
+
+val restore : ?name:string -> t -> Repro_sim.Snapshot.section -> unit
+(** @raise Repro_sim.Snapshot.Codec_error on mismatch. *)

@@ -33,3 +33,9 @@ val emissions : t -> int
 
 val port_name : 'a port -> string
 (** The diagnostic name given at creation. *)
+
+val snapshot : name:string -> t -> Snapshot.section
+(** Boundary-crossing counter; subscriber closures ride the world blob. *)
+
+val restore : name:string -> t -> Snapshot.section -> unit
+(** @raise Snapshot.Codec_error on mismatch. *)

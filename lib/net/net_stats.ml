@@ -53,3 +53,30 @@ let diff (later : snapshot) (earlier : snapshot) =
 let pp_snapshot ppf (s : snapshot) =
   Fmt.pf ppf "%d msgs, %d B payload, %d B on wire" s.messages s.payload_bytes
     s.wire_bytes
+
+type dump = {
+  d_messages : int;
+  d_payload : int;
+  d_wire : int;
+  d_sent : int array;
+  d_kinds : (string * int) list;
+}
+
+let dump t =
+  {
+    d_messages = t.messages;
+    d_payload = t.payload;
+    d_wire = t.wire;
+    d_sent = Array.copy t.sent;
+    d_kinds = by_kind t;
+  }
+
+let load t d =
+  if Array.length d.d_sent <> Array.length t.sent then
+    invalid_arg "Net_stats.load: group size mismatch";
+  t.messages <- d.d_messages;
+  t.payload <- d.d_payload;
+  t.wire <- d.d_wire;
+  Array.blit d.d_sent 0 t.sent 0 (Array.length t.sent);
+  Hashtbl.reset t.kinds;
+  List.iter (fun (k, v) -> Hashtbl.add t.kinds k (ref v)) d.d_kinds

@@ -48,3 +48,19 @@ val pp_snapshot : snapshot Fmt.t
     e.g. [42 msgs, 4096 B payload, 5462 B on wire]. For the same totals
     split by protocol layer, observe the run with [Repro_obs.Obs] (the
     [net.msgs.*] / [net.*_bytes.*] counters). *)
+
+type dump = {
+  d_messages : int;
+  d_payload : int;
+  d_wire : int;
+  d_sent : int array;
+  d_kinds : (string * int) list;  (** sorted by kind *)
+}
+(** The full counter state as pure data, for {!Network}'s snapshot
+    payload. [d_kinds] is sorted, so a dump is a canonical value. *)
+
+val dump : t -> dump
+
+val load : t -> dump -> unit
+(** Overwrite the live counters with a dump's.
+    @raise Invalid_argument if the per-sender array sizes differ. *)

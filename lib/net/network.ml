@@ -567,3 +567,149 @@ let send t ~src ~dst msg =
 
 let send_to_others t ~src msg = multicast t ~src ~dsts:t.others.(src) msg
 let stats t = t.stats
+
+(* ---- Snapshot ----
+
+   The section carries every enumerable knob and counter; the bulk
+   payload carries the matrices, per-node NIC accounting and the RNG
+   stream states. Handler closures and in-flight arrival events are
+   restored by the world blob, not here. *)
+
+type node_data = {
+  d_nic_free_ns : int;
+  d_nic_busy_ns : int;
+  d_crashed : bool;
+  d_sends_before_crash : int option;
+}
+
+type net_data = {
+  d_last_arrival : int array array;
+  d_cut : bool array array;
+  d_nodes : node_data array;
+  d_rng : Snapshot.section;
+  d_adv_rng : Snapshot.section option;
+  d_stats : Net_stats.dump;
+}
+
+let section_name = "net.network"
+
+let snapshot t =
+  let count_row acc row =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) acc row
+  in
+  let adv_fields =
+    match t.adversary with
+    | None -> [ ("adversary", Snapshot.Bool false) ]
+    | Some a ->
+      [
+        ("adversary", Snapshot.Bool true);
+        ("adv.drop_budget", Snapshot.Int a.drop_budget);
+        ("adv.corrupt_rate", Snapshot.Float a.corrupt_rate);
+        ("adv.duplicate_rate", Snapshot.Float a.duplicate_rate);
+        ("adv.reorder_window_ns", Snapshot.Int (Time.span_to_ns a.reorder_window));
+        ("adv.equivocate_rate", Snapshot.Float a.equivocate_rate);
+        ("adv.dropped", Snapshot.Int a.dropped);
+        ("adv.corrupted", Snapshot.Int a.corrupted);
+        ("adv.duplicated", Snapshot.Int a.duplicated);
+        ("adv.reordered", Snapshot.Int a.reordered);
+        ("adv.equivocated", Snapshot.Int a.equivocated);
+      ]
+  in
+  let data =
+    Snapshot.pack
+      {
+        d_last_arrival = Array.map (Array.map Time.to_ns) t.last_arrival;
+        d_cut = Array.map Array.copy t.cut;
+        d_nodes =
+          Array.map
+            (fun nd ->
+              {
+                d_nic_free_ns = Time.to_ns nd.nic_free_at;
+                d_nic_busy_ns = nd.nic_busy_ns;
+                d_crashed = nd.crashed;
+                d_sends_before_crash = nd.sends_before_crash;
+              })
+            t.nodes;
+        d_rng = Repro_sim.Rng.snapshot ~name:"net.rng" t.rng;
+        d_adv_rng =
+          Option.map
+            (fun a -> Repro_sim.Rng.snapshot ~name:"net.adv_rng" a.adv_rng)
+            t.adversary;
+        d_stats = Net_stats.dump t.stats;
+      }
+  in
+  Snapshot.make ~name:section_name ~version:1 ~data
+    ([
+       ("n", Snapshot.Int (Array.length t.nodes));
+       ("loss_rate", Snapshot.Float t.loss_rate);
+       ("extra_delay_ns", Snapshot.Int (Time.span_to_ns t.extra_delay));
+       ( "crashed",
+         Snapshot.Int
+           (Array.fold_left
+              (fun acc nd -> if nd.crashed then acc + 1 else acc)
+              0 t.nodes) );
+       ("cut_links", Snapshot.Int (Array.fold_left count_row 0 t.cut));
+       ("msgs_sent", Snapshot.Int (Net_stats.snapshot t.stats).Net_stats.messages);
+     ]
+    @ adv_fields)
+
+let restore t s =
+  Snapshot.check s ~name:section_name ~version:1;
+  let n = Array.length t.nodes in
+  if Snapshot.get_int s "n" <> n then
+    raise
+      (Snapshot.Codec_error
+         (Printf.sprintf "net.network: snapshot has n=%d, live network has n=%d"
+            (Snapshot.get_int s "n") n));
+  t.loss_rate <- Snapshot.get_float s "loss_rate";
+  t.extra_delay <- Time.span_ns (Snapshot.get_int s "extra_delay_ns");
+  let (d : net_data) = Snapshot.unpack_data s in
+  Array.iteri
+    (fun i row ->
+      Array.iteri (fun j v -> t.last_arrival.(i).(j) <- Time.of_ns v) row)
+    d.d_last_arrival;
+  Array.iteri (fun i row -> Array.blit row 0 t.cut.(i) 0 n) d.d_cut;
+  Array.iteri
+    (fun i nd ->
+      let node = t.nodes.(i) in
+      node.nic_free_at <- Time.of_ns nd.d_nic_free_ns;
+      node.nic_busy_ns <- nd.d_nic_busy_ns;
+      node.crashed <- nd.d_crashed;
+      node.sends_before_crash <- nd.d_sends_before_crash)
+    d.d_nodes;
+  Repro_sim.Rng.restore ~name:"net.rng" t.rng d.d_rng;
+  Net_stats.load t.stats d.d_stats;
+  match (Snapshot.get_bool s "adversary", t.adversary) with
+  | false, None -> ()
+  | false, Some a ->
+    (* Snapshot taken before arming (or with a disarmed adversary):
+       zero every knob and counter on the live one. *)
+    a.drop_budget <- 0;
+    a.corrupt_rate <- 0.0;
+    a.duplicate_rate <- 0.0;
+    a.reorder_window <- Time.span_zero;
+    a.equivocate_rate <- 0.0;
+    a.dropped <- 0;
+    a.corrupted <- 0;
+    a.duplicated <- 0;
+    a.reordered <- 0;
+    a.equivocated <- 0
+  | true, None ->
+    raise
+      (Snapshot.Codec_error
+         "net.network: snapshot has an armed adversary; call arm_adversary \
+          first (its mutators are closures and cannot be restored)")
+  | true, Some a ->
+    a.drop_budget <- Snapshot.get_int s "adv.drop_budget";
+    a.corrupt_rate <- Snapshot.get_float s "adv.corrupt_rate";
+    a.duplicate_rate <- Snapshot.get_float s "adv.duplicate_rate";
+    a.reorder_window <- Time.span_ns (Snapshot.get_int s "adv.reorder_window_ns");
+    a.equivocate_rate <- Snapshot.get_float s "adv.equivocate_rate";
+    a.dropped <- Snapshot.get_int s "adv.dropped";
+    a.corrupted <- Snapshot.get_int s "adv.corrupted";
+    a.duplicated <- Snapshot.get_int s "adv.duplicated";
+    a.reordered <- Snapshot.get_int s "adv.reordered";
+    a.equivocated <- Snapshot.get_int s "adv.equivocated";
+    (match d.d_adv_rng with
+    | Some rs -> Repro_sim.Rng.restore ~name:"net.adv_rng" a.adv_rng rs
+    | None -> ())

@@ -255,3 +255,107 @@ let srtt t ~dst = t.outgoing.(dst).srtt
 let halt t =
   t.halted <- true;
   Array.iteri (fun _ link -> cancel_timer t link) t.outgoing
+
+(* ---- Snapshot ---- *)
+
+type 'msg frame_data = {
+  fd_seq : int;
+  fd_payload : 'msg;
+  fd_sent_ns : int;
+  fd_ctx : int;
+  fd_retransmitted : bool;
+}
+
+type 'msg rc_data = {
+  (* per destination: next_seq, unacked window oldest-first, backoff, srtt *)
+  rd_out : (int * 'msg frame_data list * int * int option) array;
+  (* per source: expected, out-of-order buffer *)
+  rd_in : (int * (int * 'msg) list) array;
+}
+
+let section_name me = Printf.sprintf "net.rchannel.p%d" (me + 1)
+
+let snapshot t =
+  let n = Array.length t.outgoing in
+  let frames link =
+    List.init link.len (fun i ->
+        let f = frame_at link i in
+        {
+          fd_seq = f.seq;
+          fd_payload = f.payload;
+          fd_sent_ns = Time.to_ns f.sent_at;
+          fd_ctx = f.ctx;
+          fd_retransmitted = f.retransmitted;
+        })
+  in
+  let data =
+    Snapshot.pack
+      {
+        rd_out =
+          Array.map
+            (fun l -> (l.next_seq, frames l, l.backoff, Option.map Time.span_to_ns l.srtt))
+            t.outgoing;
+        rd_in = Array.map (fun l -> (l.expected, l.buffered)) t.incoming;
+      }
+  in
+  Snapshot.make ~name:(section_name t.me) ~version:1 ~data
+    [
+      ("retransmissions", Snapshot.Int t.retransmissions);
+      ("halted", Snapshot.Bool t.halted);
+      ( "unacked",
+        Snapshot.Int (Array.fold_left (fun acc l -> acc + l.len) 0 t.outgoing) );
+      ( "out_next_seq",
+        Snapshot.List (List.init n (fun i -> Snapshot.Int t.outgoing.(i).next_seq)) );
+      ( "in_expected",
+        Snapshot.List (List.init n (fun i -> Snapshot.Int t.incoming.(i).expected)) );
+    ]
+
+let restore t s =
+  Snapshot.check s ~name:(section_name t.me) ~version:1;
+  t.retransmissions <- Snapshot.get_int s "retransmissions";
+  t.halted <- Snapshot.get_bool s "halted";
+  let (d : _ rc_data) = Snapshot.unpack_data s in
+  if
+    Array.length d.rd_out <> Array.length t.outgoing
+    || Array.length d.rd_in <> Array.length t.incoming
+  then
+    raise
+      (Snapshot.Codec_error
+         (Printf.sprintf "%s: snapshot is for a different group size"
+            (section_name t.me)));
+  Array.iteri
+    (fun i (next_seq, frames, backoff, srtt_ns) ->
+      let link = t.outgoing.(i) in
+      link.next_seq <- next_seq;
+      link.backoff <- backoff;
+      link.srtt <- Option.map Time.span_ns srtt_ns;
+      let len = List.length frames in
+      let cap =
+        let rec up c = if c >= len && c >= 8 then c else up (c * 2) in
+        up 8
+      in
+      (* Rebuild the window ring from scratch; retransmission timers ride
+         the world blob (they reference this link record, so a live timer
+         keeps working over the restored window). *)
+      link.ring <- Array.make cap None;
+      link.head <- 0;
+      link.len <- len;
+      List.iteri
+        (fun j fd ->
+          link.ring.(j) <-
+            Some
+              {
+                seq = fd.fd_seq;
+                payload = fd.fd_payload;
+                sent_at = Time.of_ns fd.fd_sent_ns;
+                ctx = fd.fd_ctx;
+                retransmitted = fd.fd_retransmitted;
+              })
+        frames)
+    d.rd_out;
+  Array.iteri
+    (fun i (expected, buffered) ->
+      let link = t.incoming.(i) in
+      link.expected <- expected;
+      link.buffered <- buffered)
+    d.rd_in

@@ -90,3 +90,14 @@ val srtt : 'msg t -> dst:Pid.t -> Time.span option
 
 val halt : 'msg t -> unit
 (** Stop all retransmission timers (when the owner crashes). *)
+
+val snapshot : 'msg t -> Repro_sim.Snapshot.section
+(** The ["net.rchannel.p<me>"] section: retransmission count, halt flag,
+    per-link sequence state in the fields; the unacked send windows,
+    smoothed RTTs, backoffs and out-of-order receive buffers in the bulk
+    payload. *)
+
+val restore : 'msg t -> Repro_sim.Snapshot.section -> unit
+(** Rebuild the window rings and receive buffers from the payload.
+    Retransmission timers ride the world blob.
+    @raise Repro_sim.Snapshot.Codec_error on mismatch. *)

@@ -217,3 +217,62 @@ let absorb dst src =
 let pp_event ppf e =
   Fmt.pf ppf "p%d %s/%s%s" (e.pid + 1) (layer_name e.layer) e.phase
     (if e.detail = "" then "" else " " ^ e.detail)
+
+(* ---- Snapshot ---- *)
+
+module Snap = Snapshot
+
+type obs_data = {
+  od_counters : (string * int) list; (* sorted by name *)
+  od_gauges : (string * float) list;
+  od_histograms : (string * Histogram.t) list;
+  od_dropped_events : int;
+  od_dropped_spans : int;
+  od_next_sid : int;
+  od_ctx : int;
+}
+
+let snapshot ?(name = "obs.sink") t =
+  let sorted l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+  let counters = sorted (counters t) in
+  let gauges = sorted (gauges t) in
+  let histograms = sorted (histograms t) in
+  Snap.make ~name ~version:1
+    ~data:
+      (Snap.pack
+         {
+           od_counters = counters;
+           od_gauges = gauges;
+           od_histograms = histograms;
+           od_dropped_events = t.dropped_events;
+           od_dropped_spans = t.dropped_spans;
+           od_next_sid = t.next_sid;
+           od_ctx = t.ctx;
+         })
+    [
+      ("enabled", Snap.Bool t.enabled);
+      ("counters", Snap.Int (List.length counters));
+      ("gauges", Snap.Int (List.length gauges));
+      ("histograms", Snap.Int (List.length histograms));
+      ("trace_events", Snap.Int (Trace.length t.trace));
+      ("spans", Snap.Int (Trace.length t.spans));
+      ("dropped_events", Snap.Int t.dropped_events);
+      ("dropped_spans", Snap.Int t.dropped_spans);
+      ("next_sid", Snap.Int t.next_sid);
+      ("ctx", Snap.Int t.ctx);
+    ]
+
+let restore ?(name = "obs.sink") t s =
+  Snap.check s ~name ~version:1;
+  let (d : obs_data) = Snap.unpack_data s in
+  Hashtbl.reset t.counters;
+  List.iter (fun (k, v) -> Hashtbl.add t.counters k (ref v)) d.od_counters;
+  Hashtbl.reset t.gauges;
+  List.iter (fun (k, v) -> Hashtbl.add t.gauges k (ref v)) d.od_gauges;
+  Hashtbl.reset t.histograms;
+  List.iter (fun (k, h) -> Hashtbl.add t.histograms k h) d.od_histograms;
+  t.dropped_events <- d.od_dropped_events;
+  t.dropped_spans <- d.od_dropped_spans;
+  t.next_sid <- d.od_next_sid;
+  t.ctx <- d.od_ctx
+(* Trace and span buffers (and the clock closure) ride the world blob. *)

@@ -191,3 +191,11 @@ val dropped_spans : t -> int
 
 val pp_event : event Fmt.t
 (** Prints [p<pid+1> <layer>/<phase> <detail>], e.g. [p1 consensus/propose i0 r1]. *)
+
+val snapshot : ?name:string -> t -> Repro_sim.Snapshot.section
+(** Default section name ["obs.sink"]. Carries counters, gauges,
+    histograms, span-id allocator and ambient span context; the trace and
+    span buffers (closures over the clock) ride the world blob. *)
+
+val restore : ?name:string -> t -> Repro_sim.Snapshot.section -> unit
+(** @raise Repro_sim.Snapshot.Codec_error on mismatch. *)

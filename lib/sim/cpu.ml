@@ -34,3 +34,19 @@ let utilization t ~since =
   else
     let busy = float_of_int (min t.busy_ns wall) in
     busy /. float_of_int wall
+
+let snapshot ?(name = "sim.cpu") t =
+  Snapshot.make ~name ~version:1
+    [
+      ("free_at_ns", Snapshot.Int (Time.to_ns t.free_at));
+      ("queued", Snapshot.Int t.queued);
+      ("busy_ns", Snapshot.Int t.busy_ns);
+    ]
+
+let restore ?(name = "sim.cpu") t s =
+  Snapshot.check s ~name ~version:1;
+  t.free_at <- Time.of_ns (Snapshot.get_int s "free_at_ns");
+  (* In-flight completion closures live in the engine queue; the world
+     blob restores them. This pair re-seats the accounting state. *)
+  t.queued <- Snapshot.get_int s "queued";
+  t.busy_ns <- Snapshot.get_int s "busy_ns"

@@ -46,3 +46,12 @@ val busy_time : t -> Time.span
 val utilization : t -> since:Time.t -> float
 (** Fraction of wall time the CPU was busy between [since] and the current
     instant. Counts only work already completed or in progress. *)
+
+val snapshot : ?name:string -> t -> Snapshot.section
+(** Accounting state: next-free instant, queue depth, cumulative busy
+    time. Default section name ["sim.cpu"]. *)
+
+val restore : ?name:string -> t -> Snapshot.section -> unit
+(** Re-seat the accounting state. Queued completion closures are restored
+    by the world blob, not here.
+    @raise Snapshot.Codec_error on a name/version mismatch. *)

@@ -60,7 +60,53 @@ let total_crossings group =
     0
     (Pid.all ~n:params.Params.n)
 
-let run_raw ?(obs = Obs.noop) ?on_group config =
+(* A run staged as a group plus timed milestones. [run_raw] executes the
+   milestones back to back with [Engine.run_until]; the replay driver
+   ([lib/replay]) executes the very same list while slicing the in-between
+   stretches at frame boundaries — both orderings are event-identical
+   because milestones fire outside the event loop at exact clock values
+   the engine reaches anyway. *)
+type window_sample = {
+  mutable w_at : Time.t;
+  mutable w_stats : Net_stats.snapshot;
+  mutable w_delivered : int array;
+  mutable w_admitted : int;
+  mutable w_instances : int;
+  mutable w_busy : int;
+  mutable w_nic : int list;
+  mutable w_crossings : int;
+}
+
+type staged = {
+  st_group : Group.t;
+  st_generator : Generator.t;
+  st_milestones : (Time.t * (unit -> unit)) list; (* ascending, absolute *)
+  st_result : unit -> float list * result;
+}
+
+let sample group =
+  {
+    w_at = Engine.now (Group.engine group);
+    w_stats = Net_stats.snapshot (Group.stats group);
+    w_delivered = Group.delivered_counts group;
+    w_admitted = Group.total_admitted group;
+    w_instances = Replica.instances_decided (Group.replica group 0);
+    w_busy = total_busy_ns group;
+    w_nic = nic_busy_list group;
+    w_crossings = total_crossings group;
+  }
+
+let assign_sample dst src =
+  dst.w_at <- src.w_at;
+  dst.w_stats <- src.w_stats;
+  dst.w_delivered <- src.w_delivered;
+  dst.w_admitted <- src.w_admitted;
+  dst.w_instances <- src.w_instances;
+  dst.w_busy <- src.w_busy;
+  dst.w_nic <- src.w_nic;
+  dst.w_crossings <- src.w_crossings
+
+let stage ?(obs = Obs.noop) ?on_group config =
   let params = { config.params with Params.n = config.n; seed = config.seed } in
   let group =
     Group.create ~kind:config.kind ~params ~fd_mode:config.fd_mode
@@ -71,77 +117,85 @@ let run_raw ?(obs = Obs.noop) ?on_group config =
     Generator.start group ~offered_load:config.offered_load ~size:config.size
       ~arrival:config.arrival ()
   in
-  Group.run_for group (span_of_s config.warmup_s);
-  (* Window-start snapshot. *)
-  let t_start = Engine.now (Group.engine group) in
-  let stats0 = Net_stats.snapshot (Group.stats group) in
-  let delivered0 = Group.delivered_counts group in
-  let admitted0 = Group.total_admitted group in
-  let instances0 = Replica.instances_decided (Group.replica group 0) in
-  let busy0 = total_busy_ns group in
-  let nic0 = nic_busy_list group in
-  let crossings0 = total_crossings group in
-  Group.run_for group (span_of_s config.measure_s);
-  let t_end = Engine.now (Group.engine group) in
-  Generator.stop generator;
-  (* Window-end snapshot. *)
-  let stats1 = Net_stats.snapshot (Group.stats group) in
-  let delivered1 = Group.delivered_counts group in
-  let admitted1 = Group.total_admitted group in
-  let instances1 = Replica.instances_decided (Group.replica group 0) in
-  let busy1 = total_busy_ns group in
-  let nic1 = nic_busy_list group in
-  let crossings1 = total_crossings group in
-  let window_s = Time.span_to_ms_float (Time.diff t_end t_start) /. 1e3 in
-  (* Early latency over messages abcast within the window. Messages abcast
-     near the window end may not be delivered yet; like the paper we only
-     average over completed deliveries. *)
-  let latencies =
-    Group.latencies group
-    |> List.filter_map (fun (r : Group.latency_record) ->
-           if Time.(r.abcast_at >= t_start) && Time.(r.abcast_at <= t_end) then
-             Some (Time.span_to_ms_float (Time.diff r.first_delivery r.abcast_at))
-           else None)
+  let s0 = sample group and s1 = sample group in
+  let warmup_end = Time.add Time.zero (span_of_s config.warmup_s) in
+  let measure_end = Time.add warmup_end (span_of_s config.measure_s) in
+  let milestones =
+    [
+      (* Window-start snapshot. *)
+      (warmup_end, fun () -> assign_sample s0 (sample group));
+      ( measure_end,
+        fun () ->
+          Generator.stop generator;
+          (* Window-end snapshot. *)
+          assign_sample s1 (sample group) );
+    ]
   in
-  let delivered_window =
-    Array.mapi (fun i d1 -> d1 - delivered0.(i)) delivered1 |> Array.to_list
+  let result () =
+    let t_start = s0.w_at and t_end = s1.w_at in
+    let window_s = Time.span_to_ms_float (Time.diff t_end t_start) /. 1e3 in
+    (* Early latency over messages abcast within the window. Messages abcast
+       near the window end may not be delivered yet; like the paper we only
+       average over completed deliveries. *)
+    let latencies =
+      Group.latencies group
+      |> List.filter_map (fun (r : Group.latency_record) ->
+             if Time.(r.abcast_at >= t_start) && Time.(r.abcast_at <= t_end) then
+               Some (Time.span_to_ms_float (Time.diff r.first_delivery r.abcast_at))
+             else None)
+    in
+    let delivered_window =
+      Array.mapi (fun i d1 -> d1 - s0.w_delivered.(i)) s1.w_delivered |> Array.to_list
+    in
+    let throughput =
+      Stats.mean (List.map float_of_int delivered_window) /. window_s
+    in
+    let instances = s1.w_instances - s0.w_instances in
+    let finstances = float_of_int (max 1 instances) in
+    let delta = Net_stats.diff s1.w_stats s0.w_stats in
+    let delivered_p1 = delivered_window |> List.hd in
+    (* Run-level gauges: the window-normalized quantities the per-layer
+       counters cannot express (those are cumulative and include warm-up). *)
+    if Obs.enabled obs then begin
+      Obs.set_gauge obs "run.instances" (float_of_int instances);
+      Obs.set_gauge obs "run.window_s" window_s;
+      Obs.set_gauge obs "run.mean_batch" (float_of_int delivered_p1 /. finstances);
+      Obs.set_gauge obs "run.throughput" throughput;
+      Obs.set_gauge obs "run.msgs_per_instance"
+        (float_of_int delta.Net_stats.messages /. finstances)
+    end;
+    ( latencies,
+      {
+        config;
+        early_latency_ms = Stats.summarize latencies;
+        throughput;
+        admitted_rate = float_of_int (s1.w_admitted - s0.w_admitted) /. window_s;
+        mean_batch = float_of_int delivered_p1 /. finstances;
+        msgs_per_instance = float_of_int delta.Net_stats.messages /. finstances;
+        bytes_per_instance = float_of_int delta.Net_stats.payload_bytes /. finstances;
+        cpu_utilization =
+          float_of_int (s1.w_busy - s0.w_busy)
+          /. (window_s *. 1e9 *. float_of_int config.n);
+        max_nic_utilization =
+          (let deltas = List.map2 (fun a b -> a - b) s1.w_nic s0.w_nic in
+           float_of_int (List.fold_left max 0 deltas) /. (window_s *. 1e9));
+        boundary_crossings_per_msg =
+          float_of_int (s1.w_crossings - s0.w_crossings)
+          /. float_of_int (max 1 (List.fold_left ( + ) 0 delivered_window));
+        events_executed = Engine.events_executed (Group.engine group);
+      } )
   in
-  let throughput =
-    Stats.mean (List.map float_of_int delivered_window) /. window_s
-  in
-  let instances = instances1 - instances0 in
-  let finstances = float_of_int (max 1 instances) in
-  let delta = Net_stats.diff stats1 stats0 in
-  let delivered_p1 = delivered_window |> List.hd in
-  (* Run-level gauges: the window-normalized quantities the per-layer
-     counters cannot express (those are cumulative and include warm-up). *)
-  if Obs.enabled obs then begin
-    Obs.set_gauge obs "run.instances" (float_of_int instances);
-    Obs.set_gauge obs "run.window_s" window_s;
-    Obs.set_gauge obs "run.mean_batch" (float_of_int delivered_p1 /. finstances);
-    Obs.set_gauge obs "run.throughput" throughput;
-    Obs.set_gauge obs "run.msgs_per_instance"
-      (float_of_int delta.Net_stats.messages /. finstances)
-  end;
-  ( latencies,
-    {
-      config;
-      early_latency_ms = Stats.summarize latencies;
-      throughput;
-      admitted_rate = float_of_int (admitted1 - admitted0) /. window_s;
-      mean_batch = float_of_int delivered_p1 /. finstances;
-      msgs_per_instance = float_of_int delta.Net_stats.messages /. finstances;
-      bytes_per_instance = float_of_int delta.Net_stats.payload_bytes /. finstances;
-      cpu_utilization =
-        float_of_int (busy1 - busy0) /. (window_s *. 1e9 *. float_of_int config.n);
-      max_nic_utilization =
-        (let deltas = List.map2 (fun a b -> a - b) nic1 nic0 in
-         float_of_int (List.fold_left max 0 deltas) /. (window_s *. 1e9));
-      boundary_crossings_per_msg =
-        float_of_int (crossings1 - crossings0)
-        /. float_of_int (max 1 (List.fold_left ( + ) 0 delivered_window));
-      events_executed = Engine.events_executed (Group.engine group);
-    } )
+  { st_group = group; st_generator = generator; st_milestones = milestones; st_result = result }
+
+let run_raw ?obs ?on_group config =
+  let st = stage ?obs ?on_group config in
+  let engine = Group.engine st.st_group in
+  List.iter
+    (fun (at, act) ->
+      Engine.run_until engine at;
+      act ())
+    st.st_milestones;
+  st.st_result ()
 
 let run ?obs ?on_group config = snd (run_raw ?obs ?on_group config)
 

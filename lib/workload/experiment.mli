@@ -86,6 +86,14 @@ val run : ?obs:Repro_obs.Obs.t -> ?on_group:(Group.t -> unit) -> config -> resul
     starts — the hook fault studies use to install a nemesis schedule
     against the run (timestamps then count from the start of warm-up). *)
 
+val run_raw :
+  ?obs:Repro_obs.Obs.t ->
+  ?on_group:(Group.t -> unit) ->
+  config ->
+  float list * result
+(** {!run}, also returning the window's raw latency samples (what
+    {!run_repeated} pools and the replay recorder reproduces). *)
+
 val run_repeated :
   ?repeats:int ->
   ?jobs:int ->
@@ -110,3 +118,25 @@ val kind_name : Replica.kind -> string
 
 val pp_result : result Fmt.t
 (** One human-readable line: load, latency, throughput, M, CPU. *)
+
+(** {2 Staged runs}
+
+    A run decomposed into its group plus timed milestones, so a driver can
+    slice the in-between stretches (the replay recorder slices them at
+    snapshot-frame boundaries). Executing the milestones back to back with
+    [Engine.run_until] is exactly {!run}: milestones fire outside the
+    event loop at clock values the engine reaches anyway, so any slicing
+    of the stretches is event-identical. *)
+
+type staged = {
+  st_group : Group.t;
+  st_generator : Generator.t;
+  st_milestones : (Repro_sim.Time.t * (unit -> unit)) list;
+      (** Ascending absolute times; run the engine to each time, then call
+          the action. *)
+  st_result : unit -> float list * result;
+      (** Callable once every milestone has executed: the window's raw
+          latencies and the summarized result. *)
+}
+
+val stage : ?obs:Repro_obs.Obs.t -> ?on_group:(Group.t -> unit) -> config -> staged

@@ -55,3 +55,24 @@ let start group ~offered_load ~size ?(arrival = Uniform) () =
 
 let stop t = t.stopped <- true
 let offered t = t.offered
+
+(* ---- Snapshot ---- *)
+
+module Snap = Snapshot
+
+let snapshot ?(name = "workload.generator") t =
+  let rng = Rng.snapshot ~name:(name ^ ".rng") t.rng in
+  Snap.make ~name ~version:1
+    ~data:(Snap.pack rng)
+    [
+      ("stopped", Snap.Bool t.stopped);
+      ("offered", Snap.Int t.offered);
+      ("rng_state", Snap.find rng "state");
+    ]
+
+let restore ?(name = "workload.generator") t s =
+  Snap.check s ~name ~version:1;
+  t.stopped <- Snap.get_bool s "stopped";
+  t.offered <- Snap.get_int s "offered";
+  Rng.restore ~name:(name ^ ".rng") t.rng (Snap.unpack_data s)
+(* The self-reposting offer loops ride the world blob. *)

@@ -22,7 +22,18 @@ let run_cli bin args =
   let code = Sys.command (cmd ^ " > /dev/null") in
   if code <> 0 then fail "%s %s exited with %d" bin (String.concat " " args) code
 
-let timing_keys = [ "jobs"; "wallclock_s"; "speedup_vs_seq"; "events_per_sec" ]
+let timing_keys =
+  [
+    "jobs";
+    "wallclock_s";
+    "speedup_vs_seq";
+    "events_per_sec";
+    (* Snapshot-recording provenance (bench --snapshot-every): how the
+       report was produced, not what it measured. *)
+    "snapshots_taken";
+    "snapshot_bytes";
+    "restore_count";
+  ]
 
 let strip_timing (r : Br.t) =
   { r with Br.meta = List.filter (fun (k, _) -> not (List.mem k timing_keys)) r.Br.meta }

@@ -1,0 +1,114 @@
+(* The @replay-smoke alias: end-to-end check of the time-travel tooling
+   through the public CLI. Records a monitored nemesis run and a report
+   run as frame logs, lists/replays/verifies them, bisects both a passing
+   log (nothing to bisect) and a misused one (report logs carry no
+   monitor), converts a span trace to Chrome Trace Event Format, and
+   checks that half-specified snapshot flags are rejected before any
+   simulation starts. Wired into `dune runtest`. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("replay-smoke: FAIL: " ^ s);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let command ?(stdout = "/dev/null") bin args =
+  let cmd = String.concat " " (List.map Filename.quote (bin :: args)) in
+  Sys.command (cmd ^ " > " ^ Filename.quote stdout ^ " 2> /dev/null")
+
+let run_cli ?stdout bin args =
+  let code = command ?stdout bin args in
+  if code <> 0 then
+    fail "%s exited with %d" (String.concat " " (bin :: args)) code
+
+let expect_rejection bin args ~what =
+  let code = command bin args in
+  if code = 0 then fail "%s was accepted (exit 0), expected a rejection" what
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+  scan 0
+
+let () =
+  let bin = if Array.length Sys.argv > 1 then Sys.argv.(1) else "repro" in
+  let tmp = Filename.temp_file "replay_smoke" "" in
+  Sys.remove tmp;
+  let plan = tmp ^ ".plan" in
+  let nem_log = tmp ^ ".nem.rlog" and rep_log = tmp ^ ".rep.rlog" in
+  let trace = tmp ^ ".trace.jsonl" and chrome = tmp ^ ".chrome.json" in
+  let out = tmp ^ ".out" in
+
+  (* Record a passing monitored run as a frame log. *)
+  write_file plan
+    "at 100ms crash p3\nat 400ms duplicate 0.05\nat 600ms duplicate 0\n";
+  run_cli bin
+    [
+      "nemesis"; "--fault-plan"; plan; "--stack"; "modular"; "-n"; "3"; "--seed";
+      "1"; "--load"; "300"; "--settle"; "0.5"; "--snapshot-every"; "100";
+      "--snapshot-out"; nem_log;
+    ];
+
+  (* List the frames, resume from one, and self-verify every frame. *)
+  run_cli ~stdout:out bin [ "replay"; nem_log; "--list" ];
+  let listing = read_file out in
+  if not (contains ~needle:"frame   0 at" listing) then
+    fail "replay --list shows no frame 0:\n%s" listing;
+  if not (contains ~needle:"\"mode\":\"nemesis\"" listing) then
+    fail "replay --list shows no descriptor:\n%s" listing;
+  run_cli ~stdout:out bin [ "replay"; nem_log; "--frame"; "2" ];
+  if not (contains ~needle:"\"type\":\"verdict\"" (read_file out)) then
+    fail "replay --frame 2 printed no verdict: %s" (read_file out);
+  run_cli ~stdout:out bin [ "replay"; nem_log; "--verify" ];
+  if not (contains ~needle:"byte-identical" (read_file out)) then
+    fail "replay --verify did not report byte-identical frames: %s" (read_file out);
+
+  (* A passing log has nothing to bisect — and says so. *)
+  run_cli ~stdout:out bin [ "bisect"; nem_log ];
+  if not (contains ~needle:"nothing to bisect" (read_file out)) then
+    fail "bisect on a passing log: %s" (read_file out);
+
+  (* Record a report run with a span trace; verify and export it. *)
+  run_cli bin
+    [
+      "run"; "--stack"; "monolithic"; "-n"; "3"; "--load"; "300"; "--size";
+      "512"; "--warmup"; "0.2"; "--measure"; "0.4"; "--trace-out"; trace;
+      "--snapshot-every"; "100"; "--snapshot-out"; rep_log;
+    ];
+  run_cli ~stdout:out bin [ "replay"; rep_log; "--verify" ];
+  if not (contains ~needle:"byte-identical" (read_file out)) then
+    fail "report replay --verify: %s" (read_file out);
+  run_cli bin [ "trace-export"; "--trace"; trace; "--chrome-out"; chrome ];
+  let exported = read_file chrome in
+  if not (contains ~needle:"\"traceEvents\"" exported) then
+    fail "chrome export has no traceEvents array";
+  if not (contains ~needle:"\"ph\":\"X\"" exported) then
+    fail "chrome export has no complete (X) span events";
+
+  (* Misuse is rejected up front. *)
+  expect_rejection bin
+    [ "run"; "--snapshot-every"; "5"; "--warmup"; "0.1"; "--measure"; "0.1" ]
+    ~what:"--snapshot-every without --snapshot-out";
+  expect_rejection bin
+    [ "run"; "--snapshot-out"; tmp ^ ".x.rlog"; "--warmup"; "0.1"; "--measure"; "0.1" ]
+    ~what:"--snapshot-out without --snapshot-every";
+  expect_rejection bin [ "bisect"; rep_log ] ~what:"bisect on an unmonitored report log";
+  expect_rejection bin [ "replay"; rep_log; "--frame"; "9999" ]
+    ~what:"replay from an out-of-range frame";
+
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ plan; nem_log; rep_log; trace; chrome; out ];
+  print_endline "replay-smoke: OK"
