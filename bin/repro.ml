@@ -1211,6 +1211,36 @@ let lint_cmd =
             "Also export the cross-module reference graph as a Graphviz digraph to \
              $(docv) ($(b,-) for stdout), one cluster per library.")
   in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the findings to $(docv) ($(b,-) for stdout) as JSON Lines: \
+             one object per violation with fields $(i,rule), $(i,file), $(i,line), \
+             $(i,col), $(i,message), $(i,waived) (active first, then waived).")
+  in
+  let source_root_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "source-root" ] ~docv:"DIR"
+          ~doc:
+            "Project root holding the sources the .cmt files were compiled from, \
+             for the stale-artifact guard. Default: the directory two levels above \
+             the build root when it contains dune-project; pass an explicit root \
+             when linting out of tree.")
+  in
+  let allow_stale_arg =
+    Arg.(
+      value & flag
+      & info [ "allow-stale" ]
+          ~doc:
+            "Lint anyway when a .cmt is older than its source (the guard normally \
+             errors out: the verdict would describe code that no longer exists). \
+             Stale files are still listed as warnings.")
+  in
   (* `dune runtest` passes --build-root explicitly; a developer run from a
      checkout finds _build/default (or a parent's) on its own. *)
   let detect_build_root () =
@@ -1226,7 +1256,16 @@ let lint_cmd =
     up (Sys.getcwd ()) 6
   in
   let default_file path = if Sys.file_exists path then Some path else None in
-  let run build_root srcs spec no_boundaries waivers dot =
+  (* The .cmt paths are recorded relative to the dune context root's
+     parent's parent (the checkout): _build/default -> the checkout. *)
+  let detect_source_root build_root =
+    let candidate = Filename.dirname (Filename.dirname build_root) in
+    if Sys.file_exists (Filename.concat candidate "dune-project") then
+      Some candidate
+    else None
+  in
+  let run build_root srcs spec no_boundaries waivers dot json source_root
+      allow_stale =
     match
       match build_root with Some r -> Some r | None -> detect_build_root ()
     with
@@ -1245,7 +1284,15 @@ let lint_cmd =
         match waivers with Some f -> Some f | None -> default_file "lint/lint.waivers"
       in
       let src_dirs = if srcs = [] then None else Some srcs in
-      match Repro_lint.Lint.run ~build_root ?src_dirs ?spec_file ?waivers_file () with
+      let source_root =
+        match source_root with
+        | Some r -> Some r
+        | None -> detect_source_root build_root
+      in
+      match
+        Repro_lint.Lint.run ~build_root ?src_dirs ?spec_file ?waivers_file
+          ?source_root ~allow_stale ()
+      with
       | Error e -> `Error (false, e)
       | Ok report ->
         Option.iter
@@ -1254,6 +1301,17 @@ let lint_cmd =
             if path = "-" then print_string dot
             else Out_channel.with_open_text path (fun oc -> output_string oc dot))
           dot;
+        Option.iter
+          (fun path ->
+            let lines = Repro_lint.Lint.json_lines report in
+            let body = String.concat "\n" lines ^ if lines = [] then "" else "\n" in
+            if path = "-" then print_string body
+            else Out_channel.with_open_text path (fun oc -> output_string oc body))
+          json;
+        List.iter
+          (fun (src, _cmt) ->
+            Fmt.epr "warning: stale artifact: %s is newer than its .cmt@." src)
+          report.Repro_lint.Lint.stale;
         List.iter
           (fun w -> Fmt.epr "warning: unused waiver: %a@." Repro_lint.Waivers.pp w)
           report.Repro_lint.Lint.unused_waivers;
@@ -1267,14 +1325,16 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Statically check the two reproduction invariants against the compiled .cmt \
+         "Statically check the reproduction invariants against the compiled .cmt \
           ASTs: determinism (no stdlib Random / wall clock, no hash-order escapes, no \
-          representation-dependent comparison) and the declared modularity boundaries \
-          (protocol modules compose only through Framework.Event_bus / Stack).")
+          representation-dependent comparison), snapshot completeness, domain-capture \
+          safety at Pool.map/Parmap sites, RNG stream discipline, and the declared \
+          modularity boundaries (protocol modules compose only through \
+          Framework.Event_bus / Stack).")
     Term.(
       ret
         (const run $ build_root_arg $ src_arg $ spec_arg $ no_boundaries_arg
-       $ waivers_arg $ dot_arg))
+       $ waivers_arg $ dot_arg $ json_arg $ source_root_arg $ allow_stale_arg))
 
 (* ---- all ---- *)
 

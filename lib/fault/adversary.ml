@@ -108,20 +108,17 @@ let equivocate_wire (w : Wire_msg.t) : Wire_msg.t option =
 
 (* ---- Arming ---- *)
 
-(* The adversary's RNG stream is derived from the run seed by constant
-   mixing rather than [Rng.split] of the engine's stream: a split would
-   advance the engine stream and so perturb every later protocol draw,
-   breaking the contract that arming an idle adversary changes nothing.
-   (rng.mli prefers [split] for {e dependent} streams; this one must be
-   independent of the engine's by construction.) *)
-let adv_seed_salt = 0x2adc0de5ea51ab1e
-
+(* The adversary's RNG stream is owned by [Network]: it derives a
+   dedicated stream from the run seed ([Rng.derive] under its own salt),
+   independent of the engine's stream by construction, so arming an idle
+   adversary changes nothing. This module only forwards the seed and the
+   message-type-specific mutators. *)
 let arm group =
   let net = Group.network group in
   if not (Network.adversary_armed net) then begin
     let params = Group.params group in
-    let rng = Rng.create ~seed:(params.Params.seed lxor adv_seed_salt) in
-    Network.arm_adversary net ~rng ~corrupt:corrupt_wire ~equivocate:equivocate_wire
+    Network.arm_adversary net ~seed:params.Params.seed ~corrupt:corrupt_wire
+      ~equivocate:equivocate_wire
   end
 
 (* ---- Strength levels for the study sweep ---- *)

@@ -1,0 +1,260 @@
+(* Domain-capture safety: at every [Parallel.Pool.map] /
+   [Workload.Parmap] call site, the task closure runs on a worker domain
+   while the calling domain keeps executing. A closure that captures
+   shared mutable state therefore races — or, just as bad for this
+   repo, makes the merged result depend on domain scheduling, breaking
+   the byte-identical-across[--jobs] contract (DESIGN §9).
+
+   The sanctioned pattern is the one [Parmap] itself uses: give each
+   task a private sink created by [Obs.create_like], return it with the
+   task's result, and merge in task order via [Obs.absorb] in the
+   calling domain (the labelled [~collect] callback of [Pool.map] also
+   runs in the calling domain and is exempt by construction — only the
+   first positional argument is the task closure).
+
+   For the task closure (the first [Nolabel] argument, when it is a
+   syntactic [fun]), the rule flags free variables — identifiers bound
+   outside the closure — that are:
+
+   - module-toplevel mutable bindings ([ref]/[Hashtbl.create]/... at the
+     unit's toplevel): shared by every domain, always a race;
+   - of a type visibly containing an accumulating container ([ref],
+     [Hashtbl.t], [Queue.t], [Stack.t], [Buffer.t], [Atomic.t]):
+     captured shared accumulators — even "thread-safe" [Atomic.t]
+     accumulation is flagged because merge order would depend on
+     scheduling;
+   - mutated inside the closure ([<-] on a captured record, [:=] /
+     [incr] / [decr], or a known mutator such as [Hashtbl.replace] /
+     [Buffer.add_*] / [Array.set] applied to a captured identifier) —
+     this is what catches writes through captures whose type the
+     container check cannot see (e.g. a captured record with mutable
+     fields, or a captured [array]).
+
+   Soundness envelope: a task function that is not a syntactic [fun] at
+   the call site (a named toplevel function, a partial application) is
+   not analyzed — hoisting the closure out of the call site moves it
+   out of the analysis, which is the standard trade for a local
+   analysis; captures reached through further calls are likewise
+   invisible. Immutable [array]/[Bytes.t] captures are read-only tables
+   until written through, so only the in-closure mutation check fires
+   on them. *)
+
+open Typedtree
+
+let rule = "domain-capture"
+
+(* Call sites whose first positional argument runs on worker domains. *)
+let targets = [ ("parallel.Pool", "map"); ("workload.Parmap", "map") ]
+
+let accumulators =
+  [ "ref"; "Hashtbl.t"; "Queue.t"; "Stack.t"; "Buffer.t"; "Atomic.t" ]
+
+(* Mutators whose first positional argument is the mutated value. *)
+let mutators =
+  [
+    ":=";
+    "incr";
+    "decr";
+    "Hashtbl.replace";
+    "Hashtbl.add";
+    "Hashtbl.remove";
+    "Hashtbl.reset";
+    "Hashtbl.clear";
+    "Queue.add";
+    "Queue.push";
+    "Queue.pop";
+    "Queue.take";
+    "Queue.clear";
+    "Stack.push";
+    "Stack.pop";
+    "Stack.clear";
+    "Buffer.add_string";
+    "Buffer.add_char";
+    "Buffer.add_bytes";
+    "Buffer.add_buffer";
+    "Buffer.clear";
+    "Buffer.reset";
+    "Array.set";
+    "Array.fill";
+    "Array.blit";
+    "Bytes.set";
+    "Bytes.fill";
+    "Bytes.blit";
+    "Atomic.set";
+    "Atomic.incr";
+    "Atomic.decr";
+    "Atomic.fetch_and_add";
+    "Atomic.exchange";
+    "Atomic.compare_and_set";
+  ]
+
+let head_ident (e : expression) =
+  match e.exp_desc with Texp_ident (p, _, _) -> Some p | _ -> None
+
+let rec type_contains_accumulator depth (ty : Types.type_expr) =
+  depth > 0
+  &&
+  match Types.get_desc ty with
+  | Types.Tconstr (p, args, _) ->
+    List.mem (Rules.norm_path p) accumulators
+    || List.exists (type_contains_accumulator (depth - 1)) args
+  | Types.Ttuple l -> List.exists (type_contains_accumulator (depth - 1)) l
+  | Types.Tlink ty | Types.Tsubst (ty, _) ->
+    type_contains_accumulator depth ty
+  | _ -> false
+
+let type_contains_accumulator ty = type_contains_accumulator 12 ty
+
+(* Stamps (and names, for messages) of module-toplevel mutable bindings,
+   mirroring the [toplevel-state] rule's notion of mutable state. *)
+let toplevel_mutables (str : structure) =
+  let out = Hashtbl.create 8 in
+  let rec scan_items items =
+    List.iter
+      (fun (item : structure_item) ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : value_binding) ->
+              match (vb.vb_pat.pat_desc, head_ident vb.vb_expr) with
+              | Tpat_var (id, _), Some p
+                when List.mem (Rules.norm_path p) Rules.state_makers ->
+                Hashtbl.replace out (Ident.unique_name id) (Ident.name id)
+              | _ -> ())
+            vbs
+        | Tstr_module mb -> scan_module mb.mb_expr
+        | Tstr_recmodule mbs -> List.iter (fun mb -> scan_module mb.mb_expr) mbs
+        | _ -> ())
+      items
+  and scan_module (m : module_expr) =
+    match m.mod_desc with
+    | Tmod_structure s -> scan_items s.str_items
+    | Tmod_constraint (me, _, _, _) -> scan_module me
+    | _ -> ()
+  in
+  scan_items str.str_items;
+  out
+
+(* Idents bound by patterns anywhere inside [e] (function params, lets,
+   match cases): anything else referenced as a [Pident] is captured. *)
+let bound_idents (e : expression) =
+  let bound = Hashtbl.create 16 in
+  let default = Tast_iterator.default_iterator in
+  let pat : type k. _ -> k general_pattern -> unit =
+   fun sub p ->
+    (match p.pat_desc with
+    | Tpat_var (id, _) -> Hashtbl.replace bound (Ident.unique_name id) ()
+    | Tpat_alias (_, id, _) -> Hashtbl.replace bound (Ident.unique_name id) ()
+    | _ -> ());
+    default.pat sub p
+  in
+  let it = { default with pat } in
+  it.expr it e;
+  bound
+
+let captured_pident bound (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) when not (Hashtbl.mem bound (Ident.unique_name id))
+    ->
+    Some id
+  | _ -> None
+
+(* Violations for one task closure. *)
+let check_task ~toplevel ~file (task : expression) =
+  let bound = bound_idents task in
+  let out = ref [] in
+  let seen = Hashtbl.create 8 in
+  let flag id loc msg =
+    if not (Hashtbl.mem seen (Ident.unique_name id)) then begin
+      Hashtbl.replace seen (Ident.unique_name id) ();
+      out := Violation.make ~rule ~file ~loc msg :: !out
+    end
+  in
+  let default = Tast_iterator.default_iterator in
+  let expr sub (e : expression) =
+    (match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _)
+      when not (Hashtbl.mem bound (Ident.unique_name id)) ->
+      if Hashtbl.mem toplevel (Ident.unique_name id) then
+        flag id e.exp_loc
+          (Printf.sprintf
+             "task closure captures module-toplevel mutable state [%s]; \
+              every worker domain shares it — give each task its own \
+              accumulator ([Obs.create_like]) and merge in task order in \
+              the calling domain ([Obs.absorb] / Pool.map's ~collect)"
+             (Ident.name id))
+      else if type_contains_accumulator e.exp_type then
+        flag id e.exp_loc
+          (Printf.sprintf
+             "task closure captures [%s], whose type carries a mutable \
+              accumulator; worker domains would race on it — use the \
+              per-task sink pattern ([Obs.create_like] inside the task, \
+              [Obs.absorb] in task order in the calling domain)"
+             (Ident.name id))
+    | Texp_setfield (r, _, ld, _) -> (
+      match captured_pident bound r with
+      | Some id ->
+        flag id e.exp_loc
+          (Printf.sprintf
+             "task closure mutates captured [%s] (field %s); the write \
+              races with other worker domains — return the value and \
+              apply it in task order in the calling domain"
+             (Ident.name id) ld.Types.lbl_name)
+      | None -> ())
+    | Texp_apply (f, args) -> (
+      match head_ident f with
+      | Some p when List.mem (Rules.norm_path p) mutators -> (
+        let first_positional =
+          List.find_map
+            (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+            args
+        in
+        match Option.bind first_positional (captured_pident bound) with
+        | Some id ->
+          flag id e.exp_loc
+            (Printf.sprintf
+               "task closure mutates captured [%s] via %s; the write races \
+                with other worker domains — return the value and apply it \
+                in task order in the calling domain"
+               (Ident.name id) (Rules.norm_path p))
+        | None -> ())
+      | _ -> ())
+    | _ -> ());
+    default.expr sub e
+  in
+  let it = { default with expr } in
+  it.expr it task;
+  !out
+
+let target_of_apply (f : expression) =
+  match head_ident f with
+  | Some p -> (
+    match Boundaries.unit_of_path p with
+    | Some u -> (
+      let key = (Boundaries.unit_name u, Path.last p) in
+      match List.mem key targets with true -> Some key | false -> None)
+    | None -> None)
+  | None -> None
+
+let check ~file (str : structure) : Violation.t list =
+  let toplevel = toplevel_mutables str in
+  let out = ref [] in
+  let default = Tast_iterator.default_iterator in
+  let expr sub (e : expression) =
+    (match e.exp_desc with
+    | Texp_apply (f, args) when target_of_apply f <> None -> (
+      let task =
+        List.find_map
+          (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+          args
+      in
+      match task with
+      | Some ({ exp_desc = Texp_function _; _ } as task) ->
+        out := check_task ~toplevel ~file task @ !out
+      | _ -> ())
+    | _ -> ());
+    default.expr sub e
+  in
+  let it = { default with expr } in
+  it.structure it str;
+  List.sort Violation.order !out

@@ -1,0 +1,17 @@
+(** Domain-capture safety analysis.
+
+    At every [Parallel.Pool.map] / [Workload.Parmap.map] call site whose
+    task argument is a syntactic closure, flags free variables that name
+    shared mutable state: module-toplevel mutable bindings, captures
+    whose type visibly carries an accumulating container, and in-closure
+    mutations of captured identifiers. The sanctioned alternative is the
+    per-task [Obs.create_like] sink merged in task order by
+    [Obs.absorb] (or [Pool.map]'s calling-domain [~collect]), which the
+    rule never flags. See the implementation header for the soundness
+    envelope. *)
+
+val rule : string
+(** ["domain-capture"]. *)
+
+val check : file:string -> Typedtree.structure -> Violation.t list
+(** All violations in one implementation's typedtree, sorted. *)

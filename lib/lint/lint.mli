@@ -11,6 +11,10 @@ type report = {
   unused_waivers : Waivers.t list;  (** waivers that matched nothing *)
   units : Boundaries.unit_id list;  (** linted compilation units *)
   edges : Boundaries.edge list;  (** deduplicated cross-unit references *)
+  stale : (string * string) list;
+      (** [(source, cmt)] pairs where the source outdates its artifact;
+          non-empty only under [~allow_stale:true] (otherwise stale
+          artifacts are an [Error]) *)
 }
 
 val find_cmts : string -> string list
@@ -25,14 +29,31 @@ val lint_cmt_file :
 (** Analyse one .cmt: [(source_file, unit, determinism violations, outgoing
     references)], or [None] for generated / interface-only artifacts. *)
 
+val is_stale : cmt:string -> source:string -> bool
+(** Whether [source] is newer (by mtime) than the [cmt] compiled from
+    it. A missing source is never stale (generated units). *)
+
 val run :
   build_root:string ->
   ?src_dirs:string list ->
   ?spec_file:string ->
   ?waivers_file:string ->
+  ?source_root:string ->
+  ?allow_stale:bool ->
   unit ->
   (report, string) result
 (** Lint every unit under [build_root]/[src_dirs] (default [["lib"]]),
-    check boundaries against [spec_file] and silence [waivers_file]. *)
+    check boundaries against [spec_file] and silence [waivers_file].
+
+    When [source_root] is given, each linted [.cmt] is checked against
+    its recorded source file under that root: a stale artifact (source
+    newer than [.cmt]) is an [Error] telling the user to rebuild,
+    unless [allow_stale] is [true], in which case the pairs are carried
+    in the report's [stale] field and linting proceeds. *)
+
+val json_lines : report -> string list
+(** One JSON object per violation (active first, then waived, each in
+    report order), for [repro lint --json]. Round-trips through
+    {!Violation.of_json}. *)
 
 val pp_summary : Format.formatter -> report -> unit

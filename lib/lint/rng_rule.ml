@@ -1,0 +1,184 @@
+(* RNG-stream discipline: every subsystem draws only from its own named
+   stream. The repo's reproducibility story (DESIGN §3) rests on two
+   invariants: adding a consumer never shifts another component's draw
+   sequence, and a stream's provenance is auditable — you can point at
+   the one [split]/[derive] that created it. Three idioms erode that:
+
+   1. {b Raw seed arithmetic}: [Rng.create ~seed:(seed lxor 0xbeef)] at
+      a use site invents an unregistered stream whose independence from
+      every other such site is a convention nobody checks. The
+      sanctioned form is [Rng.derive ~seed ~salt], which keeps the
+      mixing inside [lib/sim/rng.ml]. The rule flags any [Rng.create]
+      whose [~seed] argument contains arithmetic/bitwise operators,
+      anywhere outside [sim.Rng] itself.
+
+   2. {b Drawing from another module's stream}: [Rng.int (Engine.rng e)
+      6] makes this module's draws interleave with the owner's — adding
+      a draw in either shifts the other. The rule flags draw calls
+      ([Rng.int]/[float]/[bool]/[bits64]/[exponential]/[pick]/
+      [shuffle_in_place]) whose stream argument comes straight from a
+      cross-unit call or a cross-unit record field. Obtaining a stream
+      via [Rng.split]/[Rng.derive] is the sanctioned alternative and is
+      never flagged (the callee unit is [sim.Rng]).
+
+   3. {b Handing a stream across a module boundary}: passing an [Rng.t]
+      argument to another unit's function shares the stream by
+      construction — both sides now draw from one sequence. Flagged at
+      the application site; the receiving module should own a stream
+      ([split] off its parent at creation, or [derive] from the seed)
+      instead of borrowing its caller's.
+
+   Soundness envelope: "another module's stream" is judged from the
+   visible head of the stream expression, so a stream laundered through
+   a local [let] is not tracked (one-step analysis); cross-unit
+   ownership is per compilation unit, so a unit freely shares streams
+   between its own nested modules; only calls whose callee path is a
+   global identifier into a repo unit are boundary-checked, so passing a
+   stream to a local helper that forwards it is invisible. [sim.Rng]
+   itself is exempt from all three checks — it is where the arithmetic
+   and the stream plumbing are supposed to live. *)
+
+open Typedtree
+
+let rule = "rng-stream"
+
+let rng_unit u = Boundaries.unit_name u = "sim.Rng"
+
+let draws =
+  [ "int"; "float"; "bool"; "bits64"; "exponential"; "pick"; "shuffle_in_place" ]
+
+let arith_ops =
+  [ "+"; "-"; "*"; "/"; "mod"; "abs"; "lxor"; "lor"; "land"; "lsl"; "lsr"; "asr" ]
+
+let head_ident (e : expression) =
+  match e.exp_desc with Texp_ident (p, _, _) -> Some p | _ -> None
+
+(* Does the expression tree apply an arithmetic/bitwise operator? *)
+let contains_arith (e : expression) =
+  let found = ref false in
+  let default = Tast_iterator.default_iterator in
+  let expr sub (e : expression) =
+    (match e.exp_desc with
+    | Texp_apply (f, _) -> (
+      match head_ident f with
+      | Some p when List.mem (Rules.norm_path p) arith_ops -> found := true
+      | _ -> ())
+    | _ -> ());
+    if not !found then default.expr sub e
+  in
+  let it = { default with expr } in
+  it.expr it e;
+  !found
+
+let rec type_contains_rng depth (ty : Types.type_expr) =
+  depth > 0
+  &&
+  match Types.get_desc ty with
+  | Types.Tconstr (p, args, _) ->
+    (Path.last p = "t"
+    && match Boundaries.unit_of_path p with
+       | Some u -> rng_unit u
+       | None -> false)
+    || List.exists (type_contains_rng (depth - 1)) args
+  | Types.Ttuple l -> List.exists (type_contains_rng (depth - 1)) l
+  | Types.Tarrow (_, a, b, _) ->
+    type_contains_rng (depth - 1) a || type_contains_rng (depth - 1) b
+  | Types.Tlink ty | Types.Tsubst (ty, _) -> type_contains_rng depth ty
+  | _ -> false
+
+let type_contains_rng ty = type_contains_rng 12 ty
+
+let same_unit unit u =
+  match unit with
+  | Some unit -> Boundaries.unit_name unit = Boundaries.unit_name u
+  | None -> false
+
+(* The foreign unit owning the stream expression [e], if its visible
+   head is a cross-unit call or a field of a cross-unit record type. *)
+let foreign_stream_owner ~unit (e : expression) =
+  let owner_of_path p =
+    match Boundaries.unit_of_path p with
+    | Some u when (not (rng_unit u)) && not (same_unit unit u) -> Some u
+    | _ -> None
+  in
+  match e.exp_desc with
+  | Texp_apply (f, _) -> Option.bind (head_ident f) owner_of_path
+  | Texp_ident (p, _, _) when Ident.global (Path.head p) -> owner_of_path p
+  | Texp_field (_, _, ld) -> (
+    match Types.get_desc ld.Types.lbl_res with
+    | Types.Tconstr (p, _, _) -> owner_of_path p
+    | _ -> None)
+  | _ -> None
+
+let first_positional args =
+  List.find_map
+    (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+    args
+
+let check ?unit ~file (str : structure) : Violation.t list =
+  if (match unit with Some u -> rng_unit u | None -> false) then []
+  else begin
+    let out = ref [] in
+    let flag loc msg = out := Violation.make ~rule ~file ~loc msg :: !out in
+    let default = Tast_iterator.default_iterator in
+    let expr sub (e : expression) =
+      (match e.exp_desc with
+      | Texp_apply (f, args) -> (
+        match head_ident f with
+        | Some p -> (
+          match Boundaries.unit_of_path p with
+          | Some u when rng_unit u ->
+            let fn = Path.last p in
+            if fn = "create" then begin
+              match
+                List.find_map
+                  (function
+                    | Asttypes.Labelled "seed", Some a -> Some a | _ -> None)
+                  args
+              with
+              | Some seed_expr when contains_arith seed_expr ->
+                flag e.exp_loc
+                  "raw seed arithmetic at an [Rng.create] site invents an \
+                   unregistered stream; use [Rng.derive ~seed ~salt] (or \
+                   [Rng.split] off the owner) so the mixing stays inside \
+                   sim.Rng"
+              | _ -> ()
+            end
+            else if List.mem fn draws then begin
+              match Option.bind (first_positional args) (fun stream ->
+                        foreign_stream_owner ~unit stream)
+              with
+              | Some owner ->
+                flag e.exp_loc
+                  (Printf.sprintf
+                     "draw from a stream owned by %s; interleaved draws \
+                      mean adding a consumer on either side shifts the \
+                      other's sequence — [Rng.split] (or [Rng.derive]) a \
+                      stream this module owns instead"
+                     (Boundaries.unit_name owner))
+              | None -> ()
+            end
+          | Some u when not (same_unit unit u) ->
+            (* Cross-unit call: does any argument hand over a stream? *)
+            List.iter
+              (fun (_, arg) ->
+                match arg with
+                | Some (a : expression) when type_contains_rng a.exp_type ->
+                  flag a.exp_loc
+                    (Printf.sprintf
+                       "an [Rng.t] stream is handed across the module \
+                        boundary to %s; both sides would draw from one \
+                        sequence — pass the seed (or let the receiver \
+                        [split]/[derive] its own stream) instead"
+                       (Boundaries.unit_name u))
+                | _ -> ())
+              args
+          | _ -> ())
+        | None -> ())
+      | _ -> ());
+      default.expr sub e
+    in
+    let it = { default with expr } in
+    it.structure it str;
+    List.sort Violation.order !out
+  end

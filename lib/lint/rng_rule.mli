@@ -1,0 +1,22 @@
+(** RNG-stream discipline analysis.
+
+    Flags, everywhere outside [lib/sim/rng.ml] itself: raw seed
+    arithmetic at [Rng.create] sites (the sanctioned form is
+    [Rng.derive ~seed ~salt]); draw calls whose stream argument visibly
+    comes from another unit (a cross-unit call or cross-unit record
+    field — each subsystem draws only from streams it owns, obtained
+    via [Rng.split]/[Rng.derive]); and [Rng.t] arguments handed across
+    a unit boundary (stream sharing by construction). See the
+    implementation header for the soundness envelope. *)
+
+val rule : string
+(** ["rng-stream"]. *)
+
+val check :
+  ?unit:Boundaries.unit_id ->
+  file:string ->
+  Typedtree.structure ->
+  Violation.t list
+(** All violations in one implementation's typedtree, sorted. [unit]
+    identifies the file's own unit (so same-unit calls are not treated
+    as boundary crossings) and exempts [sim.Rng] itself. *)

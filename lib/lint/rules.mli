@@ -16,5 +16,11 @@ val norm_path : Path.t -> string
 (** "Stdlib__Random.int" / "Stdlib.Random.int" -> "Random.int"; project
     paths are left untouched. Exposed for tests. *)
 
+val state_makers : string list
+(** Normalized allocator paths whose result, bound at module toplevel,
+    counts as long-lived mutable state ([ref], [Hashtbl.create], ...).
+    Shared with {!Capture_rule} so "mutable state" means the same thing
+    to the isolation rule and the domain-capture rule. *)
+
 val check_structure : file:string -> Typedtree.structure -> Violation.t list
 (** Violations in source-position order. *)

@@ -20,3 +20,147 @@ let order a b =
   compare (a.file, a.line, a.col, a.rule) (b.file, b.line, b.col, b.rule)
 
 let pp ppf v = Fmt.pf ppf "%s:%d:%d: [%s] %s" v.file v.line v.col v.rule v.message
+
+(* ---- JSON (for `repro lint --json` and the CI annotation step) ----
+
+   One flat object per violation, emitted one per line (JSONL). The
+   format is hand-rolled — the repo takes no JSON dependency — so the
+   escaper and the parser below are each other's inverses for exactly
+   the value shapes [to_json] produces: string, int and bool fields,
+   no nesting. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json ?(waived = false) v =
+  Printf.sprintf
+    {|{"rule":"%s","file":"%s","line":%d,"col":%d,"message":"%s","waived":%b}|}
+    (json_escape v.rule) (json_escape v.file) v.line v.col
+    (json_escape v.message) waived
+
+(* Minimal parser for the flat objects [to_json] writes. Returns the
+   violation and its [waived] flag. *)
+let of_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error fmt = Printf.ksprintf (fun m -> failwith m) fmt in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do incr pos done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then incr pos
+    else error "expected %c at offset %d" c !pos
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 32 in
+    let rec go () =
+      if !pos >= n then error "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          (if !pos >= n then error "dangling escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char b '"'; incr pos
+             | '\\' -> Buffer.add_char b '\\'; incr pos
+             | 'n' -> Buffer.add_char b '\n'; incr pos
+             | 't' -> Buffer.add_char b '\t'; incr pos
+             | 'r' -> Buffer.add_char b '\r'; incr pos
+             | 'u' ->
+               if !pos + 4 >= n then error "truncated \\u escape";
+               let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+               if code > 0xff then error "non-latin \\u escape";
+               Buffer.add_char b (Char.chr code);
+               pos := !pos + 5
+             | c -> error "unknown escape \\%c" c);
+          go ()
+        | c -> Buffer.add_char b c; incr pos; go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> `String (parse_string ())
+    | Some ('t' | 'f') ->
+      if !pos + 4 <= n && String.sub s !pos 4 = "true" then begin
+        pos := !pos + 4; `Bool true
+      end
+      else if !pos + 5 <= n && String.sub s !pos 5 = "false" then begin
+        pos := !pos + 5; `Bool false
+      end
+      else error "bad literal at offset %d" !pos
+    | Some ('-' | '0' .. '9') ->
+      let start = !pos in
+      if peek () = Some '-' then incr pos;
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do incr pos done;
+      `Int (int_of_string (String.sub s start (!pos - start)))
+    | _ -> error "bad value at offset %d" !pos
+  in
+  match
+    let fields = ref [] in
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else begin
+      let rec members () =
+        skip_ws ();
+        let k = parse_string () in
+        expect ':';
+        let v = parse_value () in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos; members ()
+        | Some '}' -> incr pos
+        | _ -> error "expected , or } at offset %d" !pos
+      in
+      members ()
+    end;
+    skip_ws ();
+    if !pos <> n then error "trailing input at offset %d" !pos;
+    let str k =
+      match List.assoc_opt k !fields with
+      | Some (`String s) -> s
+      | _ -> error "missing string field %s" k
+    in
+    let int k =
+      match List.assoc_opt k !fields with
+      | Some (`Int i) -> i
+      | _ -> error "missing int field %s" k
+    in
+    let waived =
+      match List.assoc_opt "waived" !fields with
+      | Some (`Bool b) -> b
+      | _ -> error "missing bool field waived"
+    in
+    ( {
+        rule = str "rule";
+        file = str "file";
+        line = int "line";
+        col = int "col";
+        message = str "message";
+      },
+      waived )
+  with
+  | v -> Ok v
+  | exception Failure m -> Error m

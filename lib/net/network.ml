@@ -176,14 +176,22 @@ let extra_delay t = t.extra_delay
 
 (* ---- Message adversary ---- *)
 
-let arm_adversary t ~rng ~corrupt ~equivocate =
+(* The adversary's stream is derived from the run seed by constant mixing
+   ([Rng.derive]) rather than by [Rng.split] of the engine's stream: a
+   split would advance the engine stream and so perturb every later
+   protocol draw, breaking the contract that arming an idle adversary
+   changes nothing. The salt names the stream; deriving it here keeps the
+   adversary's randomness owned by the module that draws from it. *)
+let adv_seed_salt = 0x2adc0de5ea51ab1e
+
+let arm_adversary t ~seed ~corrupt ~equivocate =
   match t.adversary with
   | Some _ -> ()
   | None ->
     t.adversary <-
       Some
         {
-          adv_rng = rng;
+          adv_rng = Repro_sim.Rng.derive ~seed ~salt:adv_seed_salt;
           mutators = { corrupt; equivocate };
           drop_budget = 0;
           corrupt_rate = 0.0;

@@ -172,14 +172,15 @@ type adversary_stats = {
 
 val arm_adversary :
   'msg t ->
-  rng:Rng.t ->
+  seed:int ->
   corrupt:('msg -> 'msg option) ->
   equivocate:('msg -> 'msg option) ->
   unit
 (** Arm the message adversary with all knobs at zero and counters at zero.
-    Idempotent: re-arming an armed network is a no-op. [rng] must be a
-    stream dedicated to the adversary (the fault layer derives it from the
-    run seed without touching the engine's stream). *)
+    Idempotent: re-arming an armed network is a no-op. [seed] is the run
+    seed; the adversary derives its own dedicated stream from it
+    ({!Rng.derive} under a module-private salt) without touching the
+    engine's stream, so arming an idle adversary perturbs nothing. *)
 
 val adversary_armed : _ t -> bool
 (** Whether {!arm_adversary} has been called. *)

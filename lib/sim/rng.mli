@@ -15,12 +15,24 @@
     - [split] must be used, not seed arithmetic, to derive component
       streams: it guarantees the child's draws cannot perturb the
       parent's sequence, so adding a consumer never shifts another
-      component's numbers. *)
+      component's numbers.
+    - The exception is a stream that must be independent of the engine's
+      {e by construction} (a [split] advances the parent): such streams
+      come from {!derive}, never from ad-hoc seed arithmetic at the use
+      site — [repro lint]'s [rng-stream] rule flags raw seed arithmetic
+      outside this module. *)
 
 type t
 
 val create : seed:int -> t
 (** A fresh generator from a seed. Equal seeds give equal streams. *)
+
+val derive : seed:int -> salt:int -> t
+(** [derive ~seed ~salt] is a named stream for the component identified by
+    [salt]: equal to [create ~seed:(seed lxor salt)], but keeping the seed
+    arithmetic inside this module. Distinct salts give streams independent
+    of each other and of [create ~seed] itself, without advancing any
+    existing stream (unlike {!split}). *)
 
 val split : t -> t
 (** [split t] is a new generator whose stream is independent of the numbers

@@ -1,0 +1,21 @@
+(* Shared-mutable captures at Pool.map sites for the domain-capture
+   rule; the ~collect path and pure task closures are sanctioned. *)
+
+let total = ref 0
+
+let bad_toplevel items =
+  Repro_parallel.Pool.map (fun x -> total := !total + x; x) items
+
+let bad_accumulator (acc : (int, int) Hashtbl.t) items =
+  Repro_parallel.Pool.map (fun x -> Hashtbl.replace acc x x; x) items
+
+let bad_mutation (arr : int array) idxs =
+  Repro_parallel.Pool.map (fun i -> arr.(i) <- 2 * i; i) idxs
+
+(* Sanctioned: the task is pure; merging happens in the calling domain
+   via the labelled ~collect callback. *)
+let good_collect items =
+  Repro_parallel.Pool.map
+    ~collect:(fun _ r -> total := !total + r)
+    (fun x -> 2 * x)
+    items

@@ -1,0 +1,17 @@
+(* RNG-stream discipline: raw seed arithmetic, foreign-stream draws and
+   cross-boundary stream handoff, each next to its sanctioned
+   counterpart. *)
+
+open Repro_sim
+
+let bad_create seed = Rng.create ~seed:(seed lxor 0xbeef)
+let good_create seed = Rng.derive ~seed ~salt:0xbeef
+
+let bad_draw e = Rng.int (Engine.rng e) 6
+
+let good_draw e =
+  let mine = Rng.split (Engine.rng e) in
+  Rng.int mine 6
+
+let bad_handoff (rng : Rng.t) = Snapshot.pack rng
+let good_handoff seed = Snapshot.pack (seed : int)

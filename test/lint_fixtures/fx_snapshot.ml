@@ -1,0 +1,29 @@
+(* Broken and sanctioned snapshot/restore pairs for the
+   snapshot-completeness rule. *)
+
+type t = {
+  mutable covered : int; (* read by snapshot: fine *)
+  mutable missed : int; (* never read: violation *)
+  log : (int, int) Hashtbl.t; (* accumulator, never read: violation *)
+  on_event : int -> unit; (* arrow: runtime topology, exempt *)
+  table : int array; (* immutable array: constant table, exempt *)
+  mutable head : int; (* read via the helper: fine *)
+}
+
+let head_of t = t.head
+let snapshot t = (t.covered, head_of t)
+
+let restore t (c, h) =
+  t.covered <- c;
+  t.head <- h
+
+(* A complete pair: the whole-record copy covers every field. *)
+module Ok_pair = struct
+  type t = { mutable a : int; mutable b : int }
+
+  let snapshot t = { t with a = t.a }
+
+  let restore t (s : t) =
+    t.a <- s.a;
+    t.b <- s.b
+end

@@ -74,6 +74,226 @@ let test_fixture_topstate () =
 let test_fixture_clean () =
   Alcotest.(check (list rule_line)) "clean fixture stays clean" [] (hits "fx_clean.ml")
 
+let test_fixture_snapshot () =
+  Alcotest.(check (list rule_line))
+    "unread mutable field and unread Hashtbl flagged; arrow and constant \
+     array exempt; helper-read and whole-record-copy pairs pass"
+    [ ("snapshot-completeness", 6); ("snapshot-completeness", 7) ]
+    (hits "fx_snapshot.ml")
+
+let test_fixture_capture () =
+  Alcotest.(check (list rule_line))
+    "captures of a toplevel ref, a Hashtbl parameter and a written-through \
+     array flagged at Pool.map sites; pure task + ~collect sanctioned \
+     (line 4 is the fixture's own toplevel-state hit)"
+    [
+      ("toplevel-state", 4);
+      ("domain-capture", 7);
+      ("domain-capture", 10);
+      ("domain-capture", 13);
+    ]
+    (hits "fx_capture.ml")
+
+let test_fixture_rng () =
+  Alcotest.(check (list rule_line))
+    "raw seed arithmetic, foreign-stream draw and cross-boundary handoff \
+     flagged; derive and split-then-draw sanctioned"
+    [ ("rng-stream", 7); ("rng-stream", 10); ("rng-stream", 16) ]
+    (hits "fx_rng.ml")
+
+(* ---- snapshot-completeness against the real tree ----
+
+   The acceptance check for the rule's teeth: on the real lib/net and
+   lib/sim codecs, the obligation set is non-empty and every obligation
+   is currently covered — so deleting any of those field reads from
+   [snapshot] flips exactly that pair into a violation (the failing side
+   of the mechanism is pinned by fx_snapshot.ml above). *)
+
+let structure_of_cmt path =
+  match Cmt_format.read_cmt path with
+  | exception _ -> Alcotest.failf "%s: unreadable .cmt" path
+  | cmt -> (
+    match cmt.Cmt_format.cmt_annots with
+    | Cmt_format.Implementation str ->
+      (str, Boundaries.unit_of_modname cmt.Cmt_format.cmt_modname)
+    | _ -> Alcotest.failf "%s: not an implementation .cmt" path)
+
+let test_snapshot_obligations_real () =
+  let check_unit cmt must_include =
+    let str, unit = structure_of_cmt cmt in
+    let obligations, coverage = Snapshot_rule.debug_pairs ?unit str in
+    Alcotest.(check bool)
+      (cmt ^ ": pair has obligations")
+      true (obligations <> []);
+    List.iter
+      (fun ob ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: obligation %s.%s present" cmt (fst ob) (snd ob))
+          true (List.mem ob obligations))
+      must_include;
+    List.iter
+      (fun (tname, label) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %s.%s read by snapshot" cmt tname label)
+          true
+          (List.mem (tname, label) coverage))
+      obligations
+  in
+  check_unit "../lib/net/.repro_net.objs/byte/repro_net__Rchannel.cmt"
+    [ ("link_out", "backoff"); ("t", "retransmissions") ];
+  check_unit "../lib/sim/.repro_sim.objs/byte/repro_sim__Event_queue.cmt"
+    [ ("t", "pending"); ("t", "next_seq") ]
+
+(* ---- JSON output ---- *)
+
+let test_json_roundtrip () =
+  let r = Lazy.force fixture_report in
+  let lines = Lint.json_lines r in
+  Alcotest.(check bool) "fixtures produce json lines" true (lines <> []);
+  let parsed =
+    List.map
+      (fun l ->
+        match Violation.of_json l with
+        | Ok p -> p
+        | Error e -> Alcotest.failf "unparseable json line %s (%s)" l e)
+      lines
+  in
+  let expect =
+    List.map (fun v -> (v, false)) r.Lint.violations
+    @ List.map (fun v -> (v, true)) r.Lint.waived
+  in
+  Alcotest.(check int) "line count" (List.length expect) (List.length parsed);
+  List.iter2
+    (fun (v, w) (v', w') ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s:%d round-trips" v.Violation.file v.Violation.line)
+        true
+        (v = v' && w = w'))
+    expect parsed
+
+let test_json_escaping () =
+  let v =
+    {
+      Violation.rule = "rule-x";
+      file = "dir \"q\"/b\\c.ml";
+      line = 42;
+      col = 7;
+      message = "tab\there, newline\nthere, \"quotes\" and a ctrl \001 byte";
+    }
+  in
+  match Violation.of_json (Violation.to_json ~waived:true v) with
+  | Ok (v', true) ->
+    Alcotest.(check bool) "escaped violation round-trips" true (v = v')
+  | Ok (_, false) -> Alcotest.fail "waived flag lost"
+  | Error e -> Alcotest.failf "escaped violation unparseable: %s" e
+
+(* ---- stale-artifact guard ---- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Unix.mkdir dir 0o755
+  end
+
+let copy_file src dst =
+  let contents = In_channel.with_open_bin src In_channel.input_all in
+  Out_channel.with_open_bin dst (fun oc -> Out_channel.output_string oc contents)
+
+let contains_substring needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_stale_guard () =
+  (* A fake build tree holding one real fixture .cmt back-dated to the
+     epoch, and a fake checkout whose matching source is newer. *)
+  let tmp = Filename.temp_file "lint_stale" "" in
+  Sys.remove tmp;
+  let build_root = Filename.concat tmp "build" in
+  let source_root = Filename.concat tmp "src" in
+  let cmt_dir = Filename.concat build_root "fx" in
+  mkdir_p cmt_dir;
+  let cmt = Filename.concat cmt_dir "lint_fixtures__Fx_clean.cmt" in
+  copy_file "lint_fixtures/.lint_fixtures.objs/byte/lint_fixtures__Fx_clean.cmt"
+    cmt;
+  (* The .cmt records its source as test/lint_fixtures/fx_clean.ml. *)
+  let src = Filename.concat source_root "test/lint_fixtures/fx_clean.ml" in
+  mkdir_p (Filename.dirname src);
+  Out_channel.with_open_text src (fun oc ->
+      Out_channel.output_string oc "(* newer than the artifact *)\n");
+  Unix.utimes cmt 1000.0 1000.0;
+  Alcotest.(check bool) "is_stale sees the gap" true (Lint.is_stale ~cmt ~source:src);
+  (match
+     Lint.run ~build_root ~src_dirs:[ "fx" ] ~source_root ()
+   with
+  | Error e ->
+    Alcotest.(check bool) "stale artifacts are an error" true
+      (contains_substring "stale" e)
+  | Ok _ -> Alcotest.fail "stale artifact not rejected");
+  (match
+     Lint.run ~build_root ~src_dirs:[ "fx" ] ~source_root ~allow_stale:true ()
+   with
+  | Error e -> Alcotest.failf "--allow-stale still failed: %s" e
+  | Ok r ->
+    Alcotest.(check (list (pair string string)))
+      "stale pair carried in the report"
+      [ ("test/lint_fixtures/fx_clean.ml", cmt) ]
+      r.Lint.stale);
+  (* Source older than the artifact: not stale, guard stays quiet. *)
+  Unix.utimes src 500.0 500.0;
+  Unix.utimes cmt 1000.0 1000.0;
+  Alcotest.(check bool) "fresh artifact passes" false
+    (Lint.is_stale ~cmt ~source:src);
+  match Lint.run ~build_root ~src_dirs:[ "fx" ] ~source_root () with
+  | Error e -> Alcotest.failf "fresh artifact rejected: %s" e
+  | Ok r -> Alcotest.(check int) "no stale entries" 0 (List.length r.Lint.stale)
+
+(* ---- waivers against the new rules, end to end ---- *)
+
+let test_waiver_new_rules () =
+  let waivers_tmp = Filename.temp_file "lint_waiver" ".waivers" in
+  Out_channel.with_open_text waivers_tmp (fun oc ->
+      Out_channel.output_string oc
+        "snapshot-completeness test/lint_fixtures/fx_snapshot.ml -- fixture \
+         exercises the rule\n\
+         rng-stream test/lint_fixtures/fx_clean.ml -- matches nothing, must \
+         be reported unused\n");
+  match
+    Lint.run ~build_root:"." ~src_dirs:[ "lint_fixtures" ]
+      ~waivers_file:waivers_tmp ()
+  with
+  | Error e -> Alcotest.failf "fixture lint with waivers failed: %s" e
+  | Ok r ->
+    let waived_snapshot =
+      List.filter
+        (fun v -> v.Violation.rule = "snapshot-completeness")
+        r.Lint.waived
+    in
+    Alcotest.(check int) "both snapshot violations waived" 2
+      (List.length waived_snapshot);
+    Alcotest.(check bool) "no active snapshot-completeness left" false
+      (List.exists
+         (fun v -> v.Violation.rule = "snapshot-completeness")
+         r.Lint.violations);
+    Alcotest.(check bool) "other new rules stay active" true
+      (List.exists (fun v -> v.Violation.rule = "domain-capture") r.Lint.violations
+      && List.exists (fun v -> v.Violation.rule = "rng-stream") r.Lint.violations);
+    (match r.Lint.unused_waivers with
+    | [ w ] ->
+      Alcotest.(check string) "unused waiver reported" "rng-stream" w.Waivers.rule
+    | ws -> Alcotest.failf "expected one unused waiver, got %d" (List.length ws));
+    (* Waived findings survive into the JSON stream, marked waived. *)
+    let waived_json =
+      List.filter
+        (fun l ->
+          match Violation.of_json l with
+          | Ok (v, true) -> v.Violation.rule = "snapshot-completeness"
+          | _ -> false)
+        (Lint.json_lines r)
+    in
+    Alcotest.(check int) "waived findings marked in json" 2
+      (List.length waived_json)
+
 (* ---- spec semantics on synthetic edges ---- *)
 
 let u lib m = { Boundaries.lib; m }
@@ -253,7 +473,22 @@ let () =
           Alcotest.test_case "poly-compare" `Quick test_fixture_polycompare;
           Alcotest.test_case "toplevel-state" `Quick test_fixture_topstate;
           Alcotest.test_case "clean" `Quick test_fixture_clean;
+          Alcotest.test_case "snapshot-completeness" `Quick test_fixture_snapshot;
+          Alcotest.test_case "domain-capture" `Quick test_fixture_capture;
+          Alcotest.test_case "rng-stream" `Quick test_fixture_rng;
         ] );
+      ( "whole-program",
+        [
+          Alcotest.test_case "real snapshot obligations covered" `Quick
+            test_snapshot_obligations_real;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "report round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+        ] );
+      ( "stale",
+        [ Alcotest.test_case "guard" `Quick test_stale_guard ] );
       ( "spec",
         [
           Alcotest.test_case "parse" `Quick test_spec_parse;
@@ -266,6 +501,7 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_waiver_parse;
           Alcotest.test_case "apply" `Quick test_waiver_apply;
+          Alcotest.test_case "new rules end-to-end" `Quick test_waiver_new_rules;
         ] );
       ("dot", [ Alcotest.test_case "export" `Quick test_dot_export ]);
       ("repo", [ Alcotest.test_case "clean" `Quick test_repo_is_clean ]);
