@@ -758,6 +758,63 @@ let bench_report path =
           all_kinds)
       ns
   in
+  (* Sharded cells (PR 10): the same report tracks the sharding layer.
+     One pool task per (stack, seed); each task runs its whole cell with
+     [jobs = 1] — the pool is already saturated at task granularity and
+     nesting domain pools would oversubscribe. Poisson-by-construction
+     arrivals (nonhomogeneous thinning), so the seeds perturb the runs
+     the spread is computed over, as in the flat matrix above. *)
+  let shard_m = if smoke then 2 else 4 in
+  let shard_clients = if smoke then 2_000 else 100_000 in
+  let shard_load = 600.0 in
+  let shard_profile =
+    Repro_workload.Population.profile ~clients:shard_clients
+      ~rate_per_client:
+        (shard_load *. float_of_int shard_m /. float_of_int shard_clients)
+      ~size ~diurnal_amp:0.25 ~cross_fraction:0.05 ()
+  in
+  let timed_sharded =
+    Repro_parallel.Pool.map ~jobs
+      (fun (kind, seed) ->
+        let t0 = Unix.gettimeofday () in
+        let config =
+          Repro_shard.Shard.config ~kind ~shards:shard_m ~n:3
+            ~profile:shard_profile ~warmup_s:rep_warmup ~measure_s:rep_measure
+            ~seed ()
+        in
+        let r = Repro_shard.Shard.run ~jobs:1 config in
+        (kind, r, Unix.gettimeofday () -. t0))
+      (List.concat_map
+         (fun kind -> List.init repeats (fun seed -> (kind, seed)))
+         all_kinds)
+  in
+  let sharded_entries =
+    List.concat_map
+      (fun kind ->
+        let runs =
+          List.filter_map
+            (fun (k, r, _) -> if k = kind then Some r else None)
+            timed_sharded
+        in
+        let name metric =
+          Fmt.str "sharded/%s/m%d/%s" (kind_name kind) shard_m metric
+        in
+        [
+          Repro_analysis.Bench_report.entry ~name:(name "latency_ms")
+            ~unit_:"ms" ~higher_is_better:false
+            (List.map
+               (fun (r : Repro_shard.Shard.result) ->
+                 r.latency_ms.Repro_workload.Stats.mean)
+               runs);
+          Repro_analysis.Bench_report.entry ~name:(name "throughput")
+            ~unit_:"req/s" ~higher_is_better:true
+            (List.map
+               (fun (r : Repro_shard.Shard.result) -> r.throughput)
+               runs);
+        ])
+      all_kinds
+  in
+  let entries = entries @ sharded_entries in
   (* Critical-path breakdown: one short instrumented run per stack; the
      span trace attributes every nanosecond of p1's delivery latency to a
      layer/phase or to the wire. Run well below saturation — when the
@@ -798,6 +855,7 @@ let bench_report path =
   let task_total_s =
     List.fold_left (fun acc (_, _, _, dt, _) -> acc +. dt) 0.0 timed_runs
     +. List.fold_left (fun acc (_, _, dt) -> acc +. dt) 0.0 timed_breakdown
+    +. List.fold_left (fun acc (_, _, dt) -> acc +. dt) 0.0 timed_sharded
   in
   (* Total simulator events driven by the harness: deterministic (a pure
      function of the report matrix), unlike the wall-clock it is divided
@@ -808,6 +866,10 @@ let bench_report path =
         acc + r.Experiment.events_executed)
       0 timed_runs
     + List.fold_left (fun acc (_, ev, _) -> acc + ev) 0 timed_breakdown
+    + List.fold_left
+        (fun acc (_, (r : Repro_shard.Shard.result), _) ->
+          acc + r.Repro_shard.Shard.events_executed)
+        0 timed_sharded
   in
   let report =
     {
@@ -821,6 +883,9 @@ let bench_report path =
           ("breakdown_load", Fmt.str "%g" breakdown_load);
           ("size", string_of_int size);
           ("mode", (if smoke then "smoke" else "full"));
+          ( "sharded_cell",
+            Fmt.str "%d shards x %d clients at %g req/s per shard" shard_m
+              shard_clients shard_load );
           ("events_executed", string_of_int events_executed);
           (* Timing meta: the only keys that vary between otherwise
              identical runs. The jobs-equivalence check strips exactly

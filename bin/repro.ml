@@ -933,7 +933,9 @@ let study_cmd =
       value
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE"
-          ~doc:"With $(b,--adversary): append one JSONL row object per cell to $(docv).")
+          ~doc:
+            "With $(b,--adversary) or $(b,--scale): append one JSONL row object \
+             per cell to $(docv).")
   in
   let run_scenarios n csv jobs =
     if csv then print_endline "stack,scenario,n,latency_ms,throughput,lat_ratio,tput_ratio";
@@ -1014,11 +1016,195 @@ let study_cmd =
                row.Repro_fault.Study.classification))
       all
   in
-  let run n csv adversary out seed jobs =
+  let scale_arg =
+    Arg.(
+      value & flag
+      & info [ "scale" ]
+          ~doc:
+            "Run the modularity-cost-vs-scale study instead (EXPERIMENTS.md \
+             S-scale): a shard-count × client-population grid for all three \
+             stacks, each cell a sharded multi-group run driven by the \
+             client-population model (Zipf-tailed per-client rates, diurnal \
+             swing, one mid-window flash crowd), holding the per-shard offered \
+             load constant. $(b,--out) appends one JSONL row per cell; output \
+             is byte-identical for any $(b,--jobs).")
+  in
+  let shards_arg =
+    Arg.(
+      value
+      & opt (list int) Repro_shard.Scale.default_shards
+      & info [ "shards" ] ~docv:"M,.."
+          ~doc:"With $(b,--scale): shard-count axis of the grid.")
+  in
+  let clients_arg =
+    Arg.(
+      value
+      & opt (list int) Repro_shard.Scale.default_clients
+      & info [ "clients" ] ~docv:"N,.."
+          ~doc:"With $(b,--scale): client-population axis of the grid.")
+  in
+  let load_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "per-shard-load" ] ~docv:"R"
+          ~doc:
+            "Offered load per shard, req/s (total load = R × shards, split over \
+             the population). Default 600 for $(b,--scale); 3000 for \
+             $(b,--verify-batching), whose point is the deep-queue regime.")
+  in
+  let cross_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "cross" ] ~docv:"F"
+          ~doc:
+            "With $(b,--scale): fraction of requests that also touch a second \
+             shard (scored by the slower leg).")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify-batching" ]
+          ~doc:
+            "Equivalence + speed gate for the batched-hop engine: run the \
+             64-shard / million-client hot cell with batched network hops on \
+             and off, require byte-identical metrics and identical results, and \
+             report the measured single-run speedup.")
+  in
+  let run_scale n csv out seed jobs shards clients per_shard_load cross =
+    let module Scale = Repro_shard.Scale in
+    let module Shard = Repro_shard.Shard in
+    let oc = Option.map open_out out in
+    if csv then
+      print_endline
+        "stack,shards,clients,rate_per_client,requests,cross_requests,latency_ms,\
+         latency_p95_ms,cross_latency_ms,throughput,events_executed";
+    let rows =
+      Scale.run ~shard_counts:shards ~clients ~per_shard_load
+        ~cross_fraction:cross ~n ~seed ~jobs
+        ~on_row:(fun row ->
+          let res = row.Scale.row_result in
+          if csv then
+            Printf.printf "%s,%d,%d,%.8f,%d,%d,%.4f,%.4f,%.4f,%.2f,%d\n%!"
+              (kind_name row.Scale.row_kind)
+              row.Scale.row_shards row.Scale.row_clients row.Scale.row_rate
+              res.Shard.plan_total res.Shard.plan_cross
+              res.Shard.latency_ms.Stats.mean res.Shard.latency_ms.Stats.p95
+              res.Shard.cross_latency_ms.Stats.mean res.Shard.throughput
+              res.Shard.events_executed
+          else Fmt.pr "%a@." Shard.pp_result row.Scale.row_result;
+          Option.iter
+            (fun oc ->
+              output_string oc (Repro_obs.Jsonl.to_string (Scale.row_json row));
+              output_char oc '\n')
+            oc)
+        ()
+    in
+    Option.iter close_out oc;
+    (* The headline: how the modular/monolithic gap moves with scale. *)
+    if not csv then begin
+      let find kind s c =
+        List.find_opt
+          (fun r ->
+            r.Scale.row_kind = kind && r.Scale.row_shards = s
+            && r.Scale.row_clients = c)
+          rows
+      in
+      List.iter
+        (fun s ->
+          List.iter
+            (fun c ->
+              match (find Replica.Modular s c, find Replica.Monolithic s c) with
+              | Some m, Some mono
+                when mono.Scale.row_result.Shard.latency_ms.Stats.mean > 0.0 ->
+                Fmt.pr
+                  "shards=%-3d clients=%-8d modularity cost: latency x%.2f, \
+                   throughput x%.2f@."
+                  s c
+                  (m.Scale.row_result.Shard.latency_ms.Stats.mean
+                  /. mono.Scale.row_result.Shard.latency_ms.Stats.mean)
+                  (m.Scale.row_result.Shard.throughput
+                  /. mono.Scale.row_result.Shard.throughput)
+              | _ -> ())
+            clients)
+        shards
+    end
+  in
+  (* Wallclock timing is deliberately confined to the CLI (the lint bans it
+     in lib/): the engine equivalence is judged on bytes, the speedup on
+     this one measured pair of runs. Single-run speed means jobs = 1. *)
+  let run_verify_batching seed per_shard_load =
+    let module Scale = Repro_shard.Scale in
+    let module Shard = Repro_shard.Shard in
+    (* The plan is a pure function of (seed, profile, horizon) — the
+       batched_hops param never touches it — so build the million-client
+       plan once and share it: the timed region is the event-loop phase
+       alone, which is the engine the gate is about. *)
+    let plan = Shard.plan (Scale.hot_cell ~seed ~per_shard_load ~batched:true ()) in
+    let run_once batched =
+      let config = Scale.hot_cell ~seed ~per_shard_load ~batched () in
+      let obs = Repro_obs.Obs.create ~max_events:0 () in
+      let t0 = Unix.gettimeofday () in
+      let r = Shard.run_planned ~jobs:1 ~obs config plan in
+      let dt = Unix.gettimeofday () -. t0 in
+      (r, String.concat "\n" (Repro_obs.Jsonl.metric_lines ~tags:[] obs), dt)
+    in
+    (* Interleave the two engines and keep each one's best: back-to-back
+       blocks of the same variant would fold machine drift (frequency
+       scaling, background load) into the ratio. Alternating the order
+       within each pair cancels ordering effects too. *)
+    let best_b = ref infinity and best_u = ref infinity in
+    let rb, mb, _ = run_once true in
+    let ru, mu, _ = run_once false in
+    for i = 1 to 5 do
+      let pair = if i land 1 = 0 then [ true; false ] else [ false; true ] in
+      List.iter
+        (fun batched ->
+          let _, _, dt = run_once batched in
+          let best = if batched then best_b else best_u in
+          if dt < !best then best := dt)
+        pair
+    done;
+    let tb = !best_b and tu = !best_u in
+    Fmt.pr "hot cell: modular, 64 shards x 1M clients, batched hops ON@.";
+    Fmt.pr "  %a@.  wallclock %.2fs (best of 5 interleaved)@." Shard.pp_result rb tb;
+    Fmt.pr "hot cell: batched hops OFF (per-copy event posts)@.";
+    Fmt.pr "  %a@.  wallclock %.2fs (best of 5 interleaved)@." Shard.pp_result ru tu;
+    let identical =
+      rb.Shard.events_executed = ru.Shard.events_executed
+      && rb.Shard.latency_ms.Stats.mean = ru.Shard.latency_ms.Stats.mean
+      && rb.Shard.cross_latency_ms.Stats.mean
+         = ru.Shard.cross_latency_ms.Stats.mean
+      && rb.Shard.throughput = ru.Shard.throughput
+      && String.equal mb mu
+    in
+    if identical then begin
+      Fmt.pr
+        "byte-identical: yes (metrics, latency, throughput, %d events) — \
+         speedup x%.2f@."
+        rb.Shard.events_executed (tu /. tb);
+      `Ok ()
+    end
+    else `Error (false, "batched and unbatched runs diverged — engine bug")
+  in
+  let run n csv adversary scale verify out seed jobs shards clients
+      per_shard_load cross =
     let jobs = resolve_jobs jobs in
-    if adversary then run_adversary n csv out seed jobs
-    else run_scenarios n csv jobs;
-    `Ok ()
+    (* The batching gate defaults to the deep-queue regime: at light load
+       the per-link rings rarely hold more than one frame and the two
+       engines are indistinguishable (x1.00). *)
+    if verify then
+      run_verify_batching seed (Option.value per_shard_load ~default:3000.0)
+    else if scale then begin
+      run_scale n csv out seed jobs shards clients
+        (Option.value per_shard_load ~default:600.0)
+        cross;
+      `Ok ()
+    end
+    else begin
+      if adversary then run_adversary n csv out seed jobs
+      else run_scenarios n csv jobs;
+      `Ok ()
+    end
   in
   Cmd.v
     (Cmd.info "study"
@@ -1027,8 +1213,14 @@ let study_cmd =
           window (coordinator crash, 2% loss, partition+heal) — the \
           modularity-cost-under-faults study (EXPERIMENTS.md S-faults) — or, with \
           $(b,--adversary), the robustness-vs-performance sweep against the message \
-          adversary's strength levels.")
-    Term.(ret (const run $ n_arg $ csv_arg $ adversary_arg $ out_arg $ seed_arg $ jobs_arg))
+          adversary's strength levels — or, with $(b,--scale), the \
+          modularity-cost-vs-scale study over sharded multi-group runs with \
+          million-client workloads (EXPERIMENTS.md S-scale).")
+    Term.(
+      ret
+        (const run $ n_arg $ csv_arg $ adversary_arg $ scale_arg $ verify_arg
+       $ out_arg $ seed_arg $ jobs_arg $ shards_arg $ clients_arg $ load_arg
+       $ cross_arg))
 
 (* ---- compare: regression gate over two benchmark reports ---- *)
 
@@ -1382,7 +1574,11 @@ let main_cmd =
       `I ("$(b,bisect)", "localize a recorded invariant violation to an inter-frame window.");
       `I ("$(b,trace-export)", "convert a trace JSONL into Chrome/Perfetto trace format.");
       `I ("$(b,campaign)", "randomized fault campaign with shrinking reproducers.");
-      `I ("$(b,study)", "the modularity-cost-under-faults study (S-faults table).");
+      `I
+        ( "$(b,study)",
+          "the modularity-cost-under-faults study (S-faults table); --scale for \
+           the sharded modularity-cost-vs-scale study; --verify-batching for \
+           the batched-hop equivalence + speed gate." );
       `I ("$(b,compare)", "regression gate over two bench --json-out reports.");
       `I ("$(b,critical-path)", "per-delivery latency attribution from a span trace.");
       `I ("$(b,lint)", "determinism & modularity-boundary static analysis (.cmt based).");

@@ -74,7 +74,7 @@ let maybe_propose t =
         m "%a propose instance %d (%d ids, indirect)" Pid.pp t.me t.next_decide
           (List.length ids));
     let sp =
-      if Obs.enabled t.obs then
+      if Obs.tracing t.obs then
         Obs.span t.obs ~pid:t.me ~layer:`Abcast ~phase:"propose"
           ~detail:(Printf.sprintf "i%d (%d ids)" t.next_decide (List.length ids))
           ()
@@ -156,7 +156,7 @@ let rec drain t =
           m "%a adeliver instance %d (%d msgs, indirect)" Pid.pp t.me t.next_decide
             (Batch.size batch));
       let sp =
-        if Obs.enabled t.obs then begin
+        if Obs.tracing t.obs then begin
           Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"adeliver"
             ~detail:(Printf.sprintf "i%d (%d msgs)" t.next_decide (Batch.size batch))
             ();
@@ -185,7 +185,7 @@ let abcast t m =
   if not (delivered_mem t m.App_msg.id) then begin
     Obs.incr t.obs "abcast.abcasts";
     let sp =
-      if Obs.enabled t.obs then begin
+      if Obs.tracing t.obs then begin
         Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"abcast"
           ~detail:
             (Printf.sprintf "m %d/%d" (m.App_msg.id.App_msg.origin + 1)

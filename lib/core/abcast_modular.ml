@@ -56,7 +56,7 @@ let maybe_propose t =
         m "%a propose instance %d (%d msgs, %d pending)" Repro_net.Pid.pp t.me
           t.next_decide (Batch.size batch) (Batch.size t.pending));
     let sp =
-      if Obs.enabled t.obs then
+      if Obs.tracing t.obs then
         Obs.span t.obs ~pid:t.me ~layer:`Abcast ~phase:"propose"
           ~detail:(Printf.sprintf "i%d (%d msgs)" t.next_decide (Batch.size batch))
           ()
@@ -90,7 +90,7 @@ let rec drain t =
         m "%a adeliver instance %d (%d msgs)" Repro_net.Pid.pp t.me t.next_decide
           (Batch.size batch));
     let sp =
-      if Obs.enabled t.obs then begin
+      if Obs.tracing t.obs then begin
         Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"adeliver"
           ~detail:(Printf.sprintf "i%d (%d msgs)" t.next_decide (Batch.size batch))
           ();
@@ -114,7 +114,7 @@ let abcast t m =
     t.pending <- Batch.add t.pending m;
     Obs.incr t.obs "abcast.abcasts";
     let sp =
-      if Obs.enabled t.obs then begin
+      if Obs.tracing t.obs then begin
         Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"abcast"
           ~detail:(Printf.sprintf "m %d/%d" (m.App_msg.id.App_msg.origin + 1) m.App_msg.id.App_msg.seq)
           ();

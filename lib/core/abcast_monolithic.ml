@@ -143,7 +143,7 @@ let rec drain t =
   | Some batch ->
     Hashtbl.remove t.decisions_buf t.next_deliver;
     let sp =
-      if Obs.enabled t.obs then begin
+      if Obs.tracing t.obs then begin
         Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"adeliver"
           ~detail:(Printf.sprintf "i%d (%d msgs)" t.next_deliver (Batch.size batch))
           ();
@@ -247,7 +247,7 @@ and mono_decide t s value ~here_round =
     L.debug (fun m -> m "%a decide i%d %a" Pid.pp t.me s.inst Batch.pp value);
     Obs.incr t.obs "abcast.decisions";
     let sp =
-      if Obs.enabled t.obs then begin
+      if Obs.tracing t.obs then begin
         Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"decide"
           ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst s.round (Batch.size value))
           ();
@@ -320,7 +320,7 @@ and maybe_launch t =
             | Some (d, _) -> Printf.sprintf ", +decision i%d" d
             | None -> ""));
       let sp =
-        if Obs.enabled t.obs then
+        if Obs.tracing t.obs then
           Obs.span t.obs ~pid:t.me ~layer:`Abcast ~phase:"propose"
             ~detail:(Printf.sprintf "i%d r1 (%d msgs)" k (Batch.size proposal))
             ()
@@ -412,7 +412,7 @@ and maybe_propose_recovery t s ~round =
         s.ts <- round;
         Hashtbl.replace s.acks round (ref [ t.me ]);
         let sp =
-          if Obs.enabled t.obs then
+          if Obs.tracing t.obs then
             Obs.span t.obs ~pid:t.me ~layer:`Abcast ~phase:"propose"
               ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst round (Batch.size value))
               ()
@@ -481,7 +481,7 @@ let abcast t m =
   if not (delivered_mem t m) then begin
     Obs.incr t.obs "abcast.abcasts";
     let sp =
-      if Obs.enabled t.obs then begin
+      if Obs.tracing t.obs then begin
         Obs.event t.obs ~pid:t.me ~layer:`Abcast ~phase:"abcast"
           ~detail:
             (Printf.sprintf "m %d/%d" (m.App_msg.id.App_msg.origin + 1)
@@ -554,7 +554,7 @@ let handle_prop_dec t ~src ~inst ~round ~proposal ~decided =
         if t.params.Params.mono.Params.piggyback_on_ack then take_own_unsent t else []
       in
       let sp =
-        if Obs.enabled t.obs then
+        if Obs.tracing t.obs then
           Obs.span t.obs ~pid:t.me ~layer:`Abcast ~phase:"ack"
             ~detail:(Printf.sprintf "i%d r%d" inst round)
             ()

@@ -138,9 +138,10 @@ let decide t s value =
     L.debug (fun m ->
         m "%a decide i%d %a" Pid.pp t.me s.inst Batch.pp value);
     Obs.incr t.obs "consensus.decisions";
+    if Obs.enabled t.obs then
+      Obs.observe_since t.obs "consensus.decide_ms" s.created_at;
     let sp =
-      if Obs.enabled t.obs then begin
-        Obs.observe_since t.obs "consensus.decide_ms" s.created_at;
+      if Obs.tracing t.obs then begin
         Obs.event t.obs ~pid:t.me ~layer:`Consensus ~phase:"decide"
           ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst s.round (Batch.size value))
           ();
@@ -230,7 +231,7 @@ and maybe_propose t s ~round =
           m "%a propose i%d r%d (%d msgs)" Pid.pp t.me s.inst round (Batch.size value));
       Obs.incr t.obs "consensus.proposals";
       let sp =
-        if Obs.enabled t.obs then begin
+        if Obs.tracing t.obs then begin
           Obs.event t.obs ~pid:t.me ~layer:`Consensus ~phase:"propose"
             ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst round (Batch.size value))
             ();
@@ -278,7 +279,7 @@ and send_estimate t s ~round =
     s.estimate_sent <- round :: s.estimate_sent;
     Obs.incr t.obs "consensus.estimates";
     let sp =
-      if Obs.enabled t.obs then
+      if Obs.tracing t.obs then
         Obs.span t.obs ~pid:t.me ~layer:`Consensus ~phase:"estimate"
           ~detail:(Printf.sprintf "i%d r%d" s.inst round)
           ()
@@ -372,7 +373,7 @@ let handle_propose t s ~src ~round ~value =
       s.ts <- round;
       Obs.incr t.obs "consensus.acks";
       let sp =
-        if Obs.enabled t.obs then
+        if Obs.tracing t.obs then
           Obs.span t.obs ~pid:t.me ~layer:`Consensus ~phase:"ack"
             ~detail:(Printf.sprintf "i%d r%d" s.inst round)
             ()

@@ -116,9 +116,10 @@ let decide t s value =
       s.pending_requesters;
     s.pending_requesters <- [];
     Obs.incr t.obs "consensus.decisions";
+    if Obs.enabled t.obs then
+      Obs.observe_since t.obs "consensus.decide_ms" s.created_at;
     let sp =
-      if Obs.enabled t.obs then begin
-        Obs.observe_since t.obs "consensus.decide_ms" s.created_at;
+      if Obs.tracing t.obs then begin
         Obs.event t.obs ~pid:t.me ~layer:`Consensus ~phase:"decide"
           ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst s.round (Batch.size value))
           ();
@@ -178,7 +179,7 @@ let rec try_propose t s ~round =
         Hashtbl.replace s.acks round (ref [ t.me ]);
         Obs.incr t.obs "consensus.proposals";
         let sp =
-          if Obs.enabled t.obs then begin
+          if Obs.tracing t.obs then begin
             Obs.event t.obs ~pid:t.me ~layer:`Consensus ~phase:"propose"
               ~detail:(Printf.sprintf "i%d r%d (%d msgs)" s.inst round (Batch.size value))
               ();
@@ -219,7 +220,7 @@ and enter_round t s ~round =
       if c <> t.me then begin
         Obs.incr t.obs "consensus.estimates";
         let sp =
-          if Obs.enabled t.obs then
+          if Obs.tracing t.obs then
             Obs.span t.obs ~pid:t.me ~layer:`Consensus ~phase:"estimate"
               ~detail:(Printf.sprintf "i%d r%d" s.inst round)
               ()
@@ -287,7 +288,7 @@ let handle_propose t s ~src ~round ~value =
       s.ts <- round;
       Obs.incr t.obs "consensus.acks";
       let sp =
-        if Obs.enabled t.obs then
+        if Obs.tracing t.obs then
           Obs.span t.obs ~pid:t.me ~layer:`Consensus ~phase:"ack"
             ~detail:(Printf.sprintf "i%d r%d" s.inst round)
             ()

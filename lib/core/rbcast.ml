@@ -33,7 +33,7 @@ let rbcast t payload =
   Obs.incr t.obs "rbcast.broadcasts";
   Obs.incr t.obs "rbcast.delivers";
   let sp =
-    if Obs.enabled t.obs then begin
+    if Obs.tracing t.obs then begin
       Obs.event t.obs ~pid:t.me ~layer:`Rbcast ~phase:"rbcast"
         ~detail:(Printf.sprintf "rb %d/%d" (meta.rb_origin + 1) meta.rb_seq)
         ();
@@ -62,7 +62,7 @@ let receive t ~src:_ ~meta payload =
     Id_table.add t.seen ~origin ~seq;
     Obs.incr t.obs "rbcast.delivers";
     let sp =
-      if Obs.enabled t.obs then begin
+      if Obs.tracing t.obs then begin
         Obs.event t.obs ~pid:t.me ~layer:`Rbcast ~phase:"rdeliver"
           ~detail:(Printf.sprintf "rb %d/%d" (meta.Msg.rb_origin + 1) meta.Msg.rb_seq)
           ();

@@ -93,7 +93,7 @@ let handle_adeliver t m =
      analysis looks for: one per delivered message, parented to the
      instance adeliver that released it. *)
   let sp =
-    if Obs.enabled t.obs then begin
+    if Obs.tracing t.obs then begin
       Obs.event t.obs ~pid:t.me ~layer:`App ~phase:"adeliver"
         ~detail:
           (Printf.sprintf "m %d/%d (%d B)" (m.App_msg.id.App_msg.origin + 1)
@@ -132,7 +132,7 @@ let rec admit_offers t =
        admission was unblocked by a delivery freeing a window slot, the
        chain truthfully extends that delivery's. *)
     let sp =
-      if Obs.enabled t.obs then
+      if Obs.tracing t.obs then
         Obs.span t.obs ~pid:t.me ~layer:`App ~phase:"publish"
           ~detail:(Printf.sprintf "m %d/%d (%d B)" (t.me + 1) m.App_msg.id.App_msg.seq size)
           ()
@@ -465,11 +465,10 @@ let create ~kind ~params ~net ~me ?(fd_mode = `Good_run) ?(record_deliveries = t
     end
     | Wire_msg.Tampered inner ->
       if params.Params.checksums then begin
-        if Obs.enabled t.obs then begin
-          Obs.incr t.obs "net.corrupt_detected";
+        if Obs.enabled t.obs then Obs.incr t.obs "net.corrupt_detected";
+        if Obs.tracing t.obs then
           Obs.event t.obs ~pid:t.me ~layer:(Wire_msg.layer inner) ~phase:"drop"
-            ~detail:("checksum: " ^ Wire_msg.kind inner) ()
-        end;
+            ~detail:("checksum: " ^ Wire_msg.kind inner) ();
         on_tamper ~detected:true
       end
       else begin

@@ -20,7 +20,7 @@ let apply ~obs group (step : Schedule.step) =
   | Schedule.Duplicate_rate p -> Repro_net.Network.set_duplicate_rate net p
   | Schedule.Reorder_window w -> Repro_net.Network.set_reorder_window net w
   | Schedule.Equivocate_rate p -> Repro_net.Network.set_equivocate_rate net p);
-  if Obs.enabled obs then
+  if Obs.tracing obs then
     Obs.event obs ~pid:0 ~layer:`Net ~phase:"fault"
       ~detail:(Schedule.action_to_string step.Schedule.action) ()
 

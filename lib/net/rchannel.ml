@@ -161,7 +161,7 @@ let rec arm_timer t ~dst link =
                     so the copy that finally gets through keeps a chain
                     back to the message's origin. *)
                  let sp =
-                   if Obs.enabled t.obs then begin
+                   if Obs.tracing t.obs then begin
                      Obs.event t.obs ~pid:t.me ~layer:`Net ~phase:"retransmit"
                        ~detail:(Printf.sprintf "seq %d -> p%d" frame.seq (dst + 1))
                        ();

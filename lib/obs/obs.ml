@@ -66,6 +66,12 @@ let of_engine engine =
   t
 
 let enabled t = t.enabled
+
+(* Metrics and tracing are separable: a [max_events = 0] sink keeps full
+   counters while retaining no events or spans. Hot paths that build an
+   event's [detail] string ask this before formatting — with tracing off
+   the string would be allocated only to be dropped inside [event]. *)
+let tracing t = t.enabled && t.max_events > 0
 let now t = t.now ()
 
 (* ---- Metrics ---- *)
@@ -164,8 +170,13 @@ let span t ?parent ~pid ~layer ~phase ?(detail = "") () =
 let span_ctx t = if t.enabled then t.ctx else Span.no_parent
 let set_span_ctx t sid = if t.enabled then t.ctx <- sid
 
+(* The ambient context is only ever consumed by [span] as a default
+   parent, and [span] records nothing unless [tracing]. So on a
+   metrics-only sink ([max_events = 0], which includes [noop]) the
+   save/set/restore — and its [Fun.protect] frame — would be dead work
+   on every delivered message; skip it. *)
 let with_span_ctx t sid f =
-  if not t.enabled then f ()
+  if t.max_events = 0 then f ()
   else begin
     let saved = t.ctx in
     t.ctx <- sid;

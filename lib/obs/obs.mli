@@ -90,8 +90,16 @@ val set_clock : t -> (unit -> Time.t) -> unit
     calls this with the group engine's [now]; no-op on {!noop}. *)
 
 val enabled : t -> bool
-(** [false] exactly for {!noop}. Guard expensive detail-string
-    construction on this at hot call sites. *)
+(** [false] exactly for {!noop}. Guard metric updates on this at hot call
+    sites. *)
+
+val tracing : t -> bool
+(** Enabled {e and} retaining trace events ([max_events > 0]). Guard
+    expensive per-event work — detail-string formatting, span creation —
+    on this rather than {!enabled}: a metrics-only sink
+    ([create ~max_events:0]) keeps counters exact while skipping the
+    event/span machinery entirely, which is what makes it cheap enough
+    for the sharded million-client cells. *)
 
 val now : t -> Time.t
 (** The sink's current clock reading. *)

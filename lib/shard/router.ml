@@ -1,0 +1,23 @@
+(* SplitMix64 finalizer over the key. Stateless and seedless by design:
+   routing must be a pure function of the key alone so that every client,
+   every shard and every analysis tool agrees on placement without
+   coordination — and so the assignment is trivially stable across run
+   seeds (seed-stability is a tested contract, not an accident). *)
+let hash key =
+  let z = Int64.add (Int64.of_int key) 0x9e3779b97f4a7c15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int z land max_int
+
+let is_pow2 m = m > 0 && m land (m - 1) = 0
+
+let shard_of_key ~shards key =
+  if shards < 1 then invalid_arg "Router.shard_of_key: shards must be >= 1";
+  let h = hash key in
+  (* Power-of-two counts take low bits, which makes doubling monotone:
+     going from M to 2M shards only adds bit M to the index, so a key maps
+     to [s] or [s + M] — half of each shard's keys split off, none shuffle
+     between unrelated shards. Other counts fall back to mod and promise
+     nothing across resizes. *)
+  if is_pow2 shards then h land (shards - 1) else h mod shards

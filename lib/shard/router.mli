@@ -1,0 +1,25 @@
+(** Deterministic key-hash router in front of the shard groups.
+
+    Placement is a pure, seedless function of the routing key: the same
+    key routes to the same shard in every run, at every [--jobs], from
+    every caller — the property the router determinism tests pin down.
+
+    {2 Contract}
+
+    - {e Seed-stable}: no RNG, no per-run state; [shard_of_key] depends
+      only on [(key, shards)].
+    - {e Monotone under power-of-two doubling}: for power-of-two counts
+      the index is the hash's low bits, so growing from [m] to [2m]
+      shards maps each key from shard [s] to [s] or [s + m] — resharding
+      splits shards, it never shuffles keys between unrelated ones. No
+      monotonicity is promised for non-power-of-two counts (plain mod). *)
+
+val hash : int -> int
+(** SplitMix64-finalizer mix of a key, non-negative. *)
+
+val shard_of_key : shards:int -> int -> int
+(** The home shard of a key, in [0, shards).
+    @raise Invalid_argument if [shards < 1]. *)
+
+val is_pow2 : int -> bool
+(** Whether the monotone-doubling promise applies to this shard count. *)

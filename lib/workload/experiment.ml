@@ -106,6 +106,62 @@ let assign_sample dst src =
   dst.w_nic <- src.w_nic;
   dst.w_crossings <- src.w_crossings
 
+(* Metrics over the measurement window [s0, s1] — shared by the
+   generator-driven [stage] and the script-driven [run_scripted]. *)
+let window_result ~obs config group s0 s1 =
+  let t_start = s0.w_at and t_end = s1.w_at in
+  let window_s = Time.span_to_ms_float (Time.diff t_end t_start) /. 1e3 in
+  (* Early latency over messages abcast within the window. Messages abcast
+     near the window end may not be delivered yet; like the paper we only
+     average over completed deliveries. *)
+  let latencies =
+    Group.latencies group
+    |> List.filter_map (fun (r : Group.latency_record) ->
+           if Time.(r.abcast_at >= t_start) && Time.(r.abcast_at <= t_end) then
+             Some (Time.span_to_ms_float (Time.diff r.first_delivery r.abcast_at))
+           else None)
+  in
+  let delivered_window =
+    Array.mapi (fun i d1 -> d1 - s0.w_delivered.(i)) s1.w_delivered |> Array.to_list
+  in
+  let throughput =
+    Stats.mean (List.map float_of_int delivered_window) /. window_s
+  in
+  let instances = s1.w_instances - s0.w_instances in
+  let finstances = float_of_int (max 1 instances) in
+  let delta = Net_stats.diff s1.w_stats s0.w_stats in
+  let delivered_p1 = delivered_window |> List.hd in
+  (* Run-level gauges: the window-normalized quantities the per-layer
+     counters cannot express (those are cumulative and include warm-up). *)
+  if Obs.enabled obs then begin
+    Obs.set_gauge obs "run.instances" (float_of_int instances);
+    Obs.set_gauge obs "run.window_s" window_s;
+    Obs.set_gauge obs "run.mean_batch" (float_of_int delivered_p1 /. finstances);
+    Obs.set_gauge obs "run.throughput" throughput;
+    Obs.set_gauge obs "run.msgs_per_instance"
+      (float_of_int delta.Net_stats.messages /. finstances)
+  end;
+  ( latencies,
+    {
+      config;
+      early_latency_ms = Stats.summarize latencies;
+      throughput;
+      admitted_rate = float_of_int (s1.w_admitted - s0.w_admitted) /. window_s;
+      mean_batch = float_of_int delivered_p1 /. finstances;
+      msgs_per_instance = float_of_int delta.Net_stats.messages /. finstances;
+      bytes_per_instance = float_of_int delta.Net_stats.payload_bytes /. finstances;
+      cpu_utilization =
+        float_of_int (s1.w_busy - s0.w_busy)
+        /. (window_s *. 1e9 *. float_of_int config.n);
+      max_nic_utilization =
+        (let deltas = List.map2 (fun a b -> a - b) s1.w_nic s0.w_nic in
+         float_of_int (List.fold_left max 0 deltas) /. (window_s *. 1e9));
+      boundary_crossings_per_msg =
+        float_of_int (s1.w_crossings - s0.w_crossings)
+        /. float_of_int (max 1 (List.fold_left ( + ) 0 delivered_window));
+      events_executed = Engine.events_executed (Group.engine group);
+    } )
+
 let stage ?(obs = Obs.noop) ?on_group config =
   let params = { config.params with Params.n = config.n; seed = config.seed } in
   let group =
@@ -131,60 +187,7 @@ let stage ?(obs = Obs.noop) ?on_group config =
           assign_sample s1 (sample group) );
     ]
   in
-  let result () =
-    let t_start = s0.w_at and t_end = s1.w_at in
-    let window_s = Time.span_to_ms_float (Time.diff t_end t_start) /. 1e3 in
-    (* Early latency over messages abcast within the window. Messages abcast
-       near the window end may not be delivered yet; like the paper we only
-       average over completed deliveries. *)
-    let latencies =
-      Group.latencies group
-      |> List.filter_map (fun (r : Group.latency_record) ->
-             if Time.(r.abcast_at >= t_start) && Time.(r.abcast_at <= t_end) then
-               Some (Time.span_to_ms_float (Time.diff r.first_delivery r.abcast_at))
-             else None)
-    in
-    let delivered_window =
-      Array.mapi (fun i d1 -> d1 - s0.w_delivered.(i)) s1.w_delivered |> Array.to_list
-    in
-    let throughput =
-      Stats.mean (List.map float_of_int delivered_window) /. window_s
-    in
-    let instances = s1.w_instances - s0.w_instances in
-    let finstances = float_of_int (max 1 instances) in
-    let delta = Net_stats.diff s1.w_stats s0.w_stats in
-    let delivered_p1 = delivered_window |> List.hd in
-    (* Run-level gauges: the window-normalized quantities the per-layer
-       counters cannot express (those are cumulative and include warm-up). *)
-    if Obs.enabled obs then begin
-      Obs.set_gauge obs "run.instances" (float_of_int instances);
-      Obs.set_gauge obs "run.window_s" window_s;
-      Obs.set_gauge obs "run.mean_batch" (float_of_int delivered_p1 /. finstances);
-      Obs.set_gauge obs "run.throughput" throughput;
-      Obs.set_gauge obs "run.msgs_per_instance"
-        (float_of_int delta.Net_stats.messages /. finstances)
-    end;
-    ( latencies,
-      {
-        config;
-        early_latency_ms = Stats.summarize latencies;
-        throughput;
-        admitted_rate = float_of_int (s1.w_admitted - s0.w_admitted) /. window_s;
-        mean_batch = float_of_int delivered_p1 /. finstances;
-        msgs_per_instance = float_of_int delta.Net_stats.messages /. finstances;
-        bytes_per_instance = float_of_int delta.Net_stats.payload_bytes /. finstances;
-        cpu_utilization =
-          float_of_int (s1.w_busy - s0.w_busy)
-          /. (window_s *. 1e9 *. float_of_int config.n);
-        max_nic_utilization =
-          (let deltas = List.map2 (fun a b -> a - b) s1.w_nic s0.w_nic in
-           float_of_int (List.fold_left max 0 deltas) /. (window_s *. 1e9));
-        boundary_crossings_per_msg =
-          float_of_int (s1.w_crossings - s0.w_crossings)
-          /. float_of_int (max 1 (List.fold_left ( + ) 0 delivered_window));
-        events_executed = Engine.events_executed (Group.engine group);
-      } )
-  in
+  let result () = window_result ~obs config group s0 s1 in
   { st_group = group; st_generator = generator; st_milestones = milestones; st_result = result }
 
 let run_raw ?obs ?on_group config =
@@ -223,6 +226,41 @@ let run_repeated ?(repeats = 3) ?jobs ?(obs = Obs.noop) ?on_group config =
     events_executed =
       List.fold_left (fun acc r -> acc + r.events_executed) 0 results;
   }
+
+(* Script-driven variant of [run]: the offer process is a precomputed
+   {!Population} arrival script instead of the symmetric generator, and
+   the per-arrival admission/delivery instants come back alongside the
+   window metrics so a sharding layer can join cross-shard legs. *)
+let run_scripted ?(obs = Obs.noop) ~kind ~n ?params ?(fd_mode = `Good_run)
+    ?(seed = 0) ~warmup_s ~measure_s ~arrivals ~loop () =
+  let horizon_s = warmup_s +. measure_s in
+  let offered_load =
+    if horizon_s > 0.0 then float_of_int (Array.length arrivals) /. horizon_s
+    else 0.0
+  in
+  let size =
+    if Array.length arrivals > 0 then arrivals.(0).Population.size else 0
+  in
+  let config =
+    config ~kind ~n ~offered_load ~size ~warmup_s ~measure_s ~seed ?params
+      ~fd_mode ()
+  in
+  let params = { config.params with Params.n; seed } in
+  let group =
+    Group.create ~kind ~params ~fd_mode ~record_deliveries:false ~obs ()
+  in
+  let script = Script.attach group ~arrivals ~loop in
+  let s0 = sample group and s1 = sample group in
+  let warmup_end = Time.add Time.zero (span_of_s warmup_s) in
+  let measure_end = Time.add warmup_end (span_of_s measure_s) in
+  let engine = Group.engine group in
+  Engine.run_until engine warmup_end;
+  assign_sample s0 (sample group);
+  Engine.run_until engine measure_end;
+  Script.stop script;
+  assign_sample s1 (sample group);
+  let latencies, result = window_result ~obs config group s0 s1 in
+  (Script.resolve script, latencies, result)
 
 let kind_name = function
   | Replica.Modular -> "modular"

@@ -112,6 +112,30 @@ val run_repeated :
     combined result and the final state of [obs] are byte-identical to the
     sequential schedule whatever the value of [jobs]. *)
 
+val run_scripted :
+  ?obs:Repro_obs.Obs.t ->
+  kind:Replica.kind ->
+  n:int ->
+  ?params:Params.t ->
+  ?fd_mode:Replica.fd_mode ->
+  ?seed:int ->
+  warmup_s:float ->
+  measure_s:float ->
+  arrivals:Population.arrival array ->
+  loop:Population.loop_mode ->
+  unit ->
+  (Repro_sim.Time.t * Repro_sim.Time.t) option array * float list * result
+(** One run driven by a precomputed {!Population} arrival script (via
+    {!Script.attach}) instead of the symmetric generator. Returns the
+    per-arrival [(abcast_at, first_delivery)] join of {!Script.resolve},
+    the raw in-window latency samples (ms — what closed-loop sharded runs
+    score by, since in-world re-offers never appear in the plan), and the
+    usual window metrics; [result.config.offered_load] is the script's
+    realised mean rate over the horizon (informational).
+    The sharding layer ({!Repro_shard}) runs one of these per shard; a
+    1-shard plan makes it a drop-in, event-identical replacement for the
+    single-group path. *)
+
 val kind_name : Replica.kind -> string
 (** ["modular"], ["monolithic"] or ["indirect"] — the spelling used in
     metric tags and reports. *)

@@ -1,0 +1,223 @@
+open Repro_sim
+
+type burst = { flash_at_s : float; flash_dur_s : float; flash_mult : float }
+
+type loop_mode = Open | Closed of { think_s : float }
+
+type profile = {
+  clients : int;
+  rate_per_client : float;
+  tail_alpha : float;
+  size : int;
+  diurnal_amp : float;
+  diurnal_period_s : float;
+  flashes : burst list;
+  cross_fraction : float;
+  loop : loop_mode;
+}
+
+let profile ~clients ~rate_per_client ?(tail_alpha = 1.1) ?(size = 1024)
+    ?(diurnal_amp = 0.0) ?(diurnal_period_s = 60.0) ?(flashes = [])
+    ?(cross_fraction = 0.0) ?(loop = Open) () =
+  if clients < 1 then invalid_arg "Population.profile: clients must be >= 1";
+  if rate_per_client < 0.0 then
+    invalid_arg "Population.profile: negative rate_per_client";
+  if diurnal_amp < 0.0 || diurnal_amp > 1.0 then
+    invalid_arg "Population.profile: need 0 <= diurnal_amp <= 1";
+  if cross_fraction < 0.0 || cross_fraction > 1.0 then
+    invalid_arg "Population.profile: need 0 <= cross_fraction <= 1";
+  List.iter
+    (fun b ->
+      if b.flash_mult < 1.0 || b.flash_dur_s < 0.0 then
+        invalid_arg "Population.profile: flash needs mult >= 1 and dur >= 0")
+    flashes;
+  {
+    clients;
+    rate_per_client;
+    tail_alpha;
+    size;
+    diurnal_amp;
+    diurnal_period_s;
+    flashes;
+    cross_fraction;
+    loop;
+  }
+
+type arrival = {
+  at : Time.t;
+  client : int;
+  key : int;
+  size : int;
+  req : int;
+  remote : int;
+}
+
+type plan = {
+  shards : int;
+  scripts : arrival array array;
+  total : int;
+  cross : int;
+}
+
+(* A client's routing key is a pure mix of its rank (SplitMix64 finalizer,
+   as in {!Repro_shard.Router}): ranks are dense integers, and the router
+   hashes keys again, so the double mixing is deliberate — it models
+   "client ids are opaque keys", and it makes key collisions between
+   distinct ranks as unlikely as for real ids. Masked to a non-negative
+   int. *)
+let key_of_client rank =
+  let z = Int64.add (Int64.of_int rank) 0x9e3779b97f4a7c15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int z land max_int
+
+(* Heavy-tailed client sampling: approximate Zipf over ranks via the
+   inverse CDF of the continuous power law on [1, clients + 1] — O(1) per
+   draw, no tables, so a million-client population costs the same as a
+   ten-client one. [tail_alpha <= 0] degenerates to uniform. *)
+let sample_client rng p =
+  if p.tail_alpha <= 0.0 then Rng.int rng p.clients
+  else begin
+    let n1 = float_of_int p.clients +. 1.0 in
+    let u = 1.0 -. Rng.float rng 1.0 (* (0, 1] *) in
+    let x =
+      if abs_float (p.tail_alpha -. 1.0) < 1e-9 then exp (u *. log n1)
+      else
+        let e = 1.0 -. p.tail_alpha in
+        (((n1 ** e) -. 1.0) *. u +. 1.0) ** (1.0 /. e)
+    in
+    let rank = int_of_float x - 1 in
+    if rank < 0 then 0 else if rank >= p.clients then p.clients - 1 else rank
+  end
+
+(* Arrival-rate modulation at [t_s] seconds: a diurnal sinusoid scaled by
+   the product of the active flash-crowd windows. *)
+let modulation p t_s =
+  let diurnal =
+    if p.diurnal_amp = 0.0 then 1.0
+    else
+      1.0 +. (p.diurnal_amp *. sin (2.0 *. Float.pi *. t_s /. p.diurnal_period_s))
+  in
+  List.fold_left
+    (fun m b ->
+      if t_s >= b.flash_at_s && t_s < b.flash_at_s +. b.flash_dur_s then
+        m *. b.flash_mult
+      else m)
+    diurnal p.flashes
+
+let peak_rate p =
+  let base = float_of_int p.clients *. p.rate_per_client in
+  let flash_mult =
+    List.fold_left (fun m b -> m *. b.flash_mult) 1.0 p.flashes
+  in
+  base *. (1.0 +. p.diurnal_amp) *. flash_mult
+
+let pop_salt = 0x10b07a71095ca1e5
+
+let plan ~seed p ~route ~shards ~horizon_s =
+  if shards < 1 then invalid_arg "Population.plan: shards must be >= 1";
+  if horizon_s <= 0.0 then invalid_arg "Population.plan: horizon must be > 0";
+  let rng = Rng.derive ~seed ~salt:pop_salt in
+  let peak = peak_rate p in
+  let per_shard = Array.make shards [] in
+  let total = ref 0 and cross = ref 0 in
+  let emit shard a = per_shard.(shard) <- a :: per_shard.(shard) in
+  (* Nonhomogeneous Poisson by thinning (Lewis & Shedler): draw candidate
+     instants at the peak rate, keep each with probability
+     rate(t) / peak. Every candidate costs exactly one exponential draw
+     plus one acceptance draw, so the schedule is a pure function of
+     (seed, profile, horizon) independent of [shards] and [route] — the
+     offered load does not change when the shard count does. *)
+  let t = ref 0.0 in
+  if peak > 0.0 then begin
+    let mean_gap = 1.0 /. peak in
+    let continue = ref true in
+    while !continue do
+      t := !t +. Rng.exponential rng ~mean:mean_gap;
+      if !t >= horizon_s then continue := false
+      else if Rng.float rng 1.0 *. peak < float_of_int p.clients *. p.rate_per_client *. modulation p !t
+      then begin
+        let client = sample_client rng p in
+        let key = key_of_client client in
+        let home = route ~key in
+        let at = Time.of_ns (int_of_float (!t *. 1e9)) in
+        let req = !total in
+        incr total;
+        let is_cross =
+          p.cross_fraction > 0.0 && shards > 1
+          && Rng.float rng 1.0 < p.cross_fraction
+        in
+        if is_cross then begin
+          (* A cross-shard request touches its home shard and the home
+             shard of a second sampled client; both legs are offered at
+             the same instant and joined by the caller ([Repro_shard]).
+             When both keys land on the same shard the request degrades
+             to a single-shard one (still one leg). *)
+          let partner = sample_client rng p in
+          let pkey = key_of_client partner in
+          let there = route ~key:pkey in
+          if there = home then
+            emit home { at; client; key; size = p.size; req; remote = -1 }
+          else begin
+            incr cross;
+            emit home { at; client; key; size = p.size; req; remote = there };
+            emit there
+              { at; client = partner; key = pkey; size = p.size; req; remote = home }
+          end
+        end
+        else emit home { at; client; key; size = p.size; req; remote = -1 }
+      end
+    done
+  end;
+  {
+    shards;
+    scripts =
+      Array.map (fun l -> Array.of_list (List.rev l)) per_shard;
+    total = !total;
+    cross = !cross;
+  }
+
+(* Closed-loop plans only seed the pipeline: each client in a bounded
+   population gets one initial offer, uniformly staggered over the first
+   think period (or the horizon, if shorter); every later offer is
+   generated in-world by {!Script} when the previous response is
+   adelivered at the client's home process plus think time. Cross-shard
+   coordination needs the precomputed schedule, so closed-loop plans are
+   single-shard-request only. *)
+let plan_closed ~seed p ~route ~shards ~think_s ~horizon_s =
+  if shards < 1 then invalid_arg "Population.plan_closed: shards must be >= 1";
+  let rng = Rng.derive ~seed ~salt:pop_salt in
+  let stagger_s = Float.min (Float.max think_s 0.001) horizon_s in
+  let all =
+    List.init p.clients (fun client ->
+        let key = key_of_client client in
+        let at_s = Rng.float rng stagger_s in
+        (Time.of_ns (int_of_float (at_s *. 1e9)), client, key))
+  in
+  let per_shard = Array.make shards [] in
+  let total = ref 0 in
+  List.iter
+    (fun (at, client, key) ->
+      let home = route ~key in
+      let req = !total in
+      incr total;
+      per_shard.(home) <-
+        { at; client; key; size = p.size; req; remote = -1 } :: per_shard.(home))
+    all;
+  let by_time (a : arrival) (b : arrival) =
+    let c = Time.compare a.at b.at in
+    if c <> 0 then c else compare a.req b.req
+  in
+  {
+    shards;
+    scripts =
+      Array.map
+        (fun l ->
+          let arr = Array.of_list l in
+          Array.sort by_time arr;
+          arr)
+        per_shard;
+    total = !total;
+    cross = 0;
+  }

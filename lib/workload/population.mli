@@ -1,0 +1,115 @@
+open Repro_sim
+
+(** Client-population workload model.
+
+    Replaces the single offered-load knob for scale studies: load is
+    expressed as "N clients at X req/s each", with a heavy-tailed
+    (approximate Zipf) split of the aggregate rate across client ranks and
+    bursty modulation of the aggregate over time (diurnal sinusoid and
+    flash-crowd windows). A {!plan} precomputes the arrival schedule as a
+    nonhomogeneous Poisson process by thinning and partitions it per shard
+    through a routing function — see {!Repro_shard.Router}; this module
+    deliberately knows nothing about shards beyond the [route] callback,
+    so protocols and the workload layer never depend on the sharding
+    layer.
+
+    {2 Determinism obligations}
+
+    - A plan is a pure function of [(seed, profile, horizon)]: the
+      candidate/acceptance draw sequence never consults [route] or
+      [shards], so re-routing the same population (different shard count)
+      re-partitions the {e identical} global arrival schedule.
+    - All randomness comes from one {!Repro_sim.Rng.derive}d stream named
+      by a module-local salt; no engine stream is perturbed. *)
+
+type burst = {
+  flash_at_s : float;  (** Window start, seconds from run start. *)
+  flash_dur_s : float;  (** Window length, seconds. *)
+  flash_mult : float;  (** Rate multiplier while the window is open, >= 1. *)
+}
+
+type loop_mode =
+  | Open  (** Precomputed arrivals regardless of response times. *)
+  | Closed of { think_s : float }
+      (** Each client re-offers [think_s] after its previous request is
+          adelivered at its home process (driven in-world by {!Script});
+          the plan only seeds one initial offer per client. *)
+
+type profile = {
+  clients : int;
+  rate_per_client : float;  (** Mean req/s per client (open loop). *)
+  tail_alpha : float;
+      (** Zipf exponent over client ranks; [<= 0] = uniform. [1.1] is the
+          web-workload default. *)
+  size : int;  (** Request payload bytes. *)
+  diurnal_amp : float;  (** Sinusoid amplitude in [0, 1]; 0 = flat. *)
+  diurnal_period_s : float;
+  flashes : burst list;
+  cross_fraction : float;
+      (** Probability a request also touches a second (sampled) client's
+          home shard. *)
+  loop : loop_mode;
+}
+
+val profile :
+  clients:int ->
+  rate_per_client:float ->
+  ?tail_alpha:float ->
+  ?size:int ->
+  ?diurnal_amp:float ->
+  ?diurnal_period_s:float ->
+  ?flashes:burst list ->
+  ?cross_fraction:float ->
+  ?loop:loop_mode ->
+  unit ->
+  profile
+(** Validated constructor. Defaults: [tail_alpha 1.1], [size 1024], flat
+    arrivals, no flashes, no cross-shard traffic, open loop. *)
+
+type arrival = {
+  at : Time.t;
+  client : int;  (** Client rank in [0, clients). *)
+  key : int;  (** Routing key (pure mix of the rank), non-negative. *)
+  size : int;
+  req : int;  (** Request id, unique across the whole plan. *)
+  remote : int;
+      (** Partner shard of a cross-shard request (the same [req] appears
+          in both shards' scripts at the same instant); [-1] for a
+          single-shard request. *)
+}
+
+type plan = {
+  shards : int;
+  scripts : arrival array array;
+      (** Per shard, ascending [(at, req)]; cross-shard requests appear in
+          both partners' scripts. *)
+  total : int;  (** Requests in the plan (cross counted once). *)
+  cross : int;  (** Cross-shard requests among them. *)
+}
+
+val key_of_client : int -> int
+(** The deterministic routing key of a client rank (SplitMix64 finalizer,
+    non-negative). Exposed for router tests. *)
+
+val modulation : profile -> float -> float
+(** [modulation p t_s] is the rate multiplier at [t_s] seconds — diurnal
+    sinusoid times active flash windows. Exposed for tests and plots. *)
+
+val plan :
+  seed:int -> profile -> route:(key:int -> int) -> shards:int -> horizon_s:float -> plan
+(** Precompute the open-loop arrival schedule over [horizon_s] seconds and
+    partition it into per-shard scripts through [route] (which must return
+    a shard index in [0, shards)). *)
+
+val plan_closed :
+  seed:int ->
+  profile ->
+  route:(key:int -> int) ->
+  shards:int ->
+  think_s:float ->
+  horizon_s:float ->
+  plan
+(** The closed-loop seed schedule: one initial offer per client, staggered
+    over the first think period. Re-offers are generated in-world by
+    {!Script.attach}; cross-shard requests are not supported closed-loop
+    ([remote] is always [-1]). *)

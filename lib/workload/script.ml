@@ -1,0 +1,128 @@
+open Repro_sim
+open Repro_core
+
+type t = {
+  group : Group.t;
+  arrivals : Population.arrival array;
+  n : int;
+  mutable cursor : int;
+  mutable stopped : bool;
+  mutable offered : int;
+  (* Per arrival index: the home process it was offered at and its
+     per-process offer ordinal. Offers queue FIFO in flow control and are
+     admitted (seq-stamped) in offer order, so ordinal [j] at process [p]
+     is exactly the record with the [j]-th smallest [seq] among origin-[p]
+     latency records — the join [resolve] performs. *)
+  offer_pid : int array;
+  offer_ord : int array;
+  pid_counts : int array;
+  (* Closed loop: per-process FIFO of outstanding request sizes, completed
+     by origin-[p] adeliveries at [p] in admission order; each completion
+     schedules a re-offer after the think time. *)
+  think : Time.span option;
+  waiting : int Queue.t array;
+  mutable fire : unit -> unit;
+}
+
+let pid_of_key t key = key mod t.n
+
+let offer t ~pid ~size =
+  let ord = t.pid_counts.(pid) in
+  t.pid_counts.(pid) <- ord + 1;
+  t.offered <- t.offered + 1;
+  Group.abcast t.group pid ~size;
+  ord
+
+let fire_next t () =
+  if not t.stopped then begin
+    let a = t.arrivals.(t.cursor) in
+    t.cursor <- t.cursor + 1;
+    let pid = pid_of_key t a.Population.key in
+    let ord = offer t ~pid ~size:a.Population.size in
+    let i = t.cursor - 1 in
+    t.offer_pid.(i) <- pid;
+    t.offer_ord.(i) <- ord;
+    if Option.is_some t.think then Queue.push a.Population.size t.waiting.(pid);
+    if t.cursor < Array.length t.arrivals then
+      Engine.post_at (Group.engine t.group) t.arrivals.(t.cursor).Population.at t.fire
+  end
+
+let on_completion t pid (msg : App_msg.t) =
+  (* Only the origin's own adelivery completes a request; other processes
+     merely apply it. *)
+  if
+    (not t.stopped)
+    && msg.App_msg.id.App_msg.origin = pid
+    && not (Queue.is_empty t.waiting.(pid))
+  then begin
+    let size = Queue.pop t.waiting.(pid) in
+    match t.think with
+    | None -> ()
+    | Some think ->
+      Engine.post_after (Group.engine t.group) think (fun () ->
+          if not t.stopped then begin
+            ignore (offer t ~pid ~size : int);
+            Queue.push size t.waiting.(pid)
+          end)
+  end
+
+let attach group ~arrivals ~loop =
+  let n = (Group.params group).Repro_core.Params.n in
+  let len = Array.length arrivals in
+  let t =
+    {
+      group;
+      arrivals;
+      n;
+      cursor = 0;
+      stopped = false;
+      offered = 0;
+      offer_pid = Array.make len (-1);
+      offer_ord = Array.make len (-1);
+      pid_counts = Array.make n 0;
+      think =
+        (match loop with
+        | Population.Open -> None
+        | Population.Closed { think_s } ->
+          Some (Time.span_ns (int_of_float (think_s *. 1e9))));
+      waiting = Array.init n (fun _ -> Queue.create ());
+      fire = (fun () -> ());
+    }
+  in
+  t.fire <- (fun () -> fire_next t ());
+  if Option.is_some t.think then Group.on_delivery group (on_completion t);
+  if len > 0 then
+    Engine.post_at (Group.engine group) arrivals.(0).Population.at t.fire;
+  t
+
+let stop t = t.stopped <- true
+let offered t = t.offered
+
+let resolve t =
+  let per_origin = Array.make t.n [] in
+  List.iter
+    (fun (r : Group.latency_record) ->
+      let o = r.Group.id.App_msg.origin in
+      per_origin.(o) <- r :: per_origin.(o))
+    (Group.latencies t.group);
+  let sorted =
+    Array.map
+      (fun l ->
+        let arr = Array.of_list l in
+        Array.sort
+          (fun (a : Group.latency_record) b ->
+            compare a.Group.id.App_msg.seq b.Group.id.App_msg.seq)
+          arr;
+        arr)
+      per_origin
+  in
+  Array.init (Array.length t.arrivals) (fun i ->
+      let pid = t.offer_pid.(i) in
+      if pid < 0 then None
+      else
+        let ord = t.offer_ord.(i) in
+        let arr = sorted.(pid) in
+        if ord < Array.length arr then
+          let r = arr.(ord) in
+          Some (r.Group.abcast_at, r.Group.first_delivery)
+        else None)

@@ -1,0 +1,39 @@
+open Repro_sim
+open Repro_core
+
+(** Script-driven workload: offers a precomputed {!Population} arrival
+    schedule to one group, one engine event per arrival (a single
+    persistent driver closure re-posts itself at the next arrival's
+    instant). Open-loop scripts replay the plan verbatim; closed-loop
+    scripts additionally re-offer a client's next request [think_s] after
+    its previous one is adelivered at its home process.
+
+    A request's home process within the group is [key mod n] — determined
+    by the same routing key the shard router hashed, so a request's
+    placement is a pure function of the client rank at every scale.
+
+    After the run, {!resolve} joins each arrival back to its admission and
+    first-delivery instants: offers queue FIFO per process and are
+    seq-stamped in offer order, so the per-process offer ordinal recorded
+    at offer time identifies the latency record with the matching rank
+    among that origin's records. Arrivals whose message was not admitted
+    or not yet delivered resolve to [None]. *)
+
+type t
+
+val attach :
+  Group.t -> arrivals:Population.arrival array -> loop:Population.loop_mode -> t
+(** Register the driver on the group's engine; the first offer fires at
+    [arrivals.(0).at]. With [loop = Closed _], an adelivery observer is
+    installed to schedule re-offers. *)
+
+val stop : t -> unit
+(** Stop offering (pending protocol activity continues). *)
+
+val offered : t -> int
+(** Offers issued so far, closed-loop re-offers included. *)
+
+val resolve : t -> (Time.t * Time.t) option array
+(** Per arrival index: [(abcast_at, first_delivery)] of its message, or
+    [None] if it was never admitted or never delivered. Closed-loop
+    re-offers are not represented (they carry no plan index). *)
